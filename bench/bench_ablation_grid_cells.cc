@@ -1,0 +1,37 @@
+// Ablation: grid cell-count sweep (paper section 5.1: "the optimal number of
+// cells depends on the graph shape and size; 256x256 performs best on
+// Twitter and RMAT26"). Sweeps the grid dimension and reports build time,
+// Pagerank algorithm time, and the end-to-end sum — the expected shape is a
+// U-curve: too few blocks lose locality, too many lose parallel balance and
+// inflate the offsets table.
+#include "bench/bench_common.h"
+#include "src/algos/pagerank.h"
+
+int main() {
+  using namespace egraph;
+  using namespace egraph::bench;
+  const EdgeList graph = Rmat();
+  PrintBanner("Ablation: grid dimension sweep (Pagerank)",
+              "U-shaped total time; optimum near vertices/blocks ~ LLC-sized blocks",
+              DescribeDataset("rmat", graph));
+
+  Table table({"grid blocks", "cells", "build(s)", "pagerank algo(s)", "total(s)"});
+  for (const uint32_t blocks : {4u, 16u, 64u, 128u, 256u}) {
+    GraphHandle handle(graph);
+    PrepareConfig prepare;
+    prepare.layout = Layout::kGrid;
+    prepare.grid_blocks = blocks;
+    handle.Prepare(prepare);
+    RunConfig config;
+    config.layout = Layout::kGrid;
+    config.direction = Direction::kPull;
+    config.sync = Sync::kLockFree;
+    const PagerankResult result = RunPagerank(handle, PagerankOptions{}, config);
+    table.AddRow({Table::FormatCount(blocks),
+                  Table::FormatCount(static_cast<int64_t>(blocks) * blocks),
+                  Sec(handle.preprocess_seconds()), Sec(result.stats.algorithm_seconds),
+                  Sec(handle.preprocess_seconds() + result.stats.algorithm_seconds)});
+  }
+  table.Print("Grid-dimension ablation");
+  return 0;
+}

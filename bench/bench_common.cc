@@ -1,0 +1,50 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+
+#include "src/gen/rmat.h"
+#include "src/graph/stats.h"
+#include "src/util/env.h"
+#include "src/util/thread_pool.h"
+
+namespace egraph::bench {
+
+int Scale() { return EnvBenchScale(); }
+
+EdgeList Rmat(int delta) { return DatasetRmat(Scale() + delta); }
+
+EdgeList RmatUnscrambled(int delta) {
+  RmatOptions options;
+  options.scale = Scale() + delta;
+  options.scramble_ids = false;
+  return GenerateRmat(options);
+}
+
+EdgeList Twitter() { return DatasetTwitter(Scale()); }
+
+EdgeList UsRoad() { return DatasetUsRoad(Scale()); }
+
+void PrintBanner(const std::string& experiment, const std::string& paper_expectation,
+                 const std::string& dataset_description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper expectation: %s\n", paper_expectation.c_str());
+  std::printf("dataset: %s\n", dataset_description.c_str());
+  std::printf("threads: %d  (EG_SCALE=%d)\n", ThreadPool::Get().num_threads(), Scale());
+  std::printf("================================================================\n");
+}
+
+std::string Sec(double seconds) { return Table::FormatSeconds(seconds); }
+
+VertexId GoodSource(const EdgeList& graph) {
+  const std::vector<uint32_t> degrees = OutDegrees(graph);
+  VertexId best = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (degrees[v] > degrees[best]) {
+      best = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace egraph::bench

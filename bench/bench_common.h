@@ -1,0 +1,48 @@
+// Shared benchmark-harness plumbing: EG_SCALE-driven datasets, headers that
+// tie each binary back to its paper table/figure, and uniform row helpers.
+//
+// Conventions:
+//   - every bench prints which experiment it regenerates and the expected
+//     qualitative shape from the paper,
+//   - absolute seconds are machine-specific; the *shape* (ordering, rough
+//     ratios, crossovers) is the reproduction target,
+//   - EG_SCALE (default 18) sizes every dataset; EG_THREADS sizes the pool.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <string>
+
+#include "src/gen/datasets.h"
+#include "src/graph/edge_list.h"
+#include "src/util/table.h"
+
+namespace egraph::bench {
+
+// Base R-MAT scale for this run (EG_SCALE).
+int Scale();
+
+// Datasets at the run's scale (+delta where a sweep needs it).
+EdgeList Rmat(int delta = 0);
+
+// R-MAT without id scrambling: hubs cluster at low vertex ids, as in the
+// paper's raw generator output. The NUMA experiments depend on this
+// id-correlated structure (BFS frontiers land inside one contiguous
+// partition, the contention pathology of Figs. 9a/10).
+EdgeList RmatUnscrambled(int delta = 0);
+EdgeList Twitter();
+EdgeList UsRoad();
+
+// Prints the bench banner: experiment id, paper expectation, dataset line.
+void PrintBanner(const std::string& experiment, const std::string& paper_expectation,
+                 const std::string& dataset_description);
+
+// Formats "<preproc> + <algo> = <total>" style row cells.
+std::string Sec(double seconds);
+
+// A well-connected traversal source: the highest-out-degree vertex (vertex 0
+// can be isolated after R-MAT id scrambling).
+VertexId GoodSource(const EdgeList& graph);
+
+}  // namespace egraph::bench
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,60 @@
+// Table 5: best end-to-end approaches for BFS and Pagerank on the Twitter
+// and US-Road proxies, chosen by the section-9 advisor and then measured.
+// Paper: BFS -> adjacency push on both graphs; Pagerank -> grid pull
+// (no locks) on Twitter but edge array on US-Road.
+#include "bench/bench_common.h"
+#include "src/algos/bfs.h"
+#include "src/algos/pagerank.h"
+#include "src/engine/advisor.h"
+#include "src/graph/stats.h"
+
+int main() {
+  using namespace egraph;
+  using namespace egraph::bench;
+  PrintBanner("Table 5: best approaches for BFS and Pagerank (advisor-selected)",
+              "BFS: adj+push everywhere; Pagerank: grid on Twitter, edge array on "
+              "US-Road",
+              "twitter-proxy + us-road-proxy at EG_SCALE");
+
+  Table table({"algo", "graph", "layout", "propagation", "preproc(s)", "algorithm(s)",
+               "total(s)"});
+
+  struct Dataset {
+    const char* name;
+    EdgeList graph;
+  };
+  Dataset datasets[] = {{"Twitter", Twitter()}, {"US-Road", UsRoad()}};
+
+  for (Dataset& dataset : datasets) {
+    const GraphStats stats = ComputeStats(dataset.graph);
+    {
+      const Recommendation rec = Advise(TraitsBfs(), stats, MachineTraits{1});
+      GraphHandle handle(dataset.graph);
+      RunConfig config;
+      config.layout = rec.layout;
+      config.direction = rec.direction;
+      config.sync = rec.sync;
+      const BfsResult result = RunBfs(handle, GoodSource(dataset.graph), config);
+      table.AddRow({"BFS", dataset.name, LayoutName(rec.layout),
+                    DirectionName(rec.direction), Sec(handle.preprocess_seconds()),
+                    Sec(result.stats.algorithm_seconds),
+                    Sec(handle.preprocess_seconds() + result.stats.algorithm_seconds)});
+    }
+    {
+      const Recommendation rec = Advise(TraitsPagerank(), stats, MachineTraits{1});
+      GraphHandle handle(dataset.graph);
+      RunConfig config;
+      config.layout = rec.layout;
+      config.direction = rec.direction;
+      config.sync = rec.sync;
+      const PagerankResult result = RunPagerank(handle, PagerankOptions{}, config);
+      table.AddRow({"Pagerank", dataset.name, LayoutName(rec.layout),
+                    std::string(DirectionName(rec.direction)) +
+                        (rec.sync == Sync::kLockFree ? " (no lock)" : ""),
+                    Sec(handle.preprocess_seconds()), Sec(result.stats.algorithm_seconds),
+                    Sec(handle.preprocess_seconds() + result.stats.algorithm_seconds)});
+    }
+  }
+  table.Print("Table 5");
+  return 0;
+}

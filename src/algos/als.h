@@ -1,0 +1,44 @@
+// Alternating Least Squares for rating prediction (Zhou et al., the Netflix
+// Prize approach the paper cites). The graph is bipartite: users
+// [0, num_users) rate items [num_users, num_vertices); edge weights are
+// ratings. Each iteration solves every user's factor vector from the fixed
+// item factors, then every item's from the fixed user factors — so exactly
+// one side of the graph is active per half-step, which is why the paper
+// finds adjacency lists (pull, lock-free) the best layout for ALS.
+#ifndef SRC_ALGOS_ALS_H_
+#define SRC_ALGOS_ALS_H_
+
+#include <vector>
+
+#include "src/algos/common.h"
+
+namespace egraph {
+
+struct AlsOptions {
+  int rank = 8;          // latent factor dimension
+  int iterations = 10;   // full user+item sweeps
+  float lambda = 0.1f;   // ridge regularization
+  uint64_t seed = 1;     // factor initialization
+};
+
+struct AlsResult {
+  // Row-major factors: user u -> user_factors[u*rank .. u*rank+rank).
+  std::vector<float> user_factors;
+  // Item i (0-based, i.e. vertex num_users + i) -> item_factors[i*rank ...).
+  std::vector<float> item_factors;
+  // Training RMSE after each iteration (strictly decreasing on well-posed
+  // inputs; test invariant).
+  std::vector<double> rmse_per_iteration;
+  AlgoStats stats;
+};
+
+// Runs ALS. The handle's graph must be weighted bipartite (user -> item).
+// ALS is inherently vertex-centric: both CSR directions are built during
+// pre-processing regardless of config.layout (kept for API uniformity;
+// sync/direction fields are ignored — each factor solve owns its vertex).
+AlsResult RunAls(GraphHandle& handle, uint32_t num_users, const AlsOptions& options,
+                 const RunConfig& config);
+
+}  // namespace egraph
+
+#endif  // SRC_ALGOS_ALS_H_

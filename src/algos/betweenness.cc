@@ -1,0 +1,168 @@
+#include "src/algos/betweenness.h"
+
+#include <limits>
+#include <queue>
+#include <stack>
+
+#include "src/engine/scan.h"
+#include "src/util/atomics.h"
+#include "src/util/bitmap.h"
+#include "src/util/parallel.h"
+#include "src/util/timer.h"
+
+namespace egraph {
+
+BcResult RunBetweenness(GraphHandle& handle, std::span<const VertexId> sources,
+                        const RunConfig& config) {
+  RunConfig bc_config = config;
+  bc_config.layout = Layout::kAdjacency;
+  bc_config.direction = Direction::kPush;
+  PrepareForRun(handle, bc_config);
+
+  BcResult result;
+  const VertexId n = handle.num_vertices();
+  result.centrality.assign(n, 0.0);
+  if (n == 0) {
+    return result;
+  }
+  const Csr& out = handle.out_csr();
+  const int workers = ThreadPool::Get().num_threads();
+
+  Timer total;
+  std::vector<uint32_t> level(n);
+  std::vector<double> sigma(n);  // shortest-path counts
+  std::vector<double> delta(n);  // dependency accumulators
+  constexpr uint32_t kUnreached = std::numeric_limits<uint32_t>::max();
+
+  for (const VertexId source : sources) {
+    if (source >= n) {
+      continue;
+    }
+    Timer iteration;
+    VertexMap(n, [&](VertexId v) {
+      level[v] = kUnreached;
+      sigma[v] = 0.0;
+      delta[v] = 0.0;
+    });
+    level[source] = 0;
+    sigma[source] = 1.0;
+
+    // Forward phase: level-synchronous BFS; sigma[v] accumulates the path
+    // counts of all level-(d-1) predecessors (atomic adds: several
+    // predecessors may discover v in the same level).
+    std::vector<std::vector<VertexId>> levels;
+    levels.push_back({source});
+    while (true) {
+      const std::vector<VertexId>& frontier = levels.back();
+      const uint32_t depth = static_cast<uint32_t>(levels.size() - 1);
+      std::vector<std::vector<VertexId>> buffers(static_cast<size_t>(workers));
+      Bitmap discovered(n);
+      ParallelForChunks(0, static_cast<int64_t>(frontier.size()), /*grain=*/64,
+                        [&](int64_t lo, int64_t hi, int worker) {
+                          for (int64_t i = lo; i < hi; ++i) {
+                            const VertexId u = frontier[static_cast<size_t>(i)];
+                            const double su = sigma[u];
+                            for (const VertexId v : out.Neighbors(u)) {
+                              // Claim-or-join: v belongs to the next level if
+                              // undiscovered; path counts add either way.
+                              if (AtomicCas(&level[v], kUnreached, depth + 1) &&
+                                  discovered.TestAndSet(v)) {
+                                buffers[static_cast<size_t>(worker)].push_back(v);
+                              }
+                              if (AtomicLoad(&level[v]) == depth + 1) {
+                                AtomicAdd(&sigma[v], su);
+                              }
+                            }
+                          }
+                        });
+      std::vector<VertexId> next;
+      for (auto& b : buffers) {
+        next.insert(next.end(), b.begin(), b.end());
+      }
+      if (next.empty()) {
+        break;
+      }
+      levels.push_back(std::move(next));
+    }
+
+    // Backward phase: process levels deepest-first; each vertex gathers from
+    // its successors (out-neighbors one level deeper) — writes are to the
+    // vertex itself, so no synchronization is needed within a level.
+    for (size_t d = levels.size(); d-- > 1;) {
+      const std::vector<VertexId>& frontier = levels[d - 1];
+      ParallelForGrain(0, static_cast<int64_t>(frontier.size()), /*grain=*/64,
+                       [&](int64_t i) {
+                         const VertexId v = frontier[static_cast<size_t>(i)];
+                         double acc = 0.0;
+                         for (const VertexId w : out.Neighbors(v)) {
+                           if (level[w] == level[v] + 1 && sigma[w] > 0.0) {
+                             acc += sigma[v] / sigma[w] * (1.0 + delta[w]);
+                           }
+                         }
+                         delta[v] = acc;
+                       });
+    }
+    VertexMap(n, [&](VertexId v) {
+      if (v != source && level[v] != kUnreached) {
+        result.centrality[v] += delta[v];
+      }
+    });
+    result.stats.per_iteration_seconds.push_back(iteration.Seconds());
+    ++result.stats.iterations;
+  }
+  result.stats.algorithm_seconds = total.Seconds();
+  return result;
+}
+
+std::vector<double> RefBetweenness(const EdgeList& graph,
+                                   std::span<const VertexId> sources) {
+  const VertexId n = graph.num_vertices();
+  std::vector<double> centrality(n, 0.0);
+  // Sequential adjacency.
+  std::vector<std::vector<VertexId>> adj(n);
+  for (const Edge& e : graph.edges()) {
+    adj[e.src].push_back(e.dst);
+  }
+  for (const VertexId source : sources) {
+    if (source >= n) {
+      continue;
+    }
+    std::vector<int64_t> dist(n, -1);
+    std::vector<double> sigma(n, 0.0);
+    std::vector<double> delta(n, 0.0);
+    std::vector<std::vector<VertexId>> predecessors(n);
+    std::stack<VertexId> order;
+    std::queue<VertexId> queue;
+    dist[source] = 0;
+    sigma[source] = 1.0;
+    queue.push(source);
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop();
+      order.push(u);
+      for (const VertexId v : adj[u]) {
+        if (dist[v] < 0) {
+          dist[v] = dist[u] + 1;
+          queue.push(v);
+        }
+        if (dist[v] == dist[u] + 1) {
+          sigma[v] += sigma[u];
+          predecessors[v].push_back(u);
+        }
+      }
+    }
+    while (!order.empty()) {
+      const VertexId w = order.top();
+      order.pop();
+      for (const VertexId v : predecessors[w]) {
+        delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+      }
+      if (w != source) {
+        centrality[w] += delta[w];
+      }
+    }
+  }
+  return centrality;
+}
+
+}  // namespace egraph

@@ -1,0 +1,34 @@
+// Betweenness centrality (Brandes) over unweighted directed graphs, the
+// standard frontier-parallel formulation (as in Ligra's BC): a forward BFS
+// accumulates shortest-path counts per level; a backward sweep over the
+// levels accumulates dependencies. Exact for the given sources; pass a
+// sample of sources for the usual approximation.
+#ifndef SRC_ALGOS_BETWEENNESS_H_
+#define SRC_ALGOS_BETWEENNESS_H_
+
+#include <span>
+#include <vector>
+
+#include "src/algos/common.h"
+
+namespace egraph {
+
+struct BcResult {
+  // Accumulated dependency scores; for the full source set this is the
+  // (directed, unnormalized) betweenness centrality.
+  std::vector<double> centrality;
+  AlgoStats stats;
+};
+
+// Runs Brandes from each source in turn (each source's BFS and back-sweep
+// are internally parallel). Uses the out-CSR.
+BcResult RunBetweenness(GraphHandle& handle, std::span<const VertexId> sources,
+                        const RunConfig& config);
+
+// Sequential reference (textbook Brandes) for tests.
+std::vector<double> RefBetweenness(const EdgeList& graph,
+                                   std::span<const VertexId> sources);
+
+}  // namespace egraph
+
+#endif  // SRC_ALGOS_BETWEENNESS_H_

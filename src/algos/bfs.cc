@@ -1,0 +1,87 @@
+#include "src/algos/bfs.h"
+
+#include "src/engine/edge_map.h"
+#include "src/util/atomics.h"
+#include "src/util/timer.h"
+
+namespace egraph {
+namespace {
+
+// Claim-once functor: a vertex joins the tree when its parent slot is CASed
+// from kInvalidVertex. Cond() keeps push from re-touching discovered
+// vertices and gives pull its early exit.
+struct BfsFunctor {
+  VertexId* parent;
+
+  bool Update(VertexId src, VertexId dst, float /*weight*/) {
+    if (parent[dst] == kInvalidVertex) {
+      parent[dst] = src;
+      return true;
+    }
+    return false;
+  }
+
+  bool UpdateAtomic(VertexId src, VertexId dst, float /*weight*/) {
+    return AtomicCas(&parent[dst], kInvalidVertex, src);
+  }
+
+  bool Cond(VertexId dst) const { return AtomicLoad(&parent[dst]) == kInvalidVertex; }
+};
+
+}  // namespace
+
+BfsResult RunBfs(GraphHandle& handle, VertexId source, const RunConfig& config) {
+  PrepareForRun(handle, config);
+  BfsResult result;
+  const VertexId n = handle.num_vertices();
+  result.parent.assign(n, kInvalidVertex);
+  if (source >= n) {
+    return result;
+  }
+
+  Timer total;
+  result.parent[source] = source;
+  BfsFunctor func{result.parent.data()};
+  Frontier frontier = Frontier::Single(n, source);
+
+  while (!frontier.Empty()) {
+    Timer iteration;
+    result.stats.frontier_sizes.push_back(frontier.Count());
+    Frontier next;
+    switch (config.layout) {
+      case Layout::kAdjacency: {
+        switch (config.direction) {
+          case Direction::kPush:
+            next = EdgeMapCsrPush(handle.out_csr(), frontier, func, config.sync,
+                                  &handle.locks());
+            break;
+          case Direction::kPull:
+            next = EdgeMapCsrPull(handle.in_csr(), frontier, func);
+            break;
+          case Direction::kPushPull: {
+            bool used_pull = false;
+            next = EdgeMapCsrPushPull(handle.out_csr(), handle.in_csr(), frontier, func,
+                                      config.sync, &handle.locks(), config.pushpull,
+                                      &used_pull);
+            result.stats.used_pull.push_back(used_pull);
+            break;
+          }
+        }
+        break;
+      }
+      case Layout::kEdgeArray:
+        next = EdgeMapEdgeArray(handle.edges(), frontier, func, config.sync, &handle.locks());
+        break;
+      case Layout::kGrid:
+        next = EdgeMapGrid(handle.grid(), frontier, func, config.sync, &handle.locks());
+        break;
+    }
+    frontier = std::move(next);
+    result.stats.per_iteration_seconds.push_back(iteration.Seconds());
+    ++result.stats.iterations;
+  }
+  result.stats.algorithm_seconds = total.Seconds();
+  return result;
+}
+
+}  // namespace egraph

@@ -1,0 +1,28 @@
+// Breadth-first search: builds a parent tree from `source` in breadth-first
+// order. The paper's canonical subset-active traversal: per iteration only
+// the frontier is processed, which is what makes adjacency lists (and push
+// mode) win end-to-end, and what makes NUMA partitioning backfire.
+#ifndef SRC_ALGOS_BFS_H_
+#define SRC_ALGOS_BFS_H_
+
+#include <vector>
+
+#include "src/algos/common.h"
+
+namespace egraph {
+
+struct BfsResult {
+  // parent[v] = predecessor of v in the BFS tree; parent[source] = source;
+  // kInvalidVertex for unreachable vertices.
+  std::vector<VertexId> parent;
+  AlgoStats stats;
+};
+
+// Runs BFS under the configuration's layout / direction / sync. Supported
+// combinations: adjacency x {push, pull, push-pull}, edge array (full scans),
+// grid x {locks, atomics, lock-free ownership}.
+BfsResult RunBfs(GraphHandle& handle, VertexId source, const RunConfig& config);
+
+}  // namespace egraph
+
+#endif  // SRC_ALGOS_BFS_H_

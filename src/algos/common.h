@@ -1,0 +1,44 @@
+// Shared algorithm-run plumbing: the configuration selecting which of the
+// paper's techniques to enable, and the per-run statistics every algorithm
+// reports (iteration counts, per-iteration times, frontier sizes,
+// push/pull decisions).
+#ifndef SRC_ALGOS_COMMON_H_
+#define SRC_ALGOS_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/engine/graph_handle.h"
+#include "src/engine/options.h"
+
+namespace egraph {
+
+struct RunConfig {
+  Layout layout = Layout::kAdjacency;
+  Direction direction = Direction::kPush;
+  Sync sync = Sync::kAtomics;
+  PushPullConfig pushpull;
+  // Pre-processing method used when the run has to build a missing layout.
+  BuildMethod method = BuildMethod::kRadixSort;
+  // The handle's edge list is already symmetric (undirected): pull and
+  // push-pull reuse the out-CSR as the in-CSR (paper section 6.1.3).
+  bool symmetric_input = false;
+};
+
+struct AlgoStats {
+  int iterations = 0;
+  double algorithm_seconds = 0.0;
+  std::vector<double> per_iteration_seconds;
+  std::vector<int64_t> frontier_sizes;  // active vertices entering each round
+  std::vector<bool> used_pull;          // push-pull decisions, when applicable
+};
+
+// Builds the layouts `config` needs on `handle` (cost lands in
+// handle.preprocess_seconds()). Called by every Run* entry point so that a
+// bare handle works out of the box; benches typically Prepare explicitly
+// first to control and measure the method.
+void PrepareForRun(GraphHandle& handle, const RunConfig& config);
+
+}  // namespace egraph
+
+#endif  // SRC_ALGOS_COMMON_H_

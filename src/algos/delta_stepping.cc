@@ -1,0 +1,154 @@
+#include "src/algos/delta_stepping.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/util/atomics.h"
+#include "src/util/bitmap.h"
+#include "src/util/parallel.h"
+#include "src/util/timer.h"
+
+namespace egraph {
+
+SsspResult RunSsspDeltaStepping(GraphHandle& handle, VertexId source,
+                                const DeltaSteppingOptions& options,
+                                const RunConfig& config) {
+  RunConfig ds_config = config;
+  ds_config.layout = Layout::kAdjacency;
+  ds_config.direction = Direction::kPush;
+  PrepareForRun(handle, ds_config);
+
+  SsspResult result;
+  const VertexId n = handle.num_vertices();
+  result.dist.assign(n, std::numeric_limits<float>::infinity());
+  if (source >= n || n == 0) {
+    return result;
+  }
+  const Csr& out = handle.out_csr();
+
+  Timer total;
+  float delta = options.delta;
+  if (delta <= 0.0f) {
+    // Average edge weight (1.0 exactly for unweighted graphs).
+    if (out.num_edges() == 0) {
+      delta = 1.0f;
+    } else {
+      const double sum = ParallelReduceSum<double>(
+          0, static_cast<int64_t>(out.num_edges()),
+          [&out](int64_t e) { return static_cast<double>(out.WeightAt(static_cast<EdgeIndex>(e))); });
+      delta = static_cast<float>(sum / static_cast<double>(out.num_edges()));
+      if (delta <= 0.0f) {
+        delta = 1.0f;
+      }
+    }
+  }
+
+  float* dist = result.dist.data();
+  dist[source] = 0.0f;
+  const int workers = ThreadPool::Get().num_threads();
+
+  // Relaxes `frontier`'s edges selected by `take_edge`; returns vertices
+  // whose distance improved (deduplicated per round).
+  auto relax = [&](const std::vector<VertexId>& frontier, auto&& take_edge) {
+    std::vector<std::vector<VertexId>> buffers(static_cast<size_t>(workers));
+    Bitmap touched(n);
+    ParallelForChunks(0, static_cast<int64_t>(frontier.size()), /*grain=*/64,
+                      [&](int64_t lo, int64_t hi, int worker) {
+                        for (int64_t i = lo; i < hi; ++i) {
+                          const VertexId u = frontier[static_cast<size_t>(i)];
+                          const auto neighbors = out.Neighbors(u);
+                          const auto weights = out.Weights(u);
+                          const float du = AtomicLoad(&dist[u]);
+                          for (size_t j = 0; j < neighbors.size(); ++j) {
+                            const float w = weights.empty() ? 1.0f : weights[j];
+                            if (!take_edge(w)) {
+                              continue;
+                            }
+                            const VertexId v = neighbors[j];
+                            if (AtomicMin(&dist[v], du + w) && touched.TestAndSet(v)) {
+                              buffers[static_cast<size_t>(worker)].push_back(v);
+                            }
+                          }
+                        }
+                      });
+    std::vector<VertexId> updated;
+    for (auto& b : buffers) {
+      updated.insert(updated.end(), b.begin(), b.end());
+    }
+    return updated;
+  };
+
+  auto bucket_of = [&](VertexId v) {
+    return static_cast<int64_t>(std::floor(AtomicLoad(&dist[v]) / delta));
+  };
+
+  std::vector<VertexId> current{source};
+  int64_t bucket = 0;
+  // Iterate buckets in order; within a bucket, settle light edges to
+  // fixpoint, then relax heavy edges once.
+  while (true) {
+    std::vector<VertexId> settled;  // all vertices processed in this bucket
+    while (!current.empty()) {
+      settled.insert(settled.end(), current.begin(), current.end());
+      std::vector<VertexId> updated =
+          relax(current, [&](float w) { return w < delta; });
+      // Keep only vertices that (still) fall into this bucket.
+      current.clear();
+      for (const VertexId v : updated) {
+        if (bucket_of(v) <= bucket) {
+          current.push_back(v);
+        }
+      }
+    }
+    // Heavy edges of everything settled in this bucket, relaxed once.
+    relax(settled, [&](float w) { return w >= delta; });
+
+    // Find the next non-empty bucket by scanning distances (simple and
+    // correct; a production implementation would maintain bucket lists).
+    int64_t next_bucket = std::numeric_limits<int64_t>::max();
+    std::vector<int64_t> worker_min(static_cast<size_t>(workers),
+                                    std::numeric_limits<int64_t>::max());
+    std::vector<std::vector<VertexId>> buffers(static_cast<size_t>(workers));
+    ParallelForChunks(0, static_cast<int64_t>(n), /*grain=*/1024,
+                      [&](int64_t lo, int64_t hi, int worker) {
+                        for (int64_t v = lo; v < hi; ++v) {
+                          const float d = dist[static_cast<size_t>(v)];
+                          if (std::isinf(d)) {
+                            continue;
+                          }
+                          const int64_t b = static_cast<int64_t>(std::floor(d / delta));
+                          if (b > bucket && b < worker_min[static_cast<size_t>(worker)]) {
+                            worker_min[static_cast<size_t>(worker)] = b;
+                          }
+                        }
+                      });
+    for (const int64_t b : worker_min) {
+      next_bucket = std::min(next_bucket, b);
+    }
+    ++result.stats.iterations;
+    if (next_bucket == std::numeric_limits<int64_t>::max()) {
+      break;
+    }
+    bucket = next_bucket;
+    // Collect the new bucket's members.
+    ParallelForChunks(0, static_cast<int64_t>(n), /*grain=*/1024,
+                      [&](int64_t lo, int64_t hi, int worker) {
+                        for (int64_t v = lo; v < hi; ++v) {
+                          const float d = dist[static_cast<size_t>(v)];
+                          if (!std::isinf(d) &&
+                              static_cast<int64_t>(std::floor(d / delta)) == bucket) {
+                            buffers[static_cast<size_t>(worker)].push_back(
+                                static_cast<VertexId>(v));
+                          }
+                        }
+                      });
+    current.clear();
+    for (auto& b : buffers) {
+      current.insert(current.end(), b.begin(), b.end());
+    }
+  }
+  result.stats.algorithm_seconds = total.Seconds();
+  return result;
+}
+
+}  // namespace egraph

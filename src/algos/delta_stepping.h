@@ -1,0 +1,26 @@
+// Delta-stepping SSSP (Meyer & Sanders): bucketed relaxation that processes
+// vertices in distance bands of width delta — light edges (w < delta) are
+// relaxed to fixpoint within a bucket, heavy edges once per bucket. The
+// classic middle ground between Dijkstra (work-efficient, serial) and the
+// frontier Bellman-Ford in sssp.h (parallel, work-redundant); included as a
+// library extension and ablation partner for SSSP.
+#ifndef SRC_ALGOS_DELTA_STEPPING_H_
+#define SRC_ALGOS_DELTA_STEPPING_H_
+
+#include "src/algos/sssp.h"
+
+namespace egraph {
+
+struct DeltaSteppingOptions {
+  // Bucket width; <= 0 picks delta = avg edge weight (a standard default).
+  float delta = 0.0f;
+};
+
+// Runs delta-stepping over the out-CSR (built on demand). Returns the same
+// result type as RunSssp; stats.iterations counts processed buckets.
+SsspResult RunSsspDeltaStepping(GraphHandle& handle, VertexId source,
+                                const DeltaSteppingOptions& options, const RunConfig& config);
+
+}  // namespace egraph
+
+#endif  // SRC_ALGOS_DELTA_STEPPING_H_

@@ -1,0 +1,130 @@
+#include "src/algos/kcore.h"
+
+#include <algorithm>
+
+#include "src/engine/scan.h"
+#include "src/util/atomics.h"
+#include "src/util/timer.h"
+
+namespace egraph {
+
+KcoreResult RunKcore(GraphHandle& handle, const RunConfig& config) {
+  RunConfig kcore_config = config;
+  kcore_config.layout = Layout::kAdjacency;
+  kcore_config.direction = Direction::kPush;  // needs the out-CSR
+  PrepareForRun(handle, kcore_config);
+
+  KcoreResult result;
+  const VertexId n = handle.num_vertices();
+  const Csr& csr = handle.out_csr();
+
+  Timer total;
+  // Remaining degree of each vertex; decremented as neighbors peel away.
+  std::vector<uint32_t> degree(n);
+  VertexMap(n, [&](VertexId v) { degree[v] = csr.Degree(v); });
+  result.core.assign(n, 0);
+  std::vector<uint8_t> removed(n, 0);
+
+  int64_t alive = n;
+  uint32_t k = 0;
+  while (alive > 0) {
+    // Peel all vertices of remaining degree <= k, cascading within level k.
+    bool peeled_any = false;
+    do {
+      Timer iteration;
+      const int workers = ThreadPool::Get().num_threads();
+      std::vector<std::vector<VertexId>> buffers(static_cast<size_t>(workers));
+      ParallelForChunks(0, static_cast<int64_t>(n), /*grain=*/512,
+                        [&](int64_t lo, int64_t hi, int worker) {
+                          for (int64_t v = lo; v < hi; ++v) {
+                            if (AtomicLoad(&removed[static_cast<size_t>(v)]) == 0 &&
+                                AtomicLoad(&degree[static_cast<size_t>(v)]) <= k) {
+                              buffers[static_cast<size_t>(worker)].push_back(
+                                  static_cast<VertexId>(v));
+                            }
+                          }
+                        });
+      std::vector<VertexId> frontier;
+      for (auto& b : buffers) {
+        frontier.insert(frontier.end(), b.begin(), b.end());
+      }
+      peeled_any = !frontier.empty();
+      if (peeled_any) {
+        ParallelForGrain(0, static_cast<int64_t>(frontier.size()), /*grain=*/64,
+                         [&](int64_t i) {
+                           const VertexId v = frontier[static_cast<size_t>(i)];
+                           AtomicStore(&removed[v], uint8_t{1});
+                           result.core[v] = k;
+                           for (const VertexId u : csr.Neighbors(v)) {
+                             if (AtomicLoad(&removed[u]) == 0) {
+                               // Saturating decrement; benign if it briefly
+                               // underestimates (vertex peels this level).
+                               reinterpret_cast<std::atomic<uint32_t>*>(&degree[u])
+                                   ->fetch_sub(1, std::memory_order_relaxed);
+                             }
+                           }
+                         });
+        alive -= static_cast<int64_t>(frontier.size());
+        result.stats.frontier_sizes.push_back(static_cast<int64_t>(frontier.size()));
+        result.stats.per_iteration_seconds.push_back(iteration.Seconds());
+        ++result.stats.iterations;
+      }
+    } while (peeled_any && alive > 0);
+    ++k;
+  }
+  result.max_core = k == 0 ? 0 : k - 1;
+  result.stats.algorithm_seconds = total.Seconds();
+  return result;
+}
+
+std::vector<uint32_t> RefKcore(const EdgeList& undirected) {
+  const VertexId n = undirected.num_vertices();
+  std::vector<uint32_t> degree(n, 0);
+  for (const Edge& e : undirected.edges()) {
+    ++degree[e.src];
+  }
+  // Bucket peeling (Batagelj-Zaversnik).
+  const uint32_t max_degree =
+      n == 0 ? 0 : *std::max_element(degree.begin(), degree.end());
+  std::vector<std::vector<VertexId>> buckets(max_degree + 1);
+  for (VertexId v = 0; v < n; ++v) {
+    buckets[degree[v]].push_back(v);
+  }
+  // Adjacency for peeling.
+  std::vector<uint64_t> offsets(static_cast<size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    offsets[v + 1] = offsets[v] + degree[v];
+  }
+  std::vector<VertexId> neighbors(offsets[n]);
+  {
+    std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (const Edge& e : undirected.edges()) {
+      neighbors[cursor[e.src]++] = e.dst;
+    }
+  }
+  std::vector<uint32_t> core(n, 0);
+  std::vector<bool> done(n, false);
+  std::vector<uint32_t> remaining = degree;
+  for (uint32_t k = 0; k <= max_degree; ++k) {
+    for (size_t i = 0; i < buckets[k].size(); ++i) {  // bucket grows in-loop
+      const VertexId v = buckets[k][i];
+      if (done[v] || remaining[v] > k) {
+        continue;  // lazy entry: v was re-enqueued at its true level
+      }
+      done[v] = true;
+      core[v] = k;
+      for (uint64_t j = offsets[v]; j < offsets[v + 1]; ++j) {
+        const VertexId u = neighbors[j];
+        if (!done[u] && remaining[u] > k) {
+          --remaining[u];
+          // Re-enqueue at the level u will actually peel at (lazy deletion:
+          // stale entries in higher buckets are skipped by the guard above).
+          buckets[std::max(remaining[u], k)].push_back(u);
+        }
+      }
+    }
+  }
+  return core;
+}
+
+}  // namespace egraph

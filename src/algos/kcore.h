@@ -1,0 +1,32 @@
+// k-core decomposition by parallel peeling: the core number of a vertex is
+// the largest k such that the vertex survives in a subgraph where every
+// vertex has degree >= k. A frontier-driven workload with shrinking active
+// sets — the same execution profile class as the paper's traversal
+// algorithms, included as an extension exercise of the engine.
+#ifndef SRC_ALGOS_KCORE_H_
+#define SRC_ALGOS_KCORE_H_
+
+#include <vector>
+
+#include "src/algos/common.h"
+
+namespace egraph {
+
+struct KcoreResult {
+  std::vector<uint32_t> core;  // core number per vertex
+  uint32_t max_core = 0;
+  AlgoStats stats;
+};
+
+// Computes core numbers over the *undirected* view of the handle's graph:
+// the handle must hold a symmetrized edge list (EdgeList::MakeUndirected),
+// like WCC on adjacency lists. Runs on the out-CSR.
+KcoreResult RunKcore(GraphHandle& handle, const RunConfig& config);
+
+// Sequential reference (bucket peeling) for tests. Expects the same
+// symmetrized input.
+std::vector<uint32_t> RefKcore(const EdgeList& undirected);
+
+}  // namespace egraph
+
+#endif  // SRC_ALGOS_KCORE_H_

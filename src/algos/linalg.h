@@ -1,0 +1,54 @@
+// Minimal dense linear algebra for ALS: Cholesky factorization and solve of
+// small (k x k) symmetric positive definite systems, the per-vertex normal
+// equations of alternating least squares.
+#ifndef SRC_ALGOS_LINALG_H_
+#define SRC_ALGOS_LINALG_H_
+
+#include <cmath>
+#include <cstddef>
+
+namespace egraph {
+
+// Solves A x = b in place for symmetric positive definite A (k x k, row
+// major). On return b holds x; A holds its Cholesky factor. Returns false if
+// A is not positive definite (caller should regularize and retry).
+inline bool CholeskySolveInPlace(double* a, double* b, int k) {
+  // Factor A = L L^T (lower triangle of `a`).
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = a[static_cast<size_t>(i) * k + j];
+      for (int p = 0; p < j; ++p) {
+        sum -= a[static_cast<size_t>(i) * k + p] * a[static_cast<size_t>(j) * k + p];
+      }
+      if (i == j) {
+        if (sum <= 0.0) {
+          return false;
+        }
+        a[static_cast<size_t>(i) * k + j] = std::sqrt(sum);
+      } else {
+        a[static_cast<size_t>(i) * k + j] = sum / a[static_cast<size_t>(j) * k + j];
+      }
+    }
+  }
+  // Forward substitution: L y = b.
+  for (int i = 0; i < k; ++i) {
+    double sum = b[i];
+    for (int p = 0; p < i; ++p) {
+      sum -= a[static_cast<size_t>(i) * k + p] * b[p];
+    }
+    b[i] = sum / a[static_cast<size_t>(i) * k + i];
+  }
+  // Back substitution: L^T x = y.
+  for (int i = k - 1; i >= 0; --i) {
+    double sum = b[i];
+    for (int p = i + 1; p < k; ++p) {
+      sum -= a[static_cast<size_t>(p) * k + i] * b[p];
+    }
+    b[i] = sum / a[static_cast<size_t>(i) * k + i];
+  }
+  return true;
+}
+
+}  // namespace egraph
+
+#endif  // SRC_ALGOS_LINALG_H_

@@ -1,0 +1,122 @@
+#include "src/algos/pagerank.h"
+
+#include "src/engine/scan.h"
+#include "src/graph/stats.h"
+#include "src/util/atomics.h"
+#include "src/util/parallel.h"
+#include "src/util/spinlock.h"
+#include "src/util/timer.h"
+
+namespace egraph {
+
+PagerankResult RunPagerank(GraphHandle& handle, const PagerankOptions& options,
+                           const RunConfig& config) {
+  PrepareForRun(handle, config);
+  PagerankResult result;
+  const VertexId n = handle.num_vertices();
+  if (n == 0) {
+    return result;
+  }
+
+  Timer total;
+  // Out-degrees are part of the algorithm phase: the edge-array layout has
+  // no pre-processing, so everything it needs beyond the raw input counts
+  // as computation (consistent with the paper's 0.0s pre-processing rows).
+  std::vector<uint32_t> degree;
+  if (handle.has_out_csr() && config.layout == Layout::kAdjacency) {
+    degree.resize(n);
+    const Csr& out = handle.out_csr();
+    VertexMap(n, [&](VertexId v) { degree[v] = out.Degree(v); });
+  } else {
+    degree = OutDegrees(handle.edges());
+  }
+
+  std::vector<float> rank(n, 1.0f / static_cast<float>(n));
+  std::vector<float> contrib(n, 0.0f);
+  std::vector<float> next(n, 0.0f);
+  StripedLocks& locks = handle.locks();
+  const float base_teleport = (1.0f - options.damping) / static_cast<float>(n);
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    Timer iteration;
+    // Per-vertex contribution; dangling vertices spread their mass uniformly.
+    double dangling = ParallelReduceSum<double>(0, static_cast<int64_t>(n), [&](int64_t v) {
+      if (degree[static_cast<size_t>(v)] == 0) {
+        return static_cast<double>(rank[static_cast<size_t>(v)]);
+      }
+      contrib[static_cast<size_t>(v)] = rank[static_cast<size_t>(v)] /
+                                        static_cast<float>(degree[static_cast<size_t>(v)]);
+      return 0.0;
+    });
+    VertexMap(n, [&](VertexId v) {
+      if (degree[v] == 0) {
+        contrib[v] = 0.0f;
+      }
+      next[v] = 0.0f;
+    });
+
+    auto add_locked = [&](VertexId src, VertexId dst, float /*w*/) {
+      SpinlockGuard guard(locks.For(dst));
+      next[dst] += contrib[src];
+    };
+    auto add_atomic = [&](VertexId src, VertexId dst, float /*w*/) {
+      AtomicAdd(&next[dst], contrib[src]);
+    };
+    auto add_plain = [&](VertexId src, VertexId dst, float /*w*/) {
+      next[dst] += contrib[src];
+    };
+
+    switch (config.layout) {
+      case Layout::kAdjacency:
+        if (config.direction == Direction::kPull) {
+          // Gather from in-neighbors; each dst written by one thread.
+          ScanCsrByDestination(handle.in_csr(), [&](VertexId dst,
+                                                    std::span<const VertexId> sources,
+                                                    std::span<const float> /*weights*/) {
+            float sum = 0.0f;
+            for (const VertexId src : sources) {
+              sum += contrib[src];
+            }
+            next[dst] = sum;
+          });
+        } else if (config.sync == Sync::kLocks) {
+          ScanCsrBySource(handle.out_csr(), add_locked);
+        } else {
+          ScanCsrBySource(handle.out_csr(), add_atomic);
+        }
+        break;
+      case Layout::kEdgeArray:
+        if (config.sync == Sync::kLocks) {
+          ScanEdgeArray(handle.edges(), add_locked);
+        } else {
+          ScanEdgeArray(handle.edges(), add_atomic);
+        }
+        break;
+      case Layout::kGrid:
+        if (config.sync == Sync::kLockFree) {
+          // Column ownership: all writes to a destination block come from
+          // one thread — plain adds, no locks (paper Fig. 8's winner).
+          ScanGridColumnOwned(handle.grid(), add_plain);
+        } else if (config.sync == Sync::kLocks) {
+          ScanGridRowMajor(handle.grid(), add_locked);
+        } else {
+          ScanGridRowMajor(handle.grid(), add_atomic);
+        }
+        break;
+    }
+
+    const float teleport = base_teleport + options.damping *
+                                               static_cast<float>(dangling) /
+                                               static_cast<float>(n);
+    VertexMap(n, [&](VertexId v) { next[v] = teleport + options.damping * next[v]; });
+    rank.swap(next);
+    result.stats.per_iteration_seconds.push_back(iteration.Seconds());
+    ++result.stats.iterations;
+  }
+
+  result.rank = std::move(rank);
+  result.stats.algorithm_seconds = total.Seconds();
+  return result;
+}
+
+}  // namespace egraph

@@ -1,0 +1,33 @@
+// Pagerank (Page et al. 1999) with uniform teleport and dangling-mass
+// redistribution, run for a fixed iteration count (the paper uses 10).
+// The canonical all-active workload: every edge is processed every round,
+// which is where the grid layout's cache blocking and pull-mode lock removal
+// pay off (paper sections 5 and 6).
+#ifndef SRC_ALGOS_PAGERANK_H_
+#define SRC_ALGOS_PAGERANK_H_
+
+#include <vector>
+
+#include "src/algos/common.h"
+
+namespace egraph {
+
+struct PagerankOptions {
+  int iterations = 10;
+  float damping = 0.85f;
+};
+
+struct PagerankResult {
+  std::vector<float> rank;  // sums to ~1 across vertices
+  AlgoStats stats;
+};
+
+// Supported configurations: adjacency push (locks/atomics), adjacency pull
+// (lock-free), edge array (locks/atomics), grid row-major (locks/atomics),
+// grid column-owned (lock-free).
+PagerankResult RunPagerank(GraphHandle& handle, const PagerankOptions& options,
+                           const RunConfig& config);
+
+}  // namespace egraph
+
+#endif  // SRC_ALGOS_PAGERANK_H_

@@ -1,0 +1,167 @@
+#include "src/algos/reference.h"
+
+#include <cstddef>
+#include <limits>
+#include <queue>
+
+namespace egraph {
+namespace {
+
+// Sequential out-adjacency for the reference traversals.
+struct SeqAdjacency {
+  std::vector<uint64_t> offsets;
+  std::vector<VertexId> neighbors;
+  std::vector<float> weights;
+
+  explicit SeqAdjacency(const EdgeList& graph) {
+    const VertexId n = graph.num_vertices();
+    offsets.assign(static_cast<size_t>(n) + 1, 0);
+    for (const Edge& e : graph.edges()) {
+      ++offsets[e.src + 1];
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      offsets[v + 1] += offsets[v];
+    }
+    neighbors.resize(graph.num_edges());
+    weights.resize(graph.num_edges());
+    std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (size_t i = 0; i < graph.edges().size(); ++i) {
+      const Edge& e = graph.edges()[i];
+      neighbors[cursor[e.src]] = e.dst;
+      weights[cursor[e.src]] = graph.EdgeWeight(i);
+      ++cursor[e.src];
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<uint32_t> RefBfsLevels(const EdgeList& graph, VertexId source) {
+  const VertexId n = graph.num_vertices();
+  std::vector<uint32_t> level(n, std::numeric_limits<uint32_t>::max());
+  if (source >= n) {
+    return level;
+  }
+  SeqAdjacency adj(graph);
+  std::queue<VertexId> queue;
+  level[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop();
+    for (uint64_t i = adj.offsets[u]; i < adj.offsets[u + 1]; ++i) {
+      const VertexId v = adj.neighbors[i];
+      if (level[v] == std::numeric_limits<uint32_t>::max()) {
+        level[v] = level[u] + 1;
+        queue.push(v);
+      }
+    }
+  }
+  return level;
+}
+
+std::vector<float> RefDijkstra(const EdgeList& graph, VertexId source) {
+  const VertexId n = graph.num_vertices();
+  std::vector<float> dist(n, std::numeric_limits<float>::infinity());
+  if (source >= n) {
+    return dist;
+  }
+  SeqAdjacency adj(graph);
+  using Entry = std::pair<float, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  dist[source] = 0.0f;
+  heap.push({0.0f, source});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) {
+      continue;
+    }
+    for (uint64_t i = adj.offsets[u]; i < adj.offsets[u + 1]; ++i) {
+      const VertexId v = adj.neighbors[i];
+      const float candidate = d + adj.weights[i];
+      if (candidate < dist[v]) {
+        dist[v] = candidate;
+        heap.push({candidate, v});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<VertexId> RefWccLabels(const EdgeList& graph) {
+  const VertexId n = graph.num_vertices();
+  std::vector<VertexId> parent(n);
+  for (VertexId v = 0; v < n; ++v) {
+    parent[v] = v;
+  }
+  // Union-find with path halving.
+  auto find = [&](VertexId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const Edge& e : graph.edges()) {
+    const VertexId a = find(e.src);
+    const VertexId b = find(e.dst);
+    if (a != b) {
+      // Union by smaller id so roots are already canonical-ish.
+      if (a < b) {
+        parent[b] = a;
+      } else {
+        parent[a] = b;
+      }
+    }
+  }
+  // Canonicalize: label = min id in component == root under id-ordered union.
+  std::vector<VertexId> label(n);
+  for (VertexId v = 0; v < n; ++v) {
+    label[v] = find(v);
+  }
+  return label;
+}
+
+std::vector<float> RefPagerank(const EdgeList& graph, int iterations, float damping) {
+  const VertexId n = graph.num_vertices();
+  std::vector<float> rank(n, n == 0 ? 0.0f : 1.0f / static_cast<float>(n));
+  if (n == 0) {
+    return rank;
+  }
+  std::vector<uint32_t> degree(n, 0);
+  for (const Edge& e : graph.edges()) {
+    ++degree[e.src];
+  }
+  std::vector<float> next(n);
+  for (int iter = 0; iter < iterations; ++iter) {
+    double dangling = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (degree[v] == 0) {
+        dangling += rank[v];
+      }
+      next[v] = 0.0f;
+    }
+    for (const Edge& e : graph.edges()) {
+      next[e.dst] += rank[e.src] / static_cast<float>(degree[e.src]);
+    }
+    const float teleport = (1.0f - damping) / static_cast<float>(n) +
+                           damping * static_cast<float>(dangling) / static_cast<float>(n);
+    for (VertexId v = 0; v < n; ++v) {
+      next[v] = teleport + damping * next[v];
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+std::vector<float> RefSpmv(const EdgeList& graph, const std::vector<float>& x) {
+  std::vector<float> y(graph.num_vertices(), 0.0f);
+  for (size_t i = 0; i < graph.edges().size(); ++i) {
+    const Edge& e = graph.edges()[i];
+    y[e.dst] += graph.EdgeWeight(i) * x[e.src];
+  }
+  return y;
+}
+
+}  // namespace egraph

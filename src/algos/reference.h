@@ -1,0 +1,35 @@
+// Sequential reference implementations used to validate every parallel
+// configuration in the test suite. Deliberately simple and obviously
+// correct; not measured by any benchmark.
+#ifndef SRC_ALGOS_REFERENCE_H_
+#define SRC_ALGOS_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/edge_list.h"
+
+namespace egraph {
+
+// BFS hop distance from `source` over directed edges; UINT32_MAX when
+// unreachable.
+std::vector<uint32_t> RefBfsLevels(const EdgeList& graph, VertexId source);
+
+// Dijkstra shortest-path distances from `source` (weights must be >= 0;
+// unweighted edges count as 1). +inf when unreachable.
+std::vector<float> RefDijkstra(const EdgeList& graph, VertexId source);
+
+// Weakly-connected-component labels via union-find, canonicalized to the
+// smallest vertex id in each component.
+std::vector<VertexId> RefWccLabels(const EdgeList& graph);
+
+// Sequential Pagerank with the same teleport + dangling handling as
+// RunPagerank.
+std::vector<float> RefPagerank(const EdgeList& graph, int iterations, float damping);
+
+// Sequential y = A x with A[dst][src] = weight(src -> dst).
+std::vector<float> RefSpmv(const EdgeList& graph, const std::vector<float>& x);
+
+}  // namespace egraph
+
+#endif  // SRC_ALGOS_REFERENCE_H_

@@ -1,0 +1,25 @@
+// Sparse matrix-vector multiplication: y = A x, where A is the graph's
+// (weighted) adjacency matrix with A[dst][src] = weight of edge src -> dst.
+// A single pass over the graph — the paper's example of an algorithm where
+// any pre-processing is pure loss, making the edge array the best layout.
+#ifndef SRC_ALGOS_SPMV_H_
+#define SRC_ALGOS_SPMV_H_
+
+#include <vector>
+
+#include "src/algos/common.h"
+
+namespace egraph {
+
+struct SpmvResult {
+  std::vector<float> y;
+  AlgoStats stats;
+};
+
+// Computes y[dst] = sum over edges (src -> dst) of weight * x[src].
+// `x` must have num_vertices entries.
+SpmvResult RunSpmv(GraphHandle& handle, const std::vector<float>& x, const RunConfig& config);
+
+}  // namespace egraph
+
+#endif  // SRC_ALGOS_SPMV_H_

@@ -1,0 +1,89 @@
+#include "src/algos/sssp.h"
+
+#include <limits>
+
+#include "src/engine/edge_map.h"
+#include "src/util/atomics.h"
+#include "src/util/timer.h"
+
+namespace egraph {
+namespace {
+
+struct SsspFunctor {
+  float* dist;
+
+  bool Update(VertexId src, VertexId dst, float weight) {
+    // dst is exclusively owned by the caller, but src may be relaxed
+    // concurrently elsewhere: read it atomically (monotone, so any stale
+    // value is still a valid upper bound).
+    const float candidate = AtomicLoad(&dist[src]) + weight;
+    if (candidate < dist[dst]) {
+      dist[dst] = candidate;
+      return true;
+    }
+    return false;
+  }
+
+  bool UpdateAtomic(VertexId src, VertexId dst, float weight) {
+    return AtomicMin(&dist[dst], AtomicLoad(&dist[src]) + weight);
+  }
+
+  bool Cond(VertexId /*dst*/) const { return true; }
+};
+
+}  // namespace
+
+SsspResult RunSssp(GraphHandle& handle, VertexId source, const RunConfig& config) {
+  PrepareForRun(handle, config);
+  SsspResult result;
+  const VertexId n = handle.num_vertices();
+  result.dist.assign(n, std::numeric_limits<float>::infinity());
+  if (source >= n) {
+    return result;
+  }
+
+  Timer total;
+  result.dist[source] = 0.0f;
+  SsspFunctor func{result.dist.data()};
+  Frontier frontier = Frontier::Single(n, source);
+
+  while (!frontier.Empty()) {
+    Timer iteration;
+    result.stats.frontier_sizes.push_back(frontier.Count());
+    Frontier next;
+    switch (config.layout) {
+      case Layout::kAdjacency:
+        switch (config.direction) {
+          case Direction::kPush:
+            next =
+                EdgeMapCsrPush(handle.out_csr(), frontier, func, config.sync, &handle.locks());
+            break;
+          case Direction::kPull:
+            next = EdgeMapCsrPull(handle.in_csr(), frontier, func);
+            break;
+          case Direction::kPushPull: {
+            bool used_pull = false;
+            next = EdgeMapCsrPushPull(handle.out_csr(), handle.in_csr(), frontier, func,
+                                      config.sync, &handle.locks(), config.pushpull,
+                                      &used_pull);
+            result.stats.used_pull.push_back(used_pull);
+            break;
+          }
+        }
+        break;
+      case Layout::kEdgeArray:
+        next = EdgeMapEdgeArray(handle.edges(), frontier, func, config.sync, &handle.locks());
+        break;
+      case Layout::kGrid:
+        next = EdgeMapGrid(handle.grid(), frontier, func, config.sync, &handle.locks());
+        break;
+    }
+    frontier = std::move(next);
+    result.stats.per_iteration_seconds.push_back(iteration.Seconds());
+    ++result.stats.iterations;
+  }
+  result.stats.algorithm_seconds = total.Seconds();
+  return result;
+}
+
+}  // namespace egraph

@@ -1,0 +1,25 @@
+// Single-source shortest paths: frontier-driven Bellman-Ford relaxation.
+// Like BFS but a vertex may re-enter the frontier whenever its distance
+// improves, so iterations and per-iteration activity are both higher (the
+// paper's section 8 contrast between BFS and SSSP). Requires edge weights;
+// unweighted graphs relax with weight 1 (hop distance).
+#ifndef SRC_ALGOS_SSSP_H_
+#define SRC_ALGOS_SSSP_H_
+
+#include <vector>
+
+#include "src/algos/common.h"
+
+namespace egraph {
+
+struct SsspResult {
+  // dist[v] = length of the shortest path source -> v; +inf if unreachable.
+  std::vector<float> dist;
+  AlgoStats stats;
+};
+
+SsspResult RunSssp(GraphHandle& handle, VertexId source, const RunConfig& config);
+
+}  // namespace egraph
+
+#endif  // SRC_ALGOS_SSSP_H_

@@ -1,0 +1,31 @@
+// Triangle counting on undirected simple graphs via degree-ordered
+// intersection: orient each edge from lower-rank to higher-rank endpoint
+// (rank = degree, ties by id), then count, for every oriented edge (u, v),
+// the common out-neighbors of u and v. The standard multicore formulation
+// (used e.g. by Ligra and GAP); a compute-bound contrast to the paper's
+// memory-bound kernels.
+#ifndef SRC_ALGOS_TRIANGLES_H_
+#define SRC_ALGOS_TRIANGLES_H_
+
+#include <cstdint>
+
+#include "src/algos/common.h"
+
+namespace egraph {
+
+struct TriangleResult {
+  uint64_t triangles = 0;
+  AlgoStats stats;
+};
+
+// Counts triangles in the *undirected simple* view of the handle's graph:
+// the handle must hold a symmetrized, deduplicated, loop-free edge list
+// (MakeUndirected + RemoveSelfLoops + RemoveDuplicateEdges).
+TriangleResult RunTriangleCount(GraphHandle& handle, const RunConfig& config);
+
+// Brute-force reference for tests, O(V^3) — small graphs only.
+uint64_t RefTriangleCount(const EdgeList& undirected_simple);
+
+}  // namespace egraph
+
+#endif  // SRC_ALGOS_TRIANGLES_H_

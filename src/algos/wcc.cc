@@ -1,0 +1,105 @@
+#include "src/algos/wcc.h"
+
+#include "src/engine/edge_map.h"
+#include "src/engine/scan.h"
+#include "src/util/atomics.h"
+#include "src/util/timer.h"
+
+namespace egraph {
+namespace {
+
+struct WccFunctor {
+  VertexId* label;
+
+  bool Update(VertexId src, VertexId dst, float /*weight*/) {
+    // dst is exclusively owned; src's label may shrink concurrently, so read
+    // it atomically (any stale value is still a member of the component).
+    const VertexId src_label = AtomicLoad(&label[src]);
+    if (src_label < label[dst]) {
+      label[dst] = src_label;
+      return true;
+    }
+    return false;
+  }
+
+  bool UpdateAtomic(VertexId src, VertexId dst, float /*weight*/) {
+    return AtomicMin(&label[dst], AtomicLoad(&label[src]));
+  }
+
+  bool Cond(VertexId /*dst*/) const { return true; }
+};
+
+}  // namespace
+
+WccResult RunWcc(GraphHandle& handle, const RunConfig& config) {
+  PrepareForRun(handle, config);
+  WccResult result;
+  const VertexId n = handle.num_vertices();
+  result.label.resize(n);
+  Timer total;
+  VertexMap(n, [&](VertexId v) { result.label[v] = v; });
+
+  if (config.layout == Layout::kAdjacency) {
+    // Frontier-driven label propagation over the (symmetrized) adjacency
+    // lists: only re-labeled vertices propagate next round.
+    WccFunctor func{result.label.data()};
+    Frontier frontier = Frontier::All(n);
+    while (!frontier.Empty()) {
+      Timer iteration;
+      result.stats.frontier_sizes.push_back(frontier.Count());
+      Frontier next;
+      switch (config.direction) {
+        case Direction::kPush:
+          next =
+              EdgeMapCsrPush(handle.out_csr(), frontier, func, config.sync, &handle.locks());
+          break;
+        case Direction::kPull:
+          next = EdgeMapCsrPull(handle.in_csr(), frontier, func);
+          break;
+        case Direction::kPushPull: {
+          bool used_pull = false;
+          next = EdgeMapCsrPushPull(handle.out_csr(), handle.in_csr(), frontier, func,
+                                    config.sync, &handle.locks(), config.pushpull, &used_pull);
+          result.stats.used_pull.push_back(used_pull);
+          break;
+        }
+      }
+      frontier = std::move(next);
+      result.stats.per_iteration_seconds.push_back(iteration.Seconds());
+      ++result.stats.iterations;
+    }
+  } else {
+    // Edge array / grid: full scans updating *both* endpoints per stored
+    // edge (no symmetrization needed), iterated to fixpoint.
+    VertexId* label = result.label.data();
+    std::atomic<bool> changed{true};
+    auto relax = [label, &changed](VertexId a, VertexId b, float /*w*/) {
+      const VertexId la = AtomicLoad(&label[a]);
+      const VertexId lb = AtomicLoad(&label[b]);
+      if (la < lb) {
+        if (AtomicMin(&label[b], la)) {
+          changed.store(true, std::memory_order_relaxed);
+        }
+      } else if (lb < la) {
+        if (AtomicMin(&label[a], lb)) {
+          changed.store(true, std::memory_order_relaxed);
+        }
+      }
+    };
+    while (changed.load(std::memory_order_relaxed)) {
+      changed.store(false, std::memory_order_relaxed);
+      Timer iteration;
+      if (config.layout == Layout::kEdgeArray) {
+        ScanEdgeArray(handle.edges(), relax);
+      } else {
+        ScanGridRowMajor(handle.grid(), relax);
+      }
+      result.stats.per_iteration_seconds.push_back(iteration.Seconds());
+      ++result.stats.iterations;
+    }
+  }
+  result.stats.algorithm_seconds = total.Seconds();
+  return result;
+}
+
+}  // namespace egraph

@@ -1,0 +1,28 @@
+// Weakly connected components via label propagation: every vertex starts
+// with its own id as label; the minimum label floods each component.
+//
+// Layout note (paper section 8): on adjacency lists the input must be
+// symmetrized first (EdgeList::MakeUndirected), doubling the CSR build cost —
+// charge it as pre-processing. Edge arrays and grids need no symmetrization:
+// the scan propagates labels in both directions of each stored edge.
+#ifndef SRC_ALGOS_WCC_H_
+#define SRC_ALGOS_WCC_H_
+
+#include <vector>
+
+#include "src/algos/common.h"
+
+namespace egraph {
+
+struct WccResult {
+  // label[v] = smallest vertex id in v's weakly connected component.
+  std::vector<VertexId> label;
+  AlgoStats stats;
+};
+
+// For Layout::kAdjacency the handle's edge list must already be undirected.
+WccResult RunWcc(GraphHandle& handle, const RunConfig& config);
+
+}  // namespace egraph
+
+#endif  // SRC_ALGOS_WCC_H_

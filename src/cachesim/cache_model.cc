@@ -1,0 +1,63 @@
+#include "src/cachesim/cache_model.h"
+
+#include <bit>
+#include <cstddef>
+#include <limits>
+
+namespace egraph {
+namespace {
+constexpr uint64_t kEmpty = std::numeric_limits<uint64_t>::max();
+}  // namespace
+
+CacheModel::CacheModel(const CacheConfig& config) : config_(config) {
+  line_shift_ = static_cast<uint32_t>(std::bit_width(config_.line_bytes) - 1);
+  const uint64_t lines = config_.size_bytes / config_.line_bytes;
+  num_sets_ = static_cast<uint32_t>(lines / config_.associativity);
+  if (num_sets_ == 0) {
+    num_sets_ = 1;
+  }
+  // Round sets down to a power of two for cheap indexing (hardware does the
+  // same; the capacity difference is immaterial for ratio comparisons).
+  num_sets_ = uint32_t{1} << (std::bit_width(num_sets_) - 1);
+  tags_.assign(static_cast<size_t>(num_sets_) * config_.associativity, kEmpty);
+  stamps_.assign(tags_.size(), 0);
+}
+
+bool CacheModel::Access(uint64_t addr) {
+  const uint64_t line = addr >> line_shift_;
+  const uint32_t set = static_cast<uint32_t>(line) & (num_sets_ - 1);
+  const size_t base = static_cast<size_t>(set) * config_.associativity;
+  ++tick_;
+
+  size_t victim = base;
+  uint64_t victim_stamp = kEmpty;
+  for (size_t way = base; way < base + config_.associativity; ++way) {
+    if (tags_[way] == line) {
+      stamps_[way] = tick_;
+      ++hits_;
+      return true;
+    }
+    if (tags_[way] == kEmpty) {
+      // Prefer an invalid way outright.
+      victim = way;
+      victim_stamp = 0;
+    } else if (stamps_[way] < victim_stamp) {
+      victim = way;
+      victim_stamp = stamps_[way];
+    }
+  }
+  tags_[victim] = line;
+  stamps_[victim] = tick_;
+  ++misses_;
+  return false;
+}
+
+void CacheModel::AccessRange(uint64_t addr, uint64_t bytes) {
+  const uint64_t first = addr >> line_shift_;
+  const uint64_t last = (addr + (bytes == 0 ? 0 : bytes - 1)) >> line_shift_;
+  for (uint64_t line = first; line <= last; ++line) {
+    Access(line << line_shift_);
+  }
+}
+
+}  // namespace egraph

@@ -1,0 +1,61 @@
+// Set-associative last-level-cache model with per-set LRU replacement.
+// Substitute for hardware LLC-miss counters (unavailable in this VM): the
+// paper's Tables 2 and 4 report LLC miss ratios to explain why radix sort
+// and the grid layout win; we reproduce those ratios by replaying each code
+// path's memory access trace through this model (see trace.h).
+#ifndef SRC_CACHESIM_CACHE_MODEL_H_
+#define SRC_CACHESIM_CACHE_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace egraph {
+
+struct CacheConfig {
+  // Defaults mirror the paper's machine B: AMD Opteron 6272, 16 MB LLC.
+  uint64_t size_bytes = 16ull << 20;
+  uint32_t associativity = 16;
+  uint32_t line_bytes = 64;
+};
+
+class CacheModel {
+ public:
+  explicit CacheModel(const CacheConfig& config = CacheConfig());
+
+  // Simulates one access to byte address `addr`; returns true on hit.
+  bool Access(uint64_t addr);
+
+  // Simulates `bytes` consecutive bytes starting at `addr` (at most one
+  // access per line touched).
+  void AccessRange(uint64_t addr, uint64_t bytes);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t accesses() const { return hits_ + misses_; }
+  double MissRatio() const {
+    return accesses() == 0 ? 0.0 : static_cast<double>(misses_) / static_cast<double>(accesses());
+  }
+
+  void ResetCounters() {
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+  const CacheConfig& config() const { return config_; }
+
+ private:
+  CacheConfig config_;
+  uint32_t num_sets_ = 0;
+  uint32_t line_shift_ = 0;
+  // ways[set * associativity + way] = line tag; kEmpty when invalid.
+  std::vector<uint64_t> tags_;
+  // stamp[set * associativity + way] = last-use tick for LRU.
+  std::vector<uint64_t> stamps_;
+  uint64_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace egraph
+
+#endif  // SRC_CACHESIM_CACHE_MODEL_H_

@@ -1,0 +1,295 @@
+// EdgeMap: the engine's core primitive. Applies an edge functor over the
+// active frontier, dispatched across the paper's three layouts and three
+// information-flow directions. The functor contract is Ligra-style:
+//
+//   struct Functor {
+//     // Attempt src -> dst propagation; return true iff dst's state changed
+//     // (dst then joins the next frontier). Plain version: caller guarantees
+//     // exclusive access to dst (pull mode, lock-held, or grid ownership).
+//     bool Update(VertexId src, VertexId dst, float weight);
+//     // Thread-safe version used by push mode with Sync::kAtomics.
+//     bool UpdateAtomic(VertexId src, VertexId dst, float weight);
+//     // Push: is dst still worth updating?  Pull: does dst still gather?
+//     // Pull iteration stops scanning dst's in-edges when Cond turns false
+//     // mid-scan (the paper's early-exit advantage of pull).
+//     bool Cond(VertexId dst) const;
+//   };
+//
+// Functors must be thread-compatible; all mutation goes through shared
+// vertex-state arrays guarded per the selected Sync mode.
+#ifndef SRC_ENGINE_EDGE_MAP_H_
+#define SRC_ENGINE_EDGE_MAP_H_
+
+#include <vector>
+
+#include "src/engine/frontier.h"
+#include "src/engine/options.h"
+#include "src/graph/edge_list.h"
+#include "src/layout/csr.h"
+#include "src/layout/grid.h"
+#include "src/util/parallel.h"
+#include "src/util/spinlock.h"
+
+namespace egraph {
+
+namespace edge_map_internal {
+
+// Gathers per-worker output buffers into one vector (order is arbitrary but
+// deterministic given identical buffer contents).
+inline std::vector<VertexId> ConcatBuffers(std::vector<std::vector<VertexId>>& buffers) {
+  size_t total = 0;
+  for (const auto& b : buffers) {
+    total += b.size();
+  }
+  std::vector<VertexId> out;
+  out.reserve(total);
+  for (auto& b : buffers) {
+    out.insert(out.end(), b.begin(), b.end());
+  }
+  return out;
+}
+
+}  // namespace edge_map_internal
+
+// --- Adjacency list, push (paper: enables working on the active subset) ----
+//
+// Sync::kAtomics uses Functor::UpdateAtomic; Sync::kLocks wraps plain Update
+// in a striped spinlock keyed by dst (`locks` must outlive the call).
+// Returns a sparse next frontier (deduplicated via a round bitmap).
+template <typename F>
+Frontier EdgeMapCsrPush(const Csr& out, Frontier& frontier, F& func, Sync sync,
+                        StripedLocks* locks) {
+  const VertexId n = out.num_vertices();
+  frontier.EnsureSparse();
+  const auto& active = frontier.Vertices();
+
+  Bitmap next(n);
+  const int workers = ThreadPool::Get().num_threads();
+  std::vector<std::vector<VertexId>> buffers(static_cast<size_t>(workers));
+
+  ParallelForChunks(
+      0, static_cast<int64_t>(active.size()), /*grain=*/64,
+      [&](int64_t lo, int64_t hi, int worker) {
+        auto& buffer = buffers[static_cast<size_t>(worker)];
+        for (int64_t i = lo; i < hi; ++i) {
+          const VertexId src = active[static_cast<size_t>(i)];
+          const auto neighbors = out.Neighbors(src);
+          const auto weights = out.Weights(src);
+          for (size_t j = 0; j < neighbors.size(); ++j) {
+            const VertexId dst = neighbors[j];
+            if (!func.Cond(dst)) {
+              continue;
+            }
+            const float w = weights.empty() ? 1.0f : weights[j];
+            bool updated;
+            if (sync == Sync::kLocks) {
+              SpinlockGuard guard(locks->For(dst));
+              updated = func.Update(src, dst, w);
+            } else {
+              updated = func.UpdateAtomic(src, dst, w);
+            }
+            if (updated && next.TestAndSet(dst)) {
+              buffer.push_back(dst);
+            }
+          }
+        }
+      });
+
+  return Frontier::FromVector(n, edge_map_internal::ConcatBuffers(buffers));
+}
+
+// --- Adjacency list, pull (lock-free: each dst is written by one thread) ---
+//
+// Scans every vertex satisfying Cond, gathers from in-neighbors present in
+// the frontier, and stops early once Cond(dst) turns false (paper section
+// 6.1.1: "the pull approach allows stopping the computation for a vertex in
+// the middle of an iteration").
+template <typename F>
+Frontier EdgeMapCsrPull(const Csr& in, Frontier& frontier, F& func) {
+  const VertexId n = in.num_vertices();
+  frontier.EnsureDense();
+
+  Bitmap next(n);
+  const int workers = ThreadPool::Get().num_threads();
+  std::vector<int64_t> counts(static_cast<size_t>(workers), 0);
+
+  ParallelForChunks(
+      0, static_cast<int64_t>(n), /*grain=*/256,
+      [&](int64_t lo, int64_t hi, int worker) {
+        int64_t local = 0;
+        for (int64_t v = lo; v < hi; ++v) {
+          const VertexId dst = static_cast<VertexId>(v);
+          if (!func.Cond(dst)) {
+            continue;
+          }
+          const auto neighbors = in.Neighbors(dst);
+          const auto weights = in.Weights(dst);
+          bool updated = false;
+          for (size_t j = 0; j < neighbors.size(); ++j) {
+            const VertexId src = neighbors[j];
+            if (!frontier.Contains(src)) {
+              continue;
+            }
+            const float w = weights.empty() ? 1.0f : weights[j];
+            if (func.Update(src, dst, w)) {
+              updated = true;
+            }
+            if (!func.Cond(dst)) {
+              break;  // early exit: dst is done for this round
+            }
+          }
+          if (updated) {
+            next.Set(v);
+            ++local;
+          }
+        }
+        counts[static_cast<size_t>(worker)] += local;
+      });
+
+  int64_t total = 0;
+  for (const int64_t c : counts) {
+    total += c;
+  }
+  return Frontier::FromBitmap(n, std::move(next), total);
+}
+
+// --- Adjacency list, dynamic push-pull (Beamer/Ligra) ----------------------
+//
+// Chooses pull when the frontier's work estimate exceeds |E| / threshold_den,
+// push otherwise. Requires both CSR directions (the pre-processing cost the
+// paper charges against this mode on directed graphs).
+template <typename F>
+Frontier EdgeMapCsrPushPull(const Csr& out, const Csr& in, Frontier& frontier, F& func,
+                            Sync push_sync, StripedLocks* locks,
+                            const PushPullConfig& config, bool* used_pull = nullptr) {
+  const uint64_t work = frontier.WorkEstimate(out);
+  const bool pull = static_cast<double>(work) >
+                    static_cast<double>(out.num_edges()) / config.threshold_den;
+  if (used_pull != nullptr) {
+    *used_pull = pull;
+  }
+  if (pull) {
+    return EdgeMapCsrPull(in, frontier, func);
+  }
+  return EdgeMapCsrPush(out, frontier, func, push_sync, locks);
+}
+
+// --- Edge array (edge-centric: always a full scan; paper section 4.1) ------
+template <typename F>
+Frontier EdgeMapEdgeArray(const EdgeList& graph, Frontier& frontier, F& func, Sync sync,
+                          StripedLocks* locks) {
+  const VertexId n = graph.num_vertices();
+  frontier.EnsureDense();
+  const auto& edges = graph.edges();
+
+  Bitmap next(n);
+  const int workers = ThreadPool::Get().num_threads();
+  std::vector<int64_t> counts(static_cast<size_t>(workers), 0);
+
+  ParallelForChunks(
+      0, static_cast<int64_t>(edges.size()), /*grain=*/4096,
+      [&](int64_t lo, int64_t hi, int worker) {
+        int64_t local = 0;
+        for (int64_t i = lo; i < hi; ++i) {
+          const Edge& e = edges[static_cast<size_t>(i)];
+          if (!frontier.Contains(e.src) || !func.Cond(e.dst)) {
+            continue;
+          }
+          const float w = graph.EdgeWeight(static_cast<EdgeIndex>(i));
+          bool updated;
+          if (sync == Sync::kLocks) {
+            SpinlockGuard guard(locks->For(e.dst));
+            updated = func.Update(e.src, e.dst, w);
+          } else {
+            updated = func.UpdateAtomic(e.src, e.dst, w);
+          }
+          if (updated && next.TestAndSet(e.dst)) {
+            ++local;
+          }
+        }
+        counts[static_cast<size_t>(worker)] += local;
+      });
+
+  int64_t total = 0;
+  for (const int64_t c : counts) {
+    total += c;
+  }
+  return Frontier::FromBitmap(n, std::move(next), total);
+}
+
+// --- Grid ------------------------------------------------------------------
+//
+// Sync::kLockFree exploits the grid's natural partition (paper section
+// 6.1.2): each thread owns a set of destination blocks (columns), so all
+// writes are exclusive and plain Update suffices — regardless of push/pull
+// direction. Sync::kLocks / kAtomics iterate cells row-major (best source
+// locality) with synchronized updates.
+template <typename F>
+Frontier EdgeMapGrid(const Grid& grid, Frontier& frontier, F& func, Sync sync,
+                     StripedLocks* locks) {
+  const VertexId n = grid.num_vertices();
+  frontier.EnsureDense();
+  const uint32_t blocks = grid.num_blocks();
+
+  Bitmap next(n);
+  const int workers = ThreadPool::Get().num_threads();
+  std::vector<int64_t> counts(static_cast<size_t>(workers), 0);
+
+  auto process_cell = [&](uint32_t i, uint32_t j, int worker, bool owned) {
+    const auto cell = grid.Cell(i, j);
+    const auto weights = grid.CellWeights(i, j);
+    int64_t local = 0;
+    for (size_t k = 0; k < cell.size(); ++k) {
+      const Edge& e = cell[k];
+      if (!frontier.Contains(e.src) || !func.Cond(e.dst)) {
+        continue;
+      }
+      const float w = weights.empty() ? 1.0f : weights[k];
+      bool updated;
+      if (owned) {
+        updated = func.Update(e.src, e.dst, w);
+      } else if (sync == Sync::kLocks) {
+        SpinlockGuard guard(locks->For(e.dst));
+        updated = func.Update(e.src, e.dst, w);
+      } else {
+        updated = func.UpdateAtomic(e.src, e.dst, w);
+      }
+      if (updated && next.TestAndSet(e.dst)) {
+        ++local;
+      }
+    }
+    counts[static_cast<size_t>(worker)] += local;
+  };
+
+  if (sync == Sync::kLockFree) {
+    // Column ownership: thread processing column j is the only writer of
+    // destination block j.
+    ParallelForChunks(0, blocks, /*grain=*/1, [&](int64_t lo, int64_t hi, int worker) {
+      for (int64_t j = lo; j < hi; ++j) {
+        for (uint32_t i = 0; i < blocks; ++i) {
+          process_cell(i, static_cast<uint32_t>(j), worker, /*owned=*/true);
+        }
+      }
+    });
+  } else {
+    // Row-major cell scan with synchronized destination updates.
+    ParallelForChunks(0, static_cast<int64_t>(blocks) * blocks, /*grain=*/1,
+                      [&](int64_t lo, int64_t hi, int worker) {
+                        for (int64_t c = lo; c < hi; ++c) {
+                          const uint32_t i = static_cast<uint32_t>(c / blocks);
+                          const uint32_t j = static_cast<uint32_t>(c % blocks);
+                          process_cell(i, j, worker, /*owned=*/false);
+                        }
+                      });
+  }
+
+  int64_t total = 0;
+  for (const int64_t c : counts) {
+    total += c;
+  }
+  return Frontier::FromBitmap(n, std::move(next), total);
+}
+
+}  // namespace egraph
+
+#endif  // SRC_ENGINE_EDGE_MAP_H_

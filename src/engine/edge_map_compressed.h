@@ -1,0 +1,56 @@
+// EdgeMap over delta-compressed adjacency lists (Ligra+ integration): the
+// same functor contract as edge_map.h, with neighbors decoded on the fly.
+// Push-mode only — compressed lists are forward-decoded, which matches
+// push's access pattern; pull's early exit would decode prefixes anyway.
+#ifndef SRC_ENGINE_EDGE_MAP_COMPRESSED_H_
+#define SRC_ENGINE_EDGE_MAP_COMPRESSED_H_
+
+#include <vector>
+
+#include "src/engine/edge_map.h"
+#include "src/layout/compressed_csr.h"
+
+namespace egraph {
+
+// Applies F over the frontier's out-edges, decoding each active vertex's
+// neighbor stream. Returns the (sparse, deduplicated) next frontier.
+template <typename F>
+Frontier EdgeMapCompressedPush(const CompressedCsr& out, Frontier& frontier, F& func,
+                               Sync sync, StripedLocks* locks) {
+  const VertexId n = out.num_vertices();
+  frontier.EnsureSparse();
+  const auto& active = frontier.Vertices();
+
+  Bitmap next(n);
+  const int workers = ThreadPool::Get().num_threads();
+  std::vector<std::vector<VertexId>> buffers(static_cast<size_t>(workers));
+
+  ParallelForChunks(
+      0, static_cast<int64_t>(active.size()), /*grain=*/64,
+      [&](int64_t lo, int64_t hi, int worker) {
+        auto& buffer = buffers[static_cast<size_t>(worker)];
+        for (int64_t i = lo; i < hi; ++i) {
+          const VertexId src = active[static_cast<size_t>(i)];
+          out.ForEachNeighbor(src, [&](VertexId dst) {
+            if (!func.Cond(dst)) {
+              return;
+            }
+            bool updated;
+            if (sync == Sync::kLocks) {
+              SpinlockGuard guard(locks->For(dst));
+              updated = func.Update(src, dst, 1.0f);
+            } else {
+              updated = func.UpdateAtomic(src, dst, 1.0f);
+            }
+            if (updated && next.TestAndSet(dst)) {
+              buffer.push_back(dst);
+            }
+          });
+        }
+      });
+  return Frontier::FromVector(n, edge_map_internal::ConcatBuffers(buffers));
+}
+
+}  // namespace egraph
+
+#endif  // SRC_ENGINE_EDGE_MAP_COMPRESSED_H_

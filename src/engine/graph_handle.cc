@@ -1,0 +1,73 @@
+#include "src/engine/graph_handle.h"
+
+namespace egraph {
+
+uint32_t GraphHandle::AutoGridBlocks(VertexId num_vertices) {
+  // Target ~4k vertices per block (so a block's metadata is a few tens of
+  // KB, well inside any LLC), capped at the paper's 256 blocks. At the
+  // paper's RMAT-26 scale this yields the 256x256 grid they found best.
+  uint32_t blocks = num_vertices / 4096;
+  if (blocks < 4) {
+    blocks = 4;
+  }
+  if (blocks > 256) {
+    blocks = 256;
+  }
+  return blocks;
+}
+
+void GraphHandle::Prepare(const PrepareConfig& config) {
+  switch (config.layout) {
+    case Layout::kEdgeArray:
+      // Nothing to build: the input layout is the computation layout.
+      break;
+    case Layout::kAdjacency: {
+      if (config.symmetric_input && config.need_in) {
+        // Undirected input: the incoming lists are the outgoing lists.
+        in_aliases_out_ = true;
+      }
+      const bool build_out =
+          config.need_out || (config.symmetric_input && config.need_in);
+      if (build_out && !out_csr_.has_value()) {
+        BuildStats stats;
+        out_csr_ = BuildCsr(graph_, EdgeDirection::kOut, config.method, &stats,
+                            config.radix_digit_bits);
+        preprocess_seconds_ += stats.seconds;
+        if (config.sort_neighbors) {
+          preprocess_seconds_ += out_csr_->SortNeighborLists();
+        }
+      }
+      if (config.need_in && !config.symmetric_input && !in_csr_.has_value()) {
+        BuildStats stats;
+        in_csr_ = BuildCsr(graph_, EdgeDirection::kIn, config.method, &stats,
+                           config.radix_digit_bits);
+        preprocess_seconds_ += stats.seconds;
+        if (config.sort_neighbors) {
+          preprocess_seconds_ += in_csr_->SortNeighborLists();
+        }
+      }
+      break;
+    }
+    case Layout::kGrid: {
+      if (!grid_.has_value()) {
+        GridOptions options;
+        options.num_blocks =
+            config.grid_blocks != 0 ? config.grid_blocks : AutoGridBlocks(num_vertices());
+        options.method = config.method;
+        BuildStats stats;
+        grid_ = BuildGrid(graph_, options, &stats);
+        preprocess_seconds_ += stats.seconds;
+      }
+      break;
+    }
+  }
+}
+
+void GraphHandle::DropLayouts() {
+  out_csr_.reset();
+  in_csr_.reset();
+  grid_.reset();
+  in_aliases_out_ = false;
+}
+
+}  // namespace egraph

@@ -1,0 +1,86 @@
+// GraphHandle: owns a graph plus whatever layouts have been prepared for it,
+// and accounts every second of pre-processing — the quantity the paper shows
+// frequently dominates end-to-end time.
+#ifndef SRC_ENGINE_GRAPH_HANDLE_H_
+#define SRC_ENGINE_GRAPH_HANDLE_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/engine/options.h"
+#include "src/graph/edge_list.h"
+#include "src/layout/csr.h"
+#include "src/layout/csr_builder.h"
+#include "src/layout/grid.h"
+#include "src/util/spinlock.h"
+
+namespace egraph {
+
+struct PrepareConfig {
+  Layout layout = Layout::kAdjacency;
+  // For kAdjacency: which CSR directions to build. Push needs out, pull
+  // needs in, push-pull needs both (the extra cost of section 6.1.3).
+  bool need_out = true;
+  bool need_in = false;
+  BuildMethod method = BuildMethod::kRadixSort;
+  // Sort each per-vertex neighbor list (section 5.1's "sorted adjacency").
+  bool sort_neighbors = false;
+  // Grid dimension; 0 picks an automatic block count (~256 for large graphs,
+  // fewer for small ones so blocks do not dwarf vertices).
+  uint32_t grid_blocks = 0;
+  int radix_digit_bits = 8;
+  // Declare the edge list symmetric (already undirected): the in-CSR then
+  // aliases the out-CSR instead of being built — the paper's observation
+  // that "when the graph is undirected ... push-pull induces no extra
+  // pre-processing cost" (section 6.1.3).
+  bool symmetric_input = false;
+};
+
+class GraphHandle {
+ public:
+  explicit GraphHandle(EdgeList graph) : graph_(std::move(graph)) {}
+
+  const EdgeList& edges() const { return graph_; }
+  VertexId num_vertices() const { return graph_.num_vertices(); }
+  EdgeIndex num_edges() const { return graph_.num_edges(); }
+
+  // Builds the structures `config` requests (skipping ones already built
+  // with a compatible method) and adds their cost to preprocess_seconds().
+  void Prepare(const PrepareConfig& config);
+
+  bool has_out_csr() const { return out_csr_.has_value(); }
+  bool has_in_csr() const { return in_csr_.has_value() || (in_aliases_out_ && has_out_csr()); }
+  bool has_grid() const { return grid_.has_value(); }
+
+  const Csr& out_csr() const { return *out_csr_; }
+  const Csr& in_csr() const { return in_aliases_out_ ? *out_csr_ : *in_csr_; }
+  const Grid& grid() const { return *grid_; }
+
+  // Cumulative pre-processing time across all Prepare calls.
+  double preprocess_seconds() const { return preprocess_seconds_; }
+  void ResetPreprocessClock() { preprocess_seconds_ = 0.0; }
+
+  // Drops built layouts (for re-measuring with a different method).
+  void DropLayouts();
+
+  // Shared striped-lock pool for Sync::kLocks execution.
+  StripedLocks& locks() { return locks_; }
+
+  // Automatic grid dimension for a graph of `num_vertices` (the paper finds
+  // 256x256 best at RMAT26/Twitter scale; smaller graphs shrink with it so
+  // blocks hold >= ~1k vertices).
+  static uint32_t AutoGridBlocks(VertexId num_vertices);
+
+ private:
+  EdgeList graph_;
+  bool in_aliases_out_ = false;  // symmetric input: in-CSR == out-CSR
+  std::optional<Csr> out_csr_;
+  std::optional<Csr> in_csr_;
+  std::optional<Grid> grid_;
+  double preprocess_seconds_ = 0.0;
+  StripedLocks locks_{1 << 14};
+};
+
+}  // namespace egraph
+
+#endif  // SRC_ENGINE_GRAPH_HANDLE_H_

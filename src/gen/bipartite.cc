@@ -1,0 +1,104 @@
+#include "src/gen/bipartite.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/parallel.h"
+#include "src/util/rng.h"
+
+namespace egraph {
+namespace {
+
+// Samples an item index with an approximately Zipf(1.0) popularity
+// distribution via inverse-CDF on u^k skewing.
+uint32_t SampleItem(Xoshiro256& rng, uint32_t num_items) {
+  // u^3 pushes mass toward low indices; cheap approximation of Zipf that is
+  // adequate for reproducing "a subset of the graph is active per side".
+  const double u = rng.NextDouble();
+  const double skewed = u * u * u;
+  uint32_t item = static_cast<uint32_t>(skewed * num_items);
+  return item >= num_items ? num_items - 1 : item;
+}
+
+}  // namespace
+
+BipartiteGraph GenerateBipartite(const BipartiteOptions& options) {
+  BipartiteGraph out;
+  out.num_users = options.num_users;
+  out.num_items = options.num_items;
+
+  // Synthesize ground-truth latent factors so that ratings have learnable
+  // low-rank structure (ALS convergence is a test invariant, not luck).
+  const int rank = options.latent_rank;
+  std::vector<float> user_factors(static_cast<size_t>(options.num_users) * rank);
+  std::vector<float> item_factors(static_cast<size_t>(options.num_items) * rank);
+  {
+    uint64_t stream = options.seed ^ 0xABCDEF123456ULL;
+    Xoshiro256 rng(SplitMix64(stream));
+    for (auto& f : user_factors) {
+      f = rng.NextFloat();
+    }
+    for (auto& f : item_factors) {
+      f = rng.NextFloat();
+    }
+  }
+
+  // Per-user rating counts: power-law-ish via geometric mixture, mean approx
+  // avg_ratings_per_user.
+  std::vector<uint64_t> counts(options.num_users);
+  ParallelFor(0, static_cast<int64_t>(options.num_users), [&](int64_t u) {
+    uint64_t stream = options.seed + static_cast<uint64_t>(u) * 0x9E3779B97F4A7C15ULL;
+    Xoshiro256 rng(SplitMix64(stream));
+    const double heavy = rng.NextDouble() < 0.1 ? 4.0 : 0.667;
+    uint64_t c = static_cast<uint64_t>(options.avg_ratings_per_user * heavy * rng.NextDouble() * 2);
+    if (c == 0) {
+      c = 1;
+    }
+    if (c > options.num_items) {
+      c = options.num_items;
+    }
+    counts[static_cast<size_t>(u)] = c;
+  });
+
+  std::vector<uint64_t> offsets(counts.begin(), counts.end());
+  const uint64_t total = ParallelExclusiveScan(offsets);
+
+  out.edges.set_num_vertices(options.num_users + options.num_items);
+  out.edges.mutable_edges().resize(total);
+  out.edges.mutable_weights().resize(total);
+  auto& edges = out.edges.mutable_edges();
+  auto& weights = out.edges.mutable_weights();
+
+  const float rating_span = static_cast<float>(options.rating_max - options.rating_min);
+  ParallelFor(0, static_cast<int64_t>(options.num_users), [&](int64_t u) {
+    uint64_t stream = options.seed + 0x1234 + static_cast<uint64_t>(u) * 0x9E3779B97F4A7C15ULL;
+    Xoshiro256 rng(SplitMix64(stream));
+    uint64_t cursor = offsets[static_cast<size_t>(u)];
+    const uint64_t count = counts[static_cast<size_t>(u)];
+    for (uint64_t r = 0; r < count; ++r) {
+      const uint32_t item = SampleItem(rng, options.num_items);
+      // Rating = normalized dot product of ground-truth factors + noise.
+      float dot = 0.0f;
+      for (int k = 0; k < rank; ++k) {
+        dot += user_factors[static_cast<size_t>(u) * rank + k] *
+               item_factors[static_cast<size_t>(item) * rank + k];
+      }
+      float rating = static_cast<float>(options.rating_min) +
+                     rating_span * (dot / static_cast<float>(rank)) +
+                     0.1f * (rng.NextFloat() - 0.5f);
+      if (rating < static_cast<float>(options.rating_min)) {
+        rating = static_cast<float>(options.rating_min);
+      }
+      if (rating > static_cast<float>(options.rating_max)) {
+        rating = static_cast<float>(options.rating_max);
+      }
+      edges[cursor] = {static_cast<VertexId>(u),
+                       static_cast<VertexId>(options.num_users + item)};
+      weights[cursor] = rating;
+      ++cursor;
+    }
+  });
+  return out;
+}
+
+}  // namespace egraph

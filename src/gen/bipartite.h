@@ -1,0 +1,39 @@
+// Bipartite rating-graph generator: the Netflix proxy for ALS. Left side =
+// users, right side = items; per-user rating counts follow a power law and
+// item popularity is Zipf-distributed, as in real rating datasets.
+//
+// Vertex numbering: users occupy [0, num_users), items occupy
+// [num_users, num_users + num_items). Edges run user -> item and carry the
+// rating as edge weight.
+#ifndef SRC_GEN_BIPARTITE_H_
+#define SRC_GEN_BIPARTITE_H_
+
+#include <cstdint>
+
+#include "src/graph/edge_list.h"
+
+namespace egraph {
+
+struct BipartiteOptions {
+  uint32_t num_users = 50000;
+  uint32_t num_items = 2000;
+  uint32_t avg_ratings_per_user = 20;
+  double rating_min = 1.0;
+  double rating_max = 5.0;
+  // Rank of the latent model used to synthesize ratings; ALS with factor
+  // dimension >= this rank should reach low RMSE (test invariant).
+  int latent_rank = 4;
+  uint64_t seed = 42;
+};
+
+struct BipartiteGraph {
+  EdgeList edges;  // weighted, user -> item
+  uint32_t num_users = 0;
+  uint32_t num_items = 0;
+};
+
+BipartiteGraph GenerateBipartite(const BipartiteOptions& options);
+
+}  // namespace egraph
+
+#endif  // SRC_GEN_BIPARTITE_H_

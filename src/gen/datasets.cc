@@ -1,0 +1,66 @@
+#include "src/gen/datasets.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/gen/rmat.h"
+#include "src/gen/road.h"
+#include "src/graph/stats.h"
+#include "src/util/env.h"
+
+namespace egraph {
+
+EdgeList DatasetRmat(int scale, uint64_t seed) {
+  RmatOptions options;
+  options.scale = scale;
+  options.seed = seed;
+  return GenerateRmat(options);
+}
+
+EdgeList DatasetTwitter(int scale, uint64_t seed) {
+  RmatOptions options;
+  options.scale = scale > 0 ? scale : EnvBenchScale();
+  options.a = 0.65;  // heavier hubs than default R-MAT: Twitter-like skew
+  options.b = 0.15;
+  options.c = 0.15;
+  options.edge_factor = 24;  // Twitter is denser than RMAT-N (ratio 24 vs 16)
+  options.seed = seed;
+  return GenerateRmat(options);
+}
+
+EdgeList DatasetUsRoad(int scale, uint64_t seed) {
+  const int s = scale > 0 ? scale : EnvBenchScale();
+  // Lattice with ~2^s vertices: side = 2^(s/2). Edge count ~= 2 links/vertex
+  // kept bidirectional => avg degree ~4 directed edges/vertex (paper's
+  // US-Road has 58M/23.9M ~ 2.4; close enough for the shape argument).
+  const uint32_t side = static_cast<uint32_t>(std::llround(std::pow(2.0, s / 2.0)));
+  RoadOptions options;
+  options.width = side;
+  options.height = side;
+  options.seed = seed;
+  return GenerateRoad(options);
+}
+
+BipartiteGraph DatasetNetflix(int scale, uint64_t seed) {
+  const int s = scale > 0 ? scale : EnvBenchScale();
+  BipartiteOptions options;
+  // Netflix: 480k users, 17.7k items, 100M ratings (ratio ~208 ratings/user;
+  // we keep users >> items and a high per-user average, scaled down).
+  options.num_users = 1u << (s - 4);
+  options.num_items = 1u << (s - 8);
+  options.avg_ratings_per_user = 32;
+  options.seed = seed;
+  return GenerateBipartite(options);
+}
+
+std::string DescribeDataset(const std::string& name, const EdgeList& graph) {
+  const GraphStats stats = ComputeStats(graph);
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "%s: |V|=%u |E|=%llu avg_deg=%.1f max_out=%u top1%%share=%.2f", name.c_str(),
+                stats.num_vertices, static_cast<unsigned long long>(stats.num_edges),
+                stats.avg_degree, stats.max_out_degree, stats.top1pct_out_edge_share);
+  return buffer;
+}
+
+}  // namespace egraph

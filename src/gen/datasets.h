@@ -1,0 +1,38 @@
+// Named dataset proxies matching the paper's Table 1, all derived from one
+// EG_SCALE knob so the whole benchmark suite scales together.
+//
+//   Paper dataset      -> proxy here
+//   RMAT-N             -> GenerateRmat(scale = N')        (N' = EG_SCALE + delta)
+//   Twitter (62M/1.5G) -> R-MAT with stronger skew        (power law, low diameter)
+//   US-Road (24M/58M)  -> 2-D lattice w/ shortcuts        (high diameter, degree <= 8)
+//   Netflix (0.5M/100M)-> synthetic low-rank bipartite
+#ifndef SRC_GEN_DATASETS_H_
+#define SRC_GEN_DATASETS_H_
+
+#include <string>
+
+#include "src/gen/bipartite.h"
+#include "src/graph/edge_list.h"
+
+namespace egraph {
+
+// RMAT-N proxy at the given scale.
+EdgeList DatasetRmat(int scale, uint64_t seed = 42);
+
+// Twitter-follower proxy: R-MAT with stronger hub skew (a=0.65).
+// `scale` defaults to EG_SCALE when <= 0.
+EdgeList DatasetTwitter(int scale = 0, uint64_t seed = 7);
+
+// US-Road proxy: square lattice sized so edge count is comparable to
+// RMAT(scale)/8 (road graphs are sparse: avg degree ~2.4 in DIMACS).
+EdgeList DatasetUsRoad(int scale = 0, uint64_t seed = 11);
+
+// Netflix proxy sized from scale.
+BipartiteGraph DatasetNetflix(int scale = 0, uint64_t seed = 13);
+
+// Human-readable one-line description for bench output.
+std::string DescribeDataset(const std::string& name, const EdgeList& graph);
+
+}  // namespace egraph
+
+#endif  // SRC_GEN_DATASETS_H_

@@ -1,0 +1,28 @@
+#include "src/gen/erdos_renyi.h"
+
+#include "src/util/parallel.h"
+#include "src/util/rng.h"
+
+namespace egraph {
+
+EdgeList GenerateErdosRenyi(const ErdosRenyiOptions& options) {
+  EdgeList graph;
+  graph.set_num_vertices(options.num_vertices);
+  graph.mutable_edges().resize(options.num_edges);
+  auto& edges = graph.mutable_edges();
+  const uint64_t n = options.num_vertices;
+
+  ParallelForChunks(0, static_cast<int64_t>(options.num_edges), /*grain=*/1 << 14,
+                    [&](int64_t lo, int64_t hi, int /*worker*/) {
+                      uint64_t stream = options.seed ^ static_cast<uint64_t>(lo);
+                      Xoshiro256 rng(SplitMix64(stream));
+                      for (int64_t i = lo; i < hi; ++i) {
+                        edges[static_cast<size_t>(i)] = {
+                            static_cast<VertexId>(rng.NextBounded(n)),
+                            static_cast<VertexId>(rng.NextBounded(n))};
+                      }
+                    });
+  return graph;
+}
+
+}  // namespace egraph

@@ -1,0 +1,22 @@
+// Erdős–Rényi G(n, m) generator: uniform-degree control case used by tests
+// and ablations to contrast with the power-law R-MAT family.
+#ifndef SRC_GEN_ERDOS_RENYI_H_
+#define SRC_GEN_ERDOS_RENYI_H_
+
+#include <cstdint>
+
+#include "src/graph/edge_list.h"
+
+namespace egraph {
+
+struct ErdosRenyiOptions {
+  VertexId num_vertices = 1 << 16;
+  EdgeIndex num_edges = 1 << 20;
+  uint64_t seed = 42;
+};
+
+EdgeList GenerateErdosRenyi(const ErdosRenyiOptions& options);
+
+}  // namespace egraph
+
+#endif  // SRC_GEN_ERDOS_RENYI_H_

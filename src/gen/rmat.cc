@@ -1,0 +1,73 @@
+#include "src/gen/rmat.h"
+
+#include "src/util/parallel.h"
+#include "src/util/rng.h"
+
+namespace egraph {
+namespace {
+
+// Feistel-style permutation on [0, 2^scale) so that high-degree R-MAT
+// vertices are not clustered at small ids (which would make id-ordered
+// layouts artificially cache-friendly).
+VertexId ScrambleId(VertexId v, int scale, uint64_t seed) {
+  const uint32_t mask = (scale >= 32) ? 0xFFFFFFFFu : ((1u << scale) - 1);
+  uint64_t x = (static_cast<uint64_t>(v) + seed) & mask;
+  // Two rounds of multiply-xorshift confined to `scale` bits.
+  for (int round = 0; round < 2; ++round) {
+    x = (x * 0x9E3779B9u + seed) & mask;
+    x ^= x >> (scale / 2 == 0 ? 1 : scale / 2);
+    x &= mask;
+  }
+  return static_cast<VertexId>(x);
+}
+
+}  // namespace
+
+EdgeList GenerateRmat(const RmatOptions& options) {
+  const VertexId num_vertices = static_cast<VertexId>(1ULL << options.scale);
+  const EdgeIndex num_edges =
+      static_cast<EdgeIndex>(options.edge_factor) * static_cast<EdgeIndex>(num_vertices);
+
+  EdgeList graph;
+  graph.set_num_vertices(num_vertices);
+  graph.mutable_edges().resize(num_edges);
+  auto& edges = graph.mutable_edges();
+
+  const double ab = options.a + options.b;
+  const double a_norm = options.a / ab;
+  const double c_over_cd = options.c / (1.0 - ab);
+
+  ParallelForChunks(
+      0, static_cast<int64_t>(num_edges), /*grain=*/1 << 14,
+      [&](int64_t lo, int64_t hi, int /*worker*/) {
+        for (int64_t i = lo; i < hi; ++i) {
+          // Deterministic per-edge stream: independent of thread count.
+          uint64_t stream = options.seed * 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(i);
+          Xoshiro256 rng(SplitMix64(stream));
+          VertexId src = 0;
+          VertexId dst = 0;
+          for (int bit = options.scale - 1; bit >= 0; --bit) {
+            // Jitter quadrant probabilities slightly per level (standard
+            // R-MAT noise to avoid fractal staircase artifacts).
+            const double noise = 0.9 + 0.2 * rng.NextDouble();
+            const double ab_level = ab * noise > 1.0 ? 1.0 : ab * noise;
+            const bool top = rng.NextDouble() < ab_level;
+            const bool left = rng.NextDouble() < (top ? a_norm : c_over_cd);
+            if (!top) {
+              src |= 1u << bit;
+            }
+            if (!left) {
+              dst |= 1u << bit;
+            }
+          }
+          if (options.scramble_ids) {
+            src = ScrambleId(src, options.scale, options.seed);
+            dst = ScrambleId(dst, options.scale, options.seed * 31 + 7);
+          }
+          edges[static_cast<size_t>(i)] = {src, dst};
+        }
+      });
+  return graph;
+}
+
+}  // namespace egraph

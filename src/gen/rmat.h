@@ -1,0 +1,29 @@
+// R-MAT recursive power-law graph generator (Chakrabarti et al., SDM'04) —
+// the synthetic workload family of the paper (Table 1: RMAT-N has 2^N
+// vertices and 2^(N+4) edges).
+#ifndef SRC_GEN_RMAT_H_
+#define SRC_GEN_RMAT_H_
+
+#include <cstdint>
+
+#include "src/graph/edge_list.h"
+
+namespace egraph {
+
+struct RmatOptions {
+  int scale = 18;           // 2^scale vertices
+  int edge_factor = 16;     // edges = edge_factor * vertices (paper: 2^(N+4))
+  double a = 0.57;          // recursive quadrant probabilities (Graph500-like)
+  double b = 0.19;
+  double c = 0.19;          // d = 1 - a - b - c
+  uint64_t seed = 42;
+  bool scramble_ids = true; // permute vertex ids so id order carries no locality
+};
+
+// Generates the edge list in parallel; deterministic for a fixed seed
+// regardless of thread count (each edge derives its RNG from (seed, index)).
+EdgeList GenerateRmat(const RmatOptions& options);
+
+}  // namespace egraph
+
+#endif  // SRC_GEN_RMAT_H_

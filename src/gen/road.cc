@@ -1,0 +1,67 @@
+#include "src/gen/road.h"
+
+#include "src/util/parallel.h"
+#include "src/util/rng.h"
+
+namespace egraph {
+
+EdgeList GenerateRoad(const RoadOptions& options) {
+  const uint64_t width = options.width;
+  const uint64_t height = options.height;
+  const VertexId num_vertices = static_cast<VertexId>(width * height);
+
+  // Pass 1 (parallel, per row): count edges so the output can be sized
+  // exactly; pass 2 regenerates the same decisions (same per-row RNG) and
+  // writes them. Determinism comes from seeding per row.
+  const int64_t rows = static_cast<int64_t>(height);
+  std::vector<uint64_t> row_counts(height, 0);
+
+  auto for_each_row_edge = [&](uint64_t y, auto&& emit) {
+    uint64_t stream = options.seed ^ (y * 0x9E3779B97F4A7C15ULL);
+    Xoshiro256 rng(SplitMix64(stream));
+    for (uint64_t x = 0; x < width; ++x) {
+      const VertexId v = static_cast<VertexId>(y * width + x);
+      // Right link.
+      if (x + 1 < width && rng.NextDouble() < options.keep_prob) {
+        emit(v, static_cast<VertexId>(v + 1));
+      }
+      // Down link.
+      if (y + 1 < height && rng.NextDouble() < options.keep_prob) {
+        emit(v, static_cast<VertexId>(v + width));
+      }
+      // Diagonal shortcut (down-right).
+      if (x + 1 < width && y + 1 < height && rng.NextDouble() < options.diag_prob) {
+        emit(v, static_cast<VertexId>(v + width + 1));
+      }
+    }
+  };
+
+  ParallelFor(0, rows, [&](int64_t y) {
+    uint64_t count = 0;
+    for_each_row_edge(static_cast<uint64_t>(y),
+                      [&count](VertexId, VertexId) { ++count; });
+    row_counts[static_cast<size_t>(y)] =
+        count * (options.bidirectional ? 2 : 1);
+  });
+
+  std::vector<uint64_t> offsets(row_counts.begin(), row_counts.end());
+  const uint64_t total = ParallelExclusiveScan(offsets);
+
+  EdgeList graph;
+  graph.set_num_vertices(num_vertices);
+  graph.mutable_edges().resize(total);
+  auto& edges = graph.mutable_edges();
+
+  ParallelFor(0, rows, [&](int64_t y) {
+    uint64_t cursor = offsets[static_cast<size_t>(y)];
+    for_each_row_edge(static_cast<uint64_t>(y), [&](VertexId a, VertexId b) {
+      edges[cursor++] = {a, b};
+      if (options.bidirectional) {
+        edges[cursor++] = {b, a};
+      }
+    });
+  });
+  return graph;
+}
+
+}  // namespace egraph

@@ -1,0 +1,28 @@
+// Road-network generator: the US-Road (DIMACS) proxy. Produces a 2-D lattice
+// with randomly deleted links and occasional local diagonal shortcuts. This
+// reproduces the two properties the paper attributes US-Road results to:
+// high diameter (Theta(sqrt(V))) and uniformly small vertex degree (<= 8).
+#ifndef SRC_GEN_ROAD_H_
+#define SRC_GEN_ROAD_H_
+
+#include <cstdint>
+
+#include "src/graph/edge_list.h"
+
+namespace egraph {
+
+struct RoadOptions {
+  uint32_t width = 1024;    // lattice width
+  uint32_t height = 1024;   // lattice height
+  double keep_prob = 0.95;  // probability a lattice link exists
+  double diag_prob = 0.05;  // probability of a diagonal shortcut per cell
+  uint64_t seed = 42;
+  bool bidirectional = true;  // roads are two-way
+};
+
+// Generates the proxy road network. Vertex (x, y) has id y * width + x.
+EdgeList GenerateRoad(const RoadOptions& options);
+
+}  // namespace egraph
+
+#endif  // SRC_GEN_ROAD_H_

@@ -1,0 +1,30 @@
+// Fundamental graph types shared by every layout and algorithm.
+#ifndef SRC_GRAPH_TYPES_H_
+#define SRC_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace egraph {
+
+// Vertex identifiers are dense 32-bit integers in [0, num_vertices).
+using VertexId = uint32_t;
+
+// Edge positions/counts can exceed 2^32 on large graphs.
+using EdgeIndex = uint64_t;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+
+// A directed edge. This is also the on-disk input format: the paper assumes
+// "the graph input takes the form of an edge array" of (src, dst) pairs.
+struct Edge {
+  VertexId src;
+  VertexId dst;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+static_assert(sizeof(Edge) == 8, "Edge must stay 8 bytes: it is the I/O format");
+
+}  // namespace egraph
+
+#endif  // SRC_GRAPH_TYPES_H_

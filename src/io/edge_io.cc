@@ -1,0 +1,143 @@
+#include "src/io/edge_io.h"
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+namespace egraph {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+};
+using UniqueFile = std::unique_ptr<std::FILE, FileCloser>;
+
+UniqueFile OpenOrThrow(const std::string& path, const char* mode) {
+  UniqueFile file(std::fopen(path.c_str(), mode));
+  if (file == nullptr) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  return file;
+}
+
+void WriteOrThrow(std::FILE* f, const void* data, size_t bytes, const std::string& path) {
+  if (bytes != 0 && std::fwrite(data, 1, bytes, f) != bytes) {
+    throw std::runtime_error("short write to " + path);
+  }
+}
+
+void ReadOrThrow(std::FILE* f, void* data, size_t bytes, const std::string& path) {
+  if (bytes != 0 && std::fread(data, 1, bytes, f) != bytes) {
+    throw std::runtime_error("truncated read from " + path);
+  }
+}
+
+}  // namespace
+
+void WriteBinaryEdges(const std::string& path, const EdgeList& graph) {
+  UniqueFile file = OpenOrThrow(path, "wb");
+  EdgeFileHeader header;
+  header.num_vertices = graph.num_vertices();
+  header.flags = graph.has_weights() ? 1u : 0u;
+  header.num_edges = graph.num_edges();
+  WriteOrThrow(file.get(), &header, sizeof(header), path);
+  WriteOrThrow(file.get(), graph.edges().data(), graph.edges().size() * sizeof(Edge), path);
+  if (graph.has_weights()) {
+    WriteOrThrow(file.get(), graph.weights().data(), graph.weights().size() * sizeof(float),
+                 path);
+  }
+}
+
+EdgeFileHeader ReadEdgeFileHeader(const std::string& path) {
+  UniqueFile file = OpenOrThrow(path, "rb");
+  EdgeFileHeader header;
+  ReadOrThrow(file.get(), &header, sizeof(header), path);
+  if (header.magic != kEdgeFileMagic) {
+    throw std::runtime_error("bad magic in " + path);
+  }
+  return header;
+}
+
+EdgeList ReadBinaryEdges(const std::string& path) {
+  UniqueFile file = OpenOrThrow(path, "rb");
+  EdgeFileHeader header;
+  ReadOrThrow(file.get(), &header, sizeof(header), path);
+  if (header.magic != kEdgeFileMagic) {
+    throw std::runtime_error("bad magic in " + path);
+  }
+  EdgeList graph;
+  graph.set_num_vertices(header.num_vertices);
+  graph.mutable_edges().resize(header.num_edges);
+  ReadOrThrow(file.get(), graph.mutable_edges().data(), header.num_edges * sizeof(Edge), path);
+  if (header.has_weights()) {
+    graph.mutable_weights().resize(header.num_edges);
+    ReadOrThrow(file.get(), graph.mutable_weights().data(), header.num_edges * sizeof(float),
+                path);
+  }
+  // Validate endpoints against the declared vertex count.
+  for (const Edge& e : graph.edges()) {
+    if (e.src >= header.num_vertices || e.dst >= header.num_vertices) {
+      throw std::runtime_error("edge endpoint out of range in " + path);
+    }
+  }
+  return graph;
+}
+
+void WriteTextEdges(const std::string& path, const EdgeList& graph) {
+  UniqueFile file = OpenOrThrow(path, "w");
+  std::fprintf(file.get(), "# vertices %u\n", graph.num_vertices());
+  for (size_t i = 0; i < graph.edges().size(); ++i) {
+    const Edge& e = graph.edges()[i];
+    if (graph.has_weights()) {
+      std::fprintf(file.get(), "%u %u %.6g\n", e.src, e.dst, graph.weights()[i]);
+    } else {
+      std::fprintf(file.get(), "%u %u\n", e.src, e.dst);
+    }
+  }
+}
+
+EdgeList ReadTextEdges(const std::string& path) {
+  UniqueFile file = OpenOrThrow(path, "r");
+  EdgeList graph;
+  char line[256];
+  bool any_weight = false;
+  while (std::fgets(line, sizeof(line), file.get()) != nullptr) {
+    if (line[0] == '#') {
+      unsigned declared = 0;
+      if (std::sscanf(line, "# vertices %u", &declared) == 1) {
+        graph.set_num_vertices(declared);
+      }
+      continue;
+    }
+    unsigned src = 0;
+    unsigned dst = 0;
+    float weight = 0.0f;
+    const int fields = std::sscanf(line, "%u %u %f", &src, &dst, &weight);
+    if (fields < 2) {
+      std::ostringstream message;
+      message << "unparsable line in " << path << ": " << line;
+      throw std::runtime_error(message.str());
+    }
+    if (fields == 3) {
+      if (!any_weight && graph.num_edges() > 0) {
+        throw std::runtime_error("mixed weighted/unweighted lines in " + path);
+      }
+      any_weight = true;
+      graph.AddWeightedEdge(src, dst, weight);
+    } else {
+      if (any_weight) {
+        throw std::runtime_error("mixed weighted/unweighted lines in " + path);
+      }
+      graph.AddEdge(src, dst);
+    }
+  }
+  graph.RecomputeNumVertices();
+  return graph;
+}
+
+}  // namespace egraph

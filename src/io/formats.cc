@@ -1,0 +1,131 @@
+#include "src/io/formats.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace egraph {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+};
+using UniqueFile = std::unique_ptr<std::FILE, FileCloser>;
+
+UniqueFile OpenOrThrow(const std::string& path) {
+  UniqueFile file(std::fopen(path.c_str(), "r"));
+  if (file == nullptr) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  return file;
+}
+
+}  // namespace
+
+EdgeList ReadSnapEdges(const std::string& path) {
+  UniqueFile file = OpenOrThrow(path);
+  EdgeList graph;
+  char line[512];
+  while (std::fgets(line, sizeof(line), file.get()) != nullptr) {
+    if (line[0] == '#' || line[0] == '\n' || line[0] == '\r') {
+      continue;
+    }
+    unsigned src = 0;
+    unsigned dst = 0;
+    if (std::sscanf(line, "%u %u", &src, &dst) != 2) {
+      throw std::runtime_error("unparsable SNAP line in " + path + ": " + line);
+    }
+    graph.AddEdge(src, dst);
+  }
+  graph.RecomputeNumVertices();
+  return graph;
+}
+
+EdgeList ReadMatrixMarket(const std::string& path) {
+  UniqueFile file = OpenOrThrow(path);
+  char line[512];
+  if (std::fgets(line, sizeof(line), file.get()) == nullptr) {
+    throw std::runtime_error("empty MatrixMarket file: " + path);
+  }
+  char object[64] = {0};
+  char format[64] = {0};
+  char field[64] = {0};
+  char symmetry[64] = {0};
+  if (std::sscanf(line, "%%%%MatrixMarket %63s %63s %63s %63s", object, format, field,
+                  symmetry) != 4) {
+    throw std::runtime_error("bad MatrixMarket banner in " + path);
+  }
+  if (std::strcmp(object, "matrix") != 0 || std::strcmp(format, "coordinate") != 0) {
+    throw std::runtime_error("unsupported MatrixMarket object/format in " + path);
+  }
+  const bool pattern = std::strcmp(field, "pattern") == 0;
+  if (!pattern && std::strcmp(field, "real") != 0 && std::strcmp(field, "integer") != 0) {
+    throw std::runtime_error("unsupported MatrixMarket field: " + std::string(field));
+  }
+  const bool symmetric = std::strcmp(symmetry, "symmetric") == 0;
+  if (!symmetric && std::strcmp(symmetry, "general") != 0) {
+    throw std::runtime_error("unsupported MatrixMarket symmetry: " + std::string(symmetry));
+  }
+
+  // Skip comments; read the dimensions line.
+  unsigned long rows = 0;
+  unsigned long cols = 0;
+  unsigned long nnz = 0;
+  while (std::fgets(line, sizeof(line), file.get()) != nullptr) {
+    if (line[0] == '%') {
+      continue;
+    }
+    if (std::sscanf(line, "%lu %lu %lu", &rows, &cols, &nnz) != 3) {
+      throw std::runtime_error("bad MatrixMarket size line in " + path);
+    }
+    break;
+  }
+  if (rows == 0 && cols == 0) {
+    throw std::runtime_error("missing MatrixMarket size line in " + path);
+  }
+
+  EdgeList graph;
+  graph.set_num_vertices(static_cast<VertexId>(rows > cols ? rows : cols));
+  graph.Reserve(symmetric ? 2 * nnz : nnz);
+  unsigned long read = 0;
+  while (std::fgets(line, sizeof(line), file.get()) != nullptr) {
+    if (line[0] == '%' || line[0] == '\n' || line[0] == '\r') {
+      continue;
+    }
+    unsigned long i = 0;
+    unsigned long j = 0;
+    double value = 1.0;
+    const int fields = std::sscanf(line, "%lu %lu %lf", &i, &j, &value);
+    if (fields < 2 || (!pattern && fields < 3)) {
+      throw std::runtime_error("bad MatrixMarket entry in " + path + ": " + line);
+    }
+    if (i == 0 || j == 0 || i > rows || j > cols) {
+      throw std::runtime_error("MatrixMarket index out of range in " + path);
+    }
+    const VertexId src = static_cast<VertexId>(i - 1);
+    const VertexId dst = static_cast<VertexId>(j - 1);
+    if (pattern) {
+      graph.AddEdge(src, dst);
+      if (symmetric && src != dst) {
+        graph.AddEdge(dst, src);
+      }
+    } else {
+      graph.AddWeightedEdge(src, dst, static_cast<float>(value));
+      if (symmetric && src != dst) {
+        graph.AddWeightedEdge(dst, src, static_cast<float>(value));
+      }
+    }
+    ++read;
+  }
+  if (read != nnz) {
+    throw std::runtime_error("MatrixMarket entry count mismatch in " + path);
+  }
+  return graph;
+}
+
+}  // namespace egraph

@@ -1,0 +1,54 @@
+// Memory-mapped edge files: the paper's zero-copy path for the edge-array
+// layout ("it suffices to map the input file in memory to be able to start
+// computation"). The mapping exposes the edge section directly as a span —
+// no allocation, no copy, no pre-processing.
+#ifndef SRC_IO_MMAP_FILE_H_
+#define SRC_IO_MMAP_FILE_H_
+
+#include <span>
+#include <string>
+
+#include "src/graph/types.h"
+#include "src/io/edge_io.h"
+
+namespace egraph {
+
+// RAII mapping of a binary edge file (format of edge_io.h).
+class MappedEdgeFile {
+ public:
+  // Maps `path` read-only. Throws std::runtime_error on open/map/validation
+  // failure (bad magic, size mismatch).
+  explicit MappedEdgeFile(const std::string& path);
+  ~MappedEdgeFile();
+
+  MappedEdgeFile(const MappedEdgeFile&) = delete;
+  MappedEdgeFile& operator=(const MappedEdgeFile&) = delete;
+  MappedEdgeFile(MappedEdgeFile&& other) noexcept;
+  MappedEdgeFile& operator=(MappedEdgeFile&& other) noexcept;
+
+  const EdgeFileHeader& header() const { return *header_; }
+  VertexId num_vertices() const { return header_->num_vertices; }
+  EdgeIndex num_edges() const { return header_->num_edges; }
+
+  // The edge section, aliasing the mapping (valid while this object lives).
+  std::span<const Edge> edges() const { return edges_; }
+
+  // The weight section; empty for unweighted files.
+  std::span<const float> weights() const { return weights_; }
+
+  // Copies the mapping into an owning EdgeList (when mutation is needed).
+  EdgeList ToEdgeList() const;
+
+ private:
+  void Unmap();
+
+  void* mapping_ = nullptr;
+  size_t mapped_bytes_ = 0;
+  const EdgeFileHeader* header_ = nullptr;
+  std::span<const Edge> edges_;
+  std::span<const float> weights_;
+};
+
+}  // namespace egraph
+
+#endif  // SRC_IO_MMAP_FILE_H_

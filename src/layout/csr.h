@@ -1,0 +1,71 @@
+// Compressed Sparse Row adjacency lists: per-vertex edge arrays stored
+// contiguously (paper section 3.2, "the edges are stored contiguously in
+// memory, corresponding to compressed sparse row format").
+#ifndef SRC_LAYOUT_CSR_H_
+#define SRC_LAYOUT_CSR_H_
+
+#include <span>
+#include <vector>
+
+#include "src/graph/types.h"
+
+namespace egraph {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  VertexId num_vertices() const { return num_vertices_; }
+  EdgeIndex num_edges() const { return neighbors_.size(); }
+  bool has_weights() const { return !weights_.empty(); }
+
+  uint32_t Degree(VertexId v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  // Neighbor ids of `v` (destinations for an out-CSR, sources for an in-CSR).
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {neighbors_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  // Weights aligned with Neighbors(v); empty span when unweighted.
+  std::span<const float> Weights(VertexId v) const {
+    if (weights_.empty()) {
+      return {};
+    }
+    return {weights_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  float WeightAt(EdgeIndex position) const {
+    return weights_.empty() ? 1.0f : weights_[position];
+  }
+
+  const std::vector<EdgeIndex>& offsets() const { return offsets_; }
+  const std::vector<VertexId>& neighbors() const { return neighbors_; }
+  const std::vector<float>& weights() const { return weights_; }
+
+  // Builder access (used by csr_builder.cc only).
+  void Init(VertexId num_vertices, std::vector<EdgeIndex> offsets,
+            std::vector<VertexId> neighbors, std::vector<float> weights);
+
+  // Sorts every per-vertex neighbor slice by neighbor id, in parallel —
+  // the "sorted adjacency list" cache optimization of paper section 5.1.
+  // Returns the wall time spent.
+  double SortNeighborLists();
+
+  // True when every neighbor slice is sorted (test invariant).
+  bool NeighborListsSorted() const;
+
+  // Total bytes held (offsets + neighbors + weights); memory accounting.
+  size_t MemoryBytes() const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<EdgeIndex> offsets_;   // size num_vertices_ + 1
+  std::vector<VertexId> neighbors_;  // size num_edges
+  std::vector<float> weights_;       // empty or size num_edges
+};
+
+}  // namespace egraph
+
+#endif  // SRC_LAYOUT_CSR_H_

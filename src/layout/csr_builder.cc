@@ -1,0 +1,323 @@
+#include "src/layout/csr_builder.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "src/layout/radix_sort.h"
+#include "src/util/atomics.h"
+#include "src/util/parallel.h"
+#include "src/util/spinlock.h"
+#include "src/util/timer.h"
+
+namespace egraph {
+namespace {
+
+// Record carried through the radix sort when the graph is weighted.
+struct WeightedRecord {
+  Edge edge;
+  float weight;
+};
+
+VertexId KeyOf(const Edge& e, EdgeDirection direction) {
+  return direction == EdgeDirection::kOut ? e.src : e.dst;
+}
+
+VertexId ValueOf(const Edge& e, EdgeDirection direction) {
+  return direction == EdgeDirection::kOut ? e.dst : e.src;
+}
+
+// Derives the offsets array from a key-sorted record span by locating digit
+// boundaries (cache-friendly: one streaming pass, total work O(V + E)).
+template <typename Record, typename KeyFn>
+std::vector<EdgeIndex> OffsetsFromSorted(const std::vector<Record>& records,
+                                         VertexId num_vertices, const KeyFn& key) {
+  std::vector<EdgeIndex> offsets(static_cast<size_t>(num_vertices) + 1);
+  const int64_t n = static_cast<int64_t>(records.size());
+  if (n == 0) {
+    return offsets;  // all zero
+  }
+  ParallelFor(0, n, [&](int64_t i) {
+    const int64_t k = key(records[static_cast<size_t>(i)]);
+    const int64_t k_prev = i == 0 ? -1 : key(records[static_cast<size_t>(i) - 1]);
+    for (int64_t v = k_prev + 1; v <= k; ++v) {
+      offsets[static_cast<size_t>(v)] = static_cast<EdgeIndex>(i);
+    }
+  });
+  const int64_t k_last = key(records[static_cast<size_t>(n) - 1]);
+  for (int64_t v = k_last + 1; v <= static_cast<int64_t>(num_vertices); ++v) {
+    offsets[static_cast<size_t>(v)] = static_cast<EdgeIndex>(n);
+  }
+  return offsets;
+}
+
+Csr BuildRadix(const EdgeList& graph, EdgeDirection direction, int digit_bits,
+               double* seconds) {
+  Timer timer;
+  Csr csr;
+  const VertexId n = graph.num_vertices();
+  const size_t m = graph.edges().size();
+
+  if (!graph.has_weights()) {
+    // The timed region includes copying the input (the paper sorts the loaded
+    // edge array in place; we preserve the caller's edge list for reuse, and
+    // the streaming copy is part of this method's honest cost).
+    std::vector<Edge> records(m);
+    ParallelFor(0, static_cast<int64_t>(m), [&](int64_t i) {
+      records[static_cast<size_t>(i)] = graph.edges()[static_cast<size_t>(i)];
+    });
+    auto key = [direction](const Edge& e) { return KeyOf(e, direction); };
+    ParallelRadixSort(records, n, key, digit_bits);
+    std::vector<EdgeIndex> offsets = OffsetsFromSorted(records, n, key);
+    std::vector<VertexId> neighbors(m);
+    ParallelFor(0, static_cast<int64_t>(m), [&](int64_t i) {
+      neighbors[static_cast<size_t>(i)] = ValueOf(records[static_cast<size_t>(i)], direction);
+    });
+    csr.Init(n, std::move(offsets), std::move(neighbors), {});
+  } else {
+    std::vector<WeightedRecord> records(m);
+    ParallelFor(0, static_cast<int64_t>(m), [&](int64_t i) {
+      records[static_cast<size_t>(i)] = {graph.edges()[static_cast<size_t>(i)],
+                                         graph.weights()[static_cast<size_t>(i)]};
+    });
+    auto key = [direction](const WeightedRecord& r) { return KeyOf(r.edge, direction); };
+    ParallelRadixSort(records, n, key, digit_bits);
+    std::vector<EdgeIndex> offsets = OffsetsFromSorted(records, n, key);
+    std::vector<VertexId> neighbors(m);
+    std::vector<float> weights(m);
+    ParallelFor(0, static_cast<int64_t>(m), [&](int64_t i) {
+      neighbors[static_cast<size_t>(i)] =
+          ValueOf(records[static_cast<size_t>(i)].edge, direction);
+      weights[static_cast<size_t>(i)] = records[static_cast<size_t>(i)].weight;
+    });
+    csr.Init(n, std::move(offsets), std::move(neighbors), std::move(weights));
+  }
+  if (seconds != nullptr) {
+    *seconds = timer.Seconds();
+  }
+  return csr;
+}
+
+Csr BuildCount(const EdgeList& graph, EdgeDirection direction, double* seconds) {
+  Timer timer;
+  const VertexId n = graph.num_vertices();
+  const auto& edges = graph.edges();
+  const size_t m = edges.size();
+
+  // Pass 1: count degrees (random atomic increments: the cache-unfriendly
+  // part the paper calls out). Counts live at offsets[v]; the exclusive scan
+  // over the n+1 slots (last slot 0) then yields standard CSR offsets with
+  // offsets[n] == m.
+  std::vector<EdgeIndex> offsets(static_cast<size_t>(n) + 1, 0);
+  ParallelFor(0, static_cast<int64_t>(m), [&](int64_t i) {
+    AtomicAdd(&offsets[KeyOf(edges[static_cast<size_t>(i)], direction)],
+              static_cast<EdgeIndex>(1));
+  });
+  ParallelExclusiveScan(offsets);
+
+  // Pass 2: scatter with per-vertex atomic cursors.
+  std::vector<std::atomic<EdgeIndex>> cursors(n);
+  ParallelFor(0, static_cast<int64_t>(n), [&](int64_t v) {
+    cursors[static_cast<size_t>(v)].store(offsets[static_cast<size_t>(v)],
+                                          std::memory_order_relaxed);
+  });
+  std::vector<VertexId> neighbors(m);
+  std::vector<float> weights;
+  if (graph.has_weights()) {
+    weights.resize(m);
+  }
+  ParallelFor(0, static_cast<int64_t>(m), [&](int64_t i) {
+    const Edge& e = edges[static_cast<size_t>(i)];
+    const VertexId v = KeyOf(e, direction);
+    const EdgeIndex slot =
+        cursors[static_cast<size_t>(v)].fetch_add(1, std::memory_order_relaxed);
+    neighbors[slot] = ValueOf(e, direction);
+    if (!weights.empty()) {
+      weights[slot] = graph.weights()[static_cast<size_t>(i)];
+    }
+  });
+
+  Csr csr;
+  csr.Init(n, std::move(offsets), std::move(neighbors), std::move(weights));
+  if (seconds != nullptr) {
+    *seconds = timer.Seconds();
+  }
+  return csr;
+}
+
+}  // namespace
+
+const char* BuildMethodName(BuildMethod method) {
+  switch (method) {
+    case BuildMethod::kDynamic:
+      return "dynamic";
+    case BuildMethod::kCountSort:
+      return "count-sort";
+    case BuildMethod::kRadixSort:
+      return "radix-sort";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// DynamicAdjacencyBuilder
+
+struct DynamicAdjacencyBuilder::Impl {
+  VertexId num_vertices;
+  EdgeDirection direction;
+  bool weighted;
+  // Per-vertex growable arrays: the paper's dynamic layout, complete with
+  // reallocation churn as edges stream in.
+  std::vector<std::vector<VertexId>> adjacency;
+  std::vector<std::vector<float>> weight_lists;
+  StripedLocks locks{1 << 14};
+};
+
+DynamicAdjacencyBuilder::DynamicAdjacencyBuilder(VertexId num_vertices, EdgeDirection direction,
+                                                 bool weighted)
+    : impl_(new Impl{num_vertices, direction, weighted,
+                     std::vector<std::vector<VertexId>>(num_vertices),
+                     weighted ? std::vector<std::vector<float>>(num_vertices)
+                              : std::vector<std::vector<float>>()}) {}
+
+DynamicAdjacencyBuilder::~DynamicAdjacencyBuilder() = default;
+
+void DynamicAdjacencyBuilder::AddChunk(std::span<const Edge> edges,
+                                       std::span<const float> weights) {
+  Timer timer;
+  Impl& impl = *impl_;
+  ParallelFor(0, static_cast<int64_t>(edges.size()), [&](int64_t i) {
+    const Edge& e = edges[static_cast<size_t>(i)];
+    const VertexId v = KeyOf(e, impl.direction);
+    SpinlockGuard guard(impl.locks.For(v));
+    impl.adjacency[v].push_back(ValueOf(e, impl.direction));
+    if (impl.weighted) {
+      impl.weight_lists[v].push_back(weights.empty() ? 1.0f
+                                                     : weights[static_cast<size_t>(i)]);
+    }
+  });
+  build_seconds_ += timer.Seconds();
+}
+
+Csr DynamicAdjacencyBuilder::Finalize(double* flatten_seconds) {
+  Timer timer;
+  Impl& impl = *impl_;
+  const VertexId n = impl.num_vertices;
+  std::vector<EdgeIndex> offsets(static_cast<size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    offsets[v + 1] = offsets[v] + impl.adjacency[v].size();
+  }
+  const EdgeIndex m = offsets[n];
+  std::vector<VertexId> neighbors(m);
+  std::vector<float> weights;
+  if (impl.weighted) {
+    weights.resize(m);
+  }
+  ParallelFor(0, static_cast<int64_t>(n), [&](int64_t v) {
+    const EdgeIndex base = offsets[static_cast<size_t>(v)];
+    const auto& list = impl.adjacency[static_cast<size_t>(v)];
+    std::memcpy(neighbors.data() + base, list.data(), list.size() * sizeof(VertexId));
+    if (impl.weighted) {
+      const auto& wl = impl.weight_lists[static_cast<size_t>(v)];
+      std::memcpy(weights.data() + base, wl.data(), wl.size() * sizeof(float));
+    }
+  });
+  Csr csr;
+  csr.Init(n, std::move(offsets), std::move(neighbors), std::move(weights));
+  if (flatten_seconds != nullptr) {
+    *flatten_seconds = timer.Seconds();
+  }
+  return csr;
+}
+
+// ---------------------------------------------------------------------------
+// CountingAdjacencyBuilder
+
+CountingAdjacencyBuilder::CountingAdjacencyBuilder(VertexId num_vertices,
+                                                   EdgeDirection direction)
+    : num_vertices_(num_vertices), direction_(direction), degrees_(num_vertices, 0) {}
+
+void CountingAdjacencyBuilder::CountChunk(std::span<const Edge> edges) {
+  Timer timer;
+  ParallelFor(0, static_cast<int64_t>(edges.size()), [&](int64_t i) {
+    AtomicAdd(&degrees_[KeyOf(edges[static_cast<size_t>(i)], direction_)], 1u);
+  });
+  count_seconds_ += timer.Seconds();
+}
+
+Csr CountingAdjacencyBuilder::Scatter(const EdgeList& graph, double* scatter_seconds) {
+  Timer timer;
+  const VertexId n = num_vertices_;
+  std::vector<EdgeIndex> offsets(static_cast<size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    offsets[v + 1] = offsets[v] + degrees_[v];
+  }
+  std::vector<std::atomic<EdgeIndex>> cursors(n);
+  ParallelFor(0, static_cast<int64_t>(n), [&](int64_t v) {
+    cursors[static_cast<size_t>(v)].store(offsets[static_cast<size_t>(v)],
+                                          std::memory_order_relaxed);
+  });
+  const auto& edges = graph.edges();
+  std::vector<VertexId> neighbors(edges.size());
+  std::vector<float> weights;
+  if (graph.has_weights()) {
+    weights.resize(edges.size());
+  }
+  ParallelFor(0, static_cast<int64_t>(edges.size()), [&](int64_t i) {
+    const Edge& e = edges[static_cast<size_t>(i)];
+    const VertexId v = KeyOf(e, direction_);
+    const EdgeIndex slot =
+        cursors[static_cast<size_t>(v)].fetch_add(1, std::memory_order_relaxed);
+    neighbors[slot] = ValueOf(e, direction_);
+    if (!weights.empty()) {
+      weights[slot] = graph.weights()[static_cast<size_t>(i)];
+    }
+  });
+  Csr csr;
+  csr.Init(n, std::move(offsets), std::move(neighbors), std::move(weights));
+  if (scatter_seconds != nullptr) {
+    *scatter_seconds = timer.Seconds();
+  }
+  return csr;
+}
+
+// ---------------------------------------------------------------------------
+
+Csr BuildCsr(const EdgeList& graph, EdgeDirection direction, BuildMethod method,
+             BuildStats* stats, int digit_bits) {
+  double seconds = 0.0;
+  Csr csr;
+  switch (method) {
+    case BuildMethod::kRadixSort:
+      csr = BuildRadix(graph, direction, digit_bits, &seconds);
+      break;
+    case BuildMethod::kCountSort:
+      csr = BuildCount(graph, direction, &seconds);
+      break;
+    case BuildMethod::kDynamic: {
+      DynamicAdjacencyBuilder builder(graph.num_vertices(), direction, graph.has_weights());
+      builder.AddChunk(graph.edges(), graph.weights());
+      double flatten = 0.0;
+      csr = builder.Finalize(&flatten);
+      // Flattening is not part of the paper's dynamic layout (per-vertex
+      // arrays are used as-is); it is excluded from the reported time.
+      seconds = builder.build_seconds();
+      break;
+    }
+  }
+  if (stats != nullptr) {
+    stats->seconds = seconds;
+  }
+  return csr;
+}
+
+AdjacencyPair BuildCsrPair(const EdgeList& graph, BuildMethod method, int digit_bits) {
+  AdjacencyPair pair;
+  BuildStats out_stats;
+  BuildStats in_stats;
+  pair.out = BuildCsr(graph, EdgeDirection::kOut, method, &out_stats, digit_bits);
+  pair.in = BuildCsr(graph, EdgeDirection::kIn, method, &in_stats, digit_bits);
+  pair.seconds = out_stats.seconds + in_stats.seconds;
+  return pair;
+}
+
+}  // namespace egraph

@@ -1,0 +1,173 @@
+#include "src/layout/grid.h"
+
+#include <atomic>
+
+#include "src/layout/radix_sort.h"
+#include "src/util/atomics.h"
+#include "src/util/parallel.h"
+#include "src/util/spinlock.h"
+#include "src/util/timer.h"
+
+namespace egraph {
+
+void Grid::Init(VertexId num_vertices, uint32_t num_blocks, std::vector<EdgeIndex> cell_offsets,
+                std::vector<Edge> edges, std::vector<float> weights) {
+  num_vertices_ = num_vertices;
+  num_blocks_ = num_blocks;
+  block_size_ = num_blocks == 0 ? 1 : (num_vertices + num_blocks - 1) / num_blocks;
+  if (block_size_ == 0) {
+    block_size_ = 1;
+  }
+  cell_offsets_ = std::move(cell_offsets);
+  edges_ = std::move(edges);
+  weights_ = std::move(weights);
+}
+
+namespace {
+
+struct WeightedRecord {
+  Edge edge;
+  float weight;
+};
+
+// Shared cell-id computation for both builders.
+struct CellKey {
+  uint32_t block_size;
+  uint32_t num_blocks;
+  uint64_t operator()(const Edge& e) const {
+    return static_cast<uint64_t>(e.src / block_size) * num_blocks + e.dst / block_size;
+  }
+  uint64_t operator()(const WeightedRecord& r) const { return (*this)(r.edge); }
+};
+
+Grid BuildGridRadix(const EdgeList& graph, uint32_t num_blocks, double* seconds) {
+  Timer timer;
+  const VertexId n = graph.num_vertices();
+  const size_t m = graph.edges().size();
+  const uint32_t block_size =
+      num_blocks == 0 ? 1 : std::max<uint32_t>(1, (n + num_blocks - 1) / num_blocks);
+  const CellKey key{block_size, num_blocks};
+  const uint64_t num_cells = static_cast<uint64_t>(num_blocks) * num_blocks;
+
+  auto offsets_from_sorted = [&](const auto& records, auto cell_of) {
+    std::vector<EdgeIndex> offsets(num_cells + 1);
+    const int64_t count = static_cast<int64_t>(records.size());
+    if (count == 0) {
+      return offsets;
+    }
+    ParallelFor(0, count, [&](int64_t i) {
+      const int64_t k = static_cast<int64_t>(cell_of(records[static_cast<size_t>(i)]));
+      const int64_t k_prev =
+          i == 0 ? -1 : static_cast<int64_t>(cell_of(records[static_cast<size_t>(i) - 1]));
+      for (int64_t c = k_prev + 1; c <= k; ++c) {
+        offsets[static_cast<size_t>(c)] = static_cast<EdgeIndex>(i);
+      }
+    });
+    const int64_t k_last =
+        static_cast<int64_t>(cell_of(records[static_cast<size_t>(count) - 1]));
+    for (int64_t c = k_last + 1; c <= static_cast<int64_t>(num_cells); ++c) {
+      offsets[static_cast<size_t>(c)] = static_cast<EdgeIndex>(count);
+    }
+    return offsets;
+  };
+
+  Grid grid;
+  if (!graph.has_weights()) {
+    std::vector<Edge> records(m);
+    ParallelFor(0, static_cast<int64_t>(m), [&](int64_t i) {
+      records[static_cast<size_t>(i)] = graph.edges()[static_cast<size_t>(i)];
+    });
+    ParallelRadixSort(records, num_cells, key);
+    std::vector<EdgeIndex> offsets = offsets_from_sorted(records, key);
+    grid.Init(n, num_blocks, std::move(offsets), std::move(records), {});
+  } else {
+    std::vector<WeightedRecord> records(m);
+    ParallelFor(0, static_cast<int64_t>(m), [&](int64_t i) {
+      records[static_cast<size_t>(i)] = {graph.edges()[static_cast<size_t>(i)],
+                                         graph.weights()[static_cast<size_t>(i)]};
+    });
+    ParallelRadixSort(records, num_cells, key);
+    std::vector<EdgeIndex> offsets = offsets_from_sorted(records, key);
+    std::vector<Edge> edges(m);
+    std::vector<float> weights(m);
+    ParallelFor(0, static_cast<int64_t>(m), [&](int64_t i) {
+      edges[static_cast<size_t>(i)] = records[static_cast<size_t>(i)].edge;
+      weights[static_cast<size_t>(i)] = records[static_cast<size_t>(i)].weight;
+    });
+    grid.Init(n, num_blocks, std::move(offsets), std::move(edges), std::move(weights));
+  }
+  if (seconds != nullptr) {
+    *seconds = timer.Seconds();
+  }
+  return grid;
+}
+
+Grid BuildGridDynamic(const EdgeList& graph, uint32_t num_blocks, double* seconds) {
+  Timer timer;
+  const VertexId n = graph.num_vertices();
+  const uint32_t block_size =
+      num_blocks == 0 ? 1 : std::max<uint32_t>(1, (n + num_blocks - 1) / num_blocks);
+  const CellKey key{block_size, num_blocks};
+  const uint64_t num_cells = static_cast<uint64_t>(num_blocks) * num_blocks;
+
+  // Per-cell growable arrays with striped locks: the dynamic analogue of the
+  // adjacency-list builder (paper section 5.1 applies the section 3.2
+  // conclusions to grids).
+  std::vector<std::vector<Edge>> cells(num_cells);
+  std::vector<std::vector<float>> cell_weights(graph.has_weights() ? num_cells : 0);
+  StripedLocks locks(1 << 14);
+  const auto& edges = graph.edges();
+  ParallelFor(0, static_cast<int64_t>(edges.size()), [&](int64_t i) {
+    const Edge& e = edges[static_cast<size_t>(i)];
+    const uint64_t c = key(e);
+    SpinlockGuard guard(locks.For(c));
+    cells[c].push_back(e);
+    if (!cell_weights.empty()) {
+      cell_weights[c].push_back(graph.weights()[static_cast<size_t>(i)]);
+    }
+  });
+
+  std::vector<EdgeIndex> offsets(num_cells + 1, 0);
+  for (uint64_t c = 0; c < num_cells; ++c) {
+    offsets[c + 1] = offsets[c] + cells[c].size();
+  }
+  std::vector<Edge> flat(offsets[num_cells]);
+  std::vector<float> flat_weights(cell_weights.empty() ? 0 : offsets[num_cells]);
+  ParallelFor(0, static_cast<int64_t>(num_cells), [&](int64_t c) {
+    EdgeIndex cursor = offsets[static_cast<size_t>(c)];
+    const auto& bucket = cells[static_cast<size_t>(c)];
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      flat[cursor + i] = bucket[i];
+      if (!flat_weights.empty()) {
+        flat_weights[cursor + i] = cell_weights[static_cast<size_t>(c)][i];
+      }
+    }
+  });
+
+  Grid grid;
+  grid.Init(n, num_blocks, std::move(offsets), std::move(flat), std::move(flat_weights));
+  if (seconds != nullptr) {
+    *seconds = timer.Seconds();
+  }
+  return grid;
+}
+
+}  // namespace
+
+Grid BuildGrid(const EdgeList& graph, const GridOptions& options, BuildStats* stats) {
+  double seconds = 0.0;
+  Grid grid;
+  if (options.method == BuildMethod::kDynamic) {
+    grid = BuildGridDynamic(graph, options.num_blocks, &seconds);
+  } else {
+    // Count sort degenerates to the same bucketed counting pass as radix here
+    // (cells are a single digit); both map to the radix path.
+    grid = BuildGridRadix(graph, options.num_blocks, &seconds);
+  }
+  if (stats != nullptr) {
+    stats->seconds = seconds;
+  }
+  return grid;
+}
+
+}  // namespace egraph

@@ -1,0 +1,17 @@
+#include "src/layout/radix_sort.h"
+
+#include "src/graph/types.h"
+
+namespace egraph {
+
+// Non-templated convenience entry points (keep template instantiation out of
+// every client translation unit).
+void SortEdgesBySrc(std::vector<Edge>& edges, uint64_t num_vertices, int digit_bits) {
+  ParallelRadixSort(edges, num_vertices, [](const Edge& e) { return e.src; }, digit_bits);
+}
+
+void SortEdgesByDst(std::vector<Edge>& edges, uint64_t num_vertices, int digit_bits) {
+  ParallelRadixSort(edges, num_vertices, [](const Edge& e) { return e.dst; }, digit_bits);
+}
+
+}  // namespace egraph

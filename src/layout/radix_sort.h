@@ -1,0 +1,135 @@
+// Parallel MSD radix sort over fixed-size records with integer keys — the
+// paper's fastest adjacency-list construction technique (section 3.2,
+// following Zagha & Blelloch). Keys are consumed `digit_bits` at a time
+// (default 8, i.e. 256 buckets): a parallel counting pass splits records by
+// the most significant digit into buckets with sequential-write locality;
+// buckets are then sorted independently in parallel.
+#ifndef SRC_LAYOUT_RADIX_SORT_H_
+#define SRC_LAYOUT_RADIX_SORT_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/parallel.h"
+
+namespace egraph {
+
+namespace radix_internal {
+
+// Sequential LSD radix sort of records[lo, hi) over key bits [0, top_shift),
+// used within a top-level bucket (the top digit is already equal).
+template <typename Record, typename KeyFn>
+void SortBucketLsd(std::vector<Record>& records, std::vector<Record>& scratch, size_t lo,
+                   size_t hi, int top_shift, int digit_bits, const KeyFn& key) {
+  const uint32_t radix = 1u << digit_bits;
+  const uint32_t mask = radix - 1;
+  std::vector<uint32_t> counts(radix);
+  bool in_records = true;
+  for (int shift = 0; shift < top_shift; shift += digit_bits) {
+    std::fill(counts.begin(), counts.end(), 0u);
+    const Record* src = (in_records ? records.data() : scratch.data());
+    Record* dst = (in_records ? scratch.data() : records.data());
+    for (size_t i = lo; i < hi; ++i) {
+      ++counts[(key(src[i]) >> shift) & mask];
+    }
+    uint32_t running = 0;
+    for (uint32_t d = 0; d < radix; ++d) {
+      const uint32_t count = counts[d];
+      counts[d] = running;
+      running += count;
+    }
+    for (size_t i = lo; i < hi; ++i) {
+      dst[lo + counts[(key(src[i]) >> shift) & mask]++] = src[i];
+    }
+    in_records = !in_records;
+  }
+  if (!in_records) {
+    for (size_t i = lo; i < hi; ++i) {
+      records[i] = scratch[i];
+    }
+  }
+}
+
+}  // namespace radix_internal
+
+// Sorts `records` by key(record), where keys lie in [0, num_keys).
+// `digit_bits` in [1, 16] selects the radix (ablation knob; the paper uses 8).
+template <typename Record, typename KeyFn>
+void ParallelRadixSort(std::vector<Record>& records, uint64_t num_keys, const KeyFn& key,
+                       int digit_bits = 8) {
+  const size_t n = records.size();
+  if (n < 2) {
+    return;
+  }
+  const int key_bits = num_keys <= 1 ? 1 : std::bit_width(num_keys - 1);
+  const uint32_t radix = 1u << digit_bits;
+  const uint32_t mask = radix - 1;
+  // Highest digit position covering the key range.
+  const int top_shift = ((key_bits - 1) / digit_bits) * digit_bits;
+
+  std::vector<Record> scratch(n);
+
+  if (top_shift == 0) {
+    // Single digit: one parallel counting pass sorts everything.
+    // (Falls through to the same top-level pass below with recursion depth 0.)
+  }
+
+  // --- Top-level parallel counting pass over the most significant digit ---
+  const int num_chunks = ThreadPool::Get().num_threads() * 4;
+  const size_t chunk_size = (n + num_chunks - 1) / num_chunks;
+  std::vector<std::vector<uint64_t>> histograms(
+      static_cast<size_t>(num_chunks), std::vector<uint64_t>(radix, 0));
+
+  ParallelFor(0, num_chunks, [&](int64_t c) {
+    const size_t lo = static_cast<size_t>(c) * chunk_size;
+    const size_t hi = lo + chunk_size < n ? lo + chunk_size : n;
+    auto& hist = histograms[static_cast<size_t>(c)];
+    for (size_t i = lo; i < hi; ++i) {
+      ++hist[(key(records[i]) >> top_shift) & mask];
+    }
+  });
+
+  // bucket_start[d]: global offset of digit d; cursors[c][d]: write cursor of
+  // chunk c within digit d (guarantees a stable, race-free scatter).
+  std::vector<uint64_t> bucket_start(radix + 1, 0);
+  {
+    uint64_t running = 0;
+    for (uint32_t d = 0; d < radix; ++d) {
+      bucket_start[d] = running;
+      for (int c = 0; c < num_chunks; ++c) {
+        const uint64_t count = histograms[static_cast<size_t>(c)][d];
+        histograms[static_cast<size_t>(c)][d] = running;
+        running += count;
+      }
+    }
+    bucket_start[radix] = running;
+  }
+
+  ParallelFor(0, num_chunks, [&](int64_t c) {
+    const size_t lo = static_cast<size_t>(c) * chunk_size;
+    const size_t hi = lo + chunk_size < n ? lo + chunk_size : n;
+    auto& cursor = histograms[static_cast<size_t>(c)];
+    for (size_t i = lo; i < hi; ++i) {
+      scratch[cursor[(key(records[i]) >> top_shift) & mask]++] = records[i];
+    }
+  });
+  records.swap(scratch);
+
+  if (top_shift == 0) {
+    return;
+  }
+
+  // --- Per-bucket parallel recursion over the remaining digits ---
+  ParallelForGrain(0, radix, /*grain=*/1, [&](int64_t d) {
+    const size_t lo = bucket_start[static_cast<size_t>(d)];
+    const size_t hi = bucket_start[static_cast<size_t>(d) + 1];
+    if (hi - lo > 1) {
+      radix_internal::SortBucketLsd(records, scratch, lo, hi, top_shift, digit_bits, key);
+    }
+  });
+}
+
+}  // namespace egraph
+
+#endif  // SRC_LAYOUT_RADIX_SORT_H_

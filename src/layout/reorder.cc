@@ -1,0 +1,128 @@
+#include "src/layout/reorder.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "src/graph/stats.h"
+#include "src/util/parallel.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace egraph {
+
+const char* ReorderMethodName(ReorderMethod method) {
+  switch (method) {
+    case ReorderMethod::kDegreeDescending:
+      return "degree-desc";
+    case ReorderMethod::kBfsOrder:
+      return "bfs-order";
+    case ReorderMethod::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+Reordering ComputeReordering(const EdgeList& graph, ReorderMethod method, uint64_t seed) {
+  Timer timer;
+  Reordering result;
+  const VertexId n = graph.num_vertices();
+  result.new_id_of.resize(n);
+
+  switch (method) {
+    case ReorderMethod::kDegreeDescending: {
+      const std::vector<uint32_t> degree = OutDegrees(graph);
+      std::vector<VertexId> order(n);
+      std::iota(order.begin(), order.end(), 0u);
+      std::stable_sort(order.begin(), order.end(), [&degree](VertexId a, VertexId b) {
+        return degree[a] > degree[b];
+      });
+      ParallelFor(0, static_cast<int64_t>(n), [&](int64_t rank) {
+        result.new_id_of[order[static_cast<size_t>(rank)]] = static_cast<VertexId>(rank);
+      });
+      break;
+    }
+    case ReorderMethod::kBfsOrder: {
+      // BFS from the highest-degree vertex over the undirected view;
+      // unreached vertices keep their relative order after the reached ones.
+      const std::vector<uint32_t> out = OutDegrees(graph);
+      VertexId root = 0;
+      for (VertexId v = 0; v < n; ++v) {
+        if (out[v] > out[root]) {
+          root = v;
+        }
+      }
+      // Sequential BFS (pre-processing; measured as such).
+      std::vector<uint32_t> degree(n, 0);
+      for (const Edge& e : graph.edges()) {
+        ++degree[e.src];
+        ++degree[e.dst];
+      }
+      std::vector<uint64_t> offsets(static_cast<size_t>(n) + 1, 0);
+      for (VertexId v = 0; v < n; ++v) {
+        offsets[v + 1] = offsets[v] + degree[v];
+      }
+      std::vector<VertexId> neighbors(offsets[n]);
+      std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+      for (const Edge& e : graph.edges()) {
+        neighbors[cursor[e.src]++] = e.dst;
+        neighbors[cursor[e.dst]++] = e.src;
+      }
+      std::vector<bool> visited(n, false);
+      VertexId next_id = 0;
+      std::queue<VertexId> queue;
+      auto visit = [&](VertexId v) {
+        visited[v] = true;
+        result.new_id_of[v] = next_id++;
+        queue.push(v);
+      };
+      visit(root);
+      while (!queue.empty()) {
+        const VertexId u = queue.front();
+        queue.pop();
+        for (uint64_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+          if (!visited[neighbors[i]]) {
+            visit(neighbors[i]);
+          }
+        }
+      }
+      for (VertexId v = 0; v < n; ++v) {
+        if (!visited[v]) {
+          result.new_id_of[v] = next_id++;
+        }
+      }
+      break;
+    }
+    case ReorderMethod::kRandom: {
+      std::vector<VertexId> order(n);
+      std::iota(order.begin(), order.end(), 0u);
+      Xoshiro256 rng(seed);
+      for (VertexId i = n; i > 1; --i) {
+        std::swap(order[i - 1], order[rng.NextBounded(i)]);
+      }
+      ParallelFor(0, static_cast<int64_t>(n), [&](int64_t rank) {
+        result.new_id_of[order[static_cast<size_t>(rank)]] = static_cast<VertexId>(rank);
+      });
+      break;
+    }
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+EdgeList ApplyReordering(const EdgeList& graph, const Reordering& reordering) {
+  EdgeList out;
+  out.set_num_vertices(graph.num_vertices());
+  out.mutable_edges().resize(graph.num_edges());
+  const auto& map = reordering.new_id_of;
+  ParallelFor(0, static_cast<int64_t>(graph.num_edges()), [&](int64_t i) {
+    const Edge& e = graph.edges()[static_cast<size_t>(i)];
+    out.mutable_edges()[static_cast<size_t>(i)] = {map[e.src], map[e.dst]};
+  });
+  if (graph.has_weights()) {
+    out.mutable_weights() = graph.weights();
+  }
+  return out;
+}
+
+}  // namespace egraph

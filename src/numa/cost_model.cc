@@ -1,0 +1,70 @@
+#include "src/numa/cost_model.h"
+
+#include <algorithm>
+
+namespace egraph {
+
+void AccessCounts::Merge(const AccessCounts& other) {
+  local += other.local;
+  remote += other.remote;
+  if (per_node.size() < other.per_node.size()) {
+    per_node.resize(other.per_node.size(), 0);
+  }
+  for (size_t i = 0; i < other.per_node.size(); ++i) {
+    per_node[i] += other.per_node[i];
+  }
+}
+
+double AccessCounts::MaxNodeShare() const {
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  for (const uint64_t count : per_node) {
+    sum += count;
+    max = std::max(max, count);
+  }
+  if (sum == 0) {
+    return per_node.empty() ? 1.0 : 1.0 / static_cast<double>(per_node.size());
+  }
+  return static_cast<double>(max) / static_cast<double>(sum);
+}
+
+AccessCounts InterleavedCounts(uint64_t total_accesses, int num_nodes) {
+  AccessCounts counts;
+  const uint64_t n = static_cast<uint64_t>(num_nodes < 1 ? 1 : num_nodes);
+  counts.local = total_accesses / n;
+  counts.remote = total_accesses - counts.local;
+  counts.per_node.assign(n, total_accesses / n);
+  return counts;
+}
+
+double AverageLatencyNs(const AccessCounts& counts, const NumaTopology& topo) {
+  const uint64_t total = counts.total();
+  if (total == 0) {
+    return topo.local_ns;
+  }
+  return (static_cast<double>(counts.local) * topo.local_ns +
+          static_cast<double>(counts.remote) * topo.remote_ns) /
+         static_cast<double>(total);
+}
+
+double ContentionMultiplier(const AccessCounts& counts, const NumaTopology& topo) {
+  if (topo.num_nodes <= 1) {
+    return 1.0;
+  }
+  const double uniform = 1.0 / topo.num_nodes;
+  const double skew = counts.MaxNodeShare();
+  const double excess = std::max(0.0, skew - uniform) / (1.0 - uniform);
+  return 1.0 + topo.contention_coeff * excess;
+}
+
+double ModeledSeconds(double measured_seconds, const AccessCounts& counts,
+                      const NumaTopology& topo, const CostModelOptions& options) {
+  const AccessCounts reference = InterleavedCounts(std::max<uint64_t>(counts.total(), 1),
+                                                   topo.num_nodes);
+  const double latency_ref = AverageLatencyNs(reference, topo);
+  const double latency = AverageLatencyNs(counts, topo) * ContentionMultiplier(counts, topo);
+  const double f = options.memory_bound_fraction;
+  return measured_seconds * ((1.0 - f) + f * latency / latency_ref);
+}
+
+}  // namespace egraph

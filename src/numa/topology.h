@@ -1,0 +1,29 @@
+// Simulated NUMA topologies. This environment is single-socket, so the
+// memory-system *effect* of NUMA placement is modeled (see cost_model.h)
+// while the partitioning *work* is executed and measured for real.
+//
+// The two configurations mirror the paper's machines:
+//   A: 2 NUMA nodes (2x Intel Xeon E5-2630, 16 cores) - mild remote penalty
+//   B: 4 NUMA nodes (4x AMD Opteron 6272, 32 cores)   - strong remote penalty
+// Latency figures are typical published values for these platforms; the
+// contention coefficient captures the bus saturation Dashti et al. report
+// when all cores target one node (the paper's Fig. 10 pathology).
+#ifndef SRC_NUMA_TOPOLOGY_H_
+#define SRC_NUMA_TOPOLOGY_H_
+
+namespace egraph {
+
+struct NumaTopology {
+  const char* name;
+  int num_nodes;
+  double local_ns;           // local DRAM access latency
+  double remote_ns;          // one-hop remote access latency
+  double contention_coeff;   // slowdown slope when accesses pile onto a node
+};
+
+inline constexpr NumaTopology kMachineA{"machine-A(2 nodes)", 2, 90.0, 110.0, 1.5};
+inline constexpr NumaTopology kMachineB{"machine-B(4 nodes)", 4, 85.0, 180.0, 3.5};
+
+}  // namespace egraph
+
+#endif  // SRC_NUMA_TOPOLOGY_H_

@@ -1,0 +1,65 @@
+// Lock-free update helpers used by push-mode edge functions: compare-and-swap
+// loops for min/add on plain (non std::atomic) storage. Graph metadata lives
+// in plain arrays so that pull mode and lock-owned modes can access it without
+// atomic overhead; push mode upgrades individual accesses via these helpers.
+#ifndef SRC_UTIL_ATOMICS_H_
+#define SRC_UTIL_ATOMICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+namespace egraph {
+
+// Atomically performs `*target = min(*target, value)`.
+// Returns true iff this call lowered the stored value.
+template <typename T>
+bool AtomicMin(T* target, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  auto* a = reinterpret_cast<std::atomic<T>*>(target);
+  T current = a->load(std::memory_order_relaxed);
+  while (value < current) {
+    if (a->compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Atomically performs `*target += value` for floating point or integral T.
+template <typename T>
+void AtomicAdd(T* target, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if constexpr (std::is_integral_v<T>) {
+    reinterpret_cast<std::atomic<T>*>(target)->fetch_add(value, std::memory_order_relaxed);
+  } else {
+    auto* a = reinterpret_cast<std::atomic<T>*>(target);
+    T current = a->load(std::memory_order_relaxed);
+    while (!a->compare_exchange_weak(current, current + value, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+// Atomically replaces `*target` with `desired` iff it currently equals
+// `expected`. Returns true on success. Used e.g. by BFS to claim a vertex.
+template <typename T>
+bool AtomicCas(T* target, T expected, T desired) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  auto* a = reinterpret_cast<std::atomic<T>*>(target);
+  return a->compare_exchange_strong(expected, desired, std::memory_order_relaxed);
+}
+
+// Relaxed atomic load/store on plain storage.
+template <typename T>
+T AtomicLoad(const T* target) {
+  return reinterpret_cast<const std::atomic<T>*>(target)->load(std::memory_order_relaxed);
+}
+
+template <typename T>
+void AtomicStore(T* target, T value) {
+  reinterpret_cast<std::atomic<T>*>(target)->store(value, std::memory_order_relaxed);
+}
+
+}  // namespace egraph
+
+#endif  // SRC_UTIL_ATOMICS_H_

@@ -1,0 +1,42 @@
+#include "src/util/bitmap.h"
+
+#include "src/util/parallel.h"
+
+namespace egraph {
+
+Bitmap::Bitmap(int64_t bits) { Resize(bits); }
+
+void Bitmap::Resize(int64_t bits) {
+  bits_ = bits;
+  const size_t words = static_cast<size_t>((bits + 63) / 64);
+  // std::atomic is not movable; rebuild the vector then zero it.
+  words_ = std::vector<std::atomic<uint64_t>>(words);
+  Clear();
+}
+
+void Bitmap::Clear() {
+  ParallelFor(0, static_cast<int64_t>(words_.size()), [this](int64_t w) {
+    words_[static_cast<size_t>(w)].store(0, std::memory_order_relaxed);
+  });
+}
+
+int64_t Bitmap::Count() const {
+  return ParallelReduceSum<int64_t>(0, static_cast<int64_t>(words_.size()), [this](int64_t w) {
+    return static_cast<int64_t>(
+        __builtin_popcountll(words_[static_cast<size_t>(w)].load(std::memory_order_relaxed)));
+  });
+}
+
+void Bitmap::ToVector(std::vector<uint32_t>& out) const {
+  out.clear();
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w].load(std::memory_order_relaxed);
+    while (word != 0) {
+      const int bit = __builtin_ctzll(word);
+      out.push_back(static_cast<uint32_t>(w * 64 + static_cast<size_t>(bit)));
+      word &= word - 1;
+    }
+  }
+}
+
+}  // namespace egraph

@@ -1,0 +1,53 @@
+#include "src/util/env.h"
+
+#include <cstdlib>
+#include <thread>
+
+namespace egraph {
+
+int64_t EnvInt64(const char* name, int64_t def) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return def;
+  }
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value) {
+    return def;
+  }
+  return static_cast<int64_t>(parsed);
+}
+
+double EnvDouble(const char* name, double def) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return def;
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value) {
+    return def;
+  }
+  return parsed;
+}
+
+std::string EnvString(const char* name, const std::string& def) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return def;
+  }
+  return value;
+}
+
+int EnvThreadCount() {
+  const int64_t requested = EnvInt64("EG_THREADS", 0);
+  if (requested > 0) {
+    return static_cast<int>(requested);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : static_cast<int>(hw);
+}
+
+int EnvBenchScale() { return static_cast<int>(EnvInt64("EG_SCALE", 18)); }
+
+}  // namespace egraph

@@ -1,0 +1,32 @@
+// Environment-variable configuration knobs shared by tests, benches and
+// examples. All knobs are optional; defaults keep the workload laptop-sized.
+#ifndef SRC_UTIL_ENV_H_
+#define SRC_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace egraph {
+
+// Returns the integer value of environment variable `name`, or `def` when the
+// variable is unset or unparsable.
+int64_t EnvInt64(const char* name, int64_t def);
+
+// Returns the double value of environment variable `name`, or `def`.
+double EnvDouble(const char* name, double def);
+
+// Returns the string value of environment variable `name`, or `def`.
+std::string EnvString(const char* name, const std::string& def);
+
+// EG_THREADS: number of worker threads for the global pool.
+// Defaults to std::thread::hardware_concurrency().
+int EnvThreadCount();
+
+// EG_SCALE: base R-MAT scale used by the benchmark harness (default 18).
+// Every bench derives its graph sizes from this so the whole suite can be
+// scaled up on a bigger machine with one knob.
+int EnvBenchScale();
+
+}  // namespace egraph
+
+#endif  // SRC_UTIL_ENV_H_

@@ -1,0 +1,82 @@
+#include "src/util/flags.h"
+
+#include <cstdlib>
+
+namespace egraph {
+
+Flags::Flags(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // "--key value" unless the next token is another flag or absent.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool Flags::Has(const std::string& key) const {
+  queried_[key] = true;
+  return values_.count(key) != 0;
+}
+
+std::string Flags::GetString(const std::string& key, const std::string& def) const {
+  queried_[key] = true;
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& key, int64_t def) const {
+  queried_[key] = true;
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  char* end = nullptr;
+  const long long parsed = std::strtoll(it->second.c_str(), &end, 10);
+  return end == it->second.c_str() ? def : parsed;
+}
+
+double Flags::GetDouble(const std::string& key, double def) const {
+  queried_[key] = true;
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(it->second.c_str(), &end);
+  return end == it->second.c_str() ? def : parsed;
+}
+
+bool Flags::GetBool(const std::string& key, bool def) const {
+  queried_[key] = true;
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> Flags::UnusedKeys() const {
+  std::vector<std::string> unused;
+  for (const auto& [key, value] : values_) {
+    if (queried_.count(key) == 0) {
+      unused.push_back(key);
+    }
+  }
+  return unused;
+}
+
+}  // namespace egraph

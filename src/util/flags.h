@@ -1,0 +1,40 @@
+// Minimal command-line flag parsing for the tools and examples:
+// --key=value / --key value / --bool-flag. No global state.
+#ifndef SRC_UTIL_FLAGS_H_
+#define SRC_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace egraph {
+
+class Flags {
+ public:
+  // Parses argv; unrecognized positional arguments are kept in order.
+  // A trailing "--key" with no value becomes a boolean flag ("true").
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key, const std::string& def) const;
+  int64_t GetInt(const std::string& key, int64_t def) const;
+  double GetDouble(const std::string& key, double def) const;
+  bool GetBool(const std::string& key, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+  // Keys that were provided but never queried (typo detection).
+  std::vector<std::string> UnusedKeys() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace egraph
+
+#endif  // SRC_UTIL_FLAGS_H_

@@ -1,0 +1,138 @@
+// Parallel primitives built on the work-stealing pool: element-wise loops,
+// reductions and prefix sums. These are the building blocks of every layout
+// builder (count sort needs a parallel exclusive scan) and of the engine.
+#ifndef SRC_UTIL_PARALLEL_H_
+#define SRC_UTIL_PARALLEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/thread_pool.h"
+
+namespace egraph {
+
+// Calls body(i) for every i in [begin, end), in parallel.
+template <typename Body>
+void ParallelFor(int64_t begin, int64_t end, Body&& body) {
+  ThreadPool::Get().ParallelForChunks(begin, end, /*grain=*/0,
+                                      [&body](int64_t lo, int64_t hi, int /*worker*/) {
+                                        for (int64_t i = lo; i < hi; ++i) {
+                                          body(i);
+                                        }
+                                      });
+}
+
+// Calls body(i) with an explicit chunk grain (work-distribution knob).
+template <typename Body>
+void ParallelForGrain(int64_t begin, int64_t end, int64_t grain, Body&& body) {
+  ThreadPool::Get().ParallelForChunks(begin, end, grain,
+                                      [&body](int64_t lo, int64_t hi, int /*worker*/) {
+                                        for (int64_t i = lo; i < hi; ++i) {
+                                          body(i);
+                                        }
+                                      });
+}
+
+// Calls body(chunk_begin, chunk_end, worker_id). Useful when the body keeps
+// per-chunk scratch state (e.g. per-thread histograms in radix sort).
+template <typename Body>
+void ParallelForChunks(int64_t begin, int64_t end, int64_t grain, Body&& body) {
+  ThreadPool::Get().ParallelForChunks(begin, end, grain,
+                                      [&body](int64_t lo, int64_t hi, int worker) {
+                                        body(lo, hi, worker);
+                                      });
+}
+
+// Parallel sum-reduction of body(i) over [begin, end).
+template <typename T, typename Body>
+T ParallelReduceSum(int64_t begin, int64_t end, Body&& body) {
+  ThreadPool& pool = ThreadPool::Get();
+  std::vector<T> partial(static_cast<size_t>(pool.num_threads()), T{});
+  pool.ParallelForChunks(begin, end, /*grain=*/0,
+                         [&body, &partial](int64_t lo, int64_t hi, int worker) {
+                           T local{};
+                           for (int64_t i = lo; i < hi; ++i) {
+                             local += body(i);
+                           }
+                           partial[static_cast<size_t>(worker)] += local;
+                         });
+  T total{};
+  for (const T& value : partial) {
+    total += value;
+  }
+  return total;
+}
+
+// Parallel max-reduction of body(i) over [begin, end); returns `init` when
+// the range is empty.
+template <typename T, typename Body>
+T ParallelReduceMax(int64_t begin, int64_t end, T init, Body&& body) {
+  ThreadPool& pool = ThreadPool::Get();
+  std::vector<T> partial(static_cast<size_t>(pool.num_threads()), init);
+  pool.ParallelForChunks(begin, end, /*grain=*/0,
+                         [&body, &partial](int64_t lo, int64_t hi, int worker) {
+                           T local = partial[static_cast<size_t>(worker)];
+                           for (int64_t i = lo; i < hi; ++i) {
+                             T candidate = body(i);
+                             if (local < candidate) {
+                               local = candidate;
+                             }
+                           }
+                           partial[static_cast<size_t>(worker)] = local;
+                         });
+  T best = init;
+  for (const T& value : partial) {
+    if (best < value) {
+      best = value;
+    }
+  }
+  return best;
+}
+
+// In-place parallel exclusive prefix sum over `values`; returns the grand
+// total. Two-pass blocked scan: per-block sums, serial scan of block sums,
+// then per-block local scans.
+template <typename T>
+T ParallelExclusiveScan(std::vector<T>& values) {
+  const int64_t n = static_cast<int64_t>(values.size());
+  if (n == 0) {
+    return T{};
+  }
+  ThreadPool& pool = ThreadPool::Get();
+  const int64_t blocks = pool.num_threads() * 4;
+  const int64_t block_size = (n + blocks - 1) / blocks;
+
+  std::vector<T> block_sums(static_cast<size_t>(blocks), T{});
+  ParallelFor(0, blocks, [&](int64_t b) {
+    const int64_t lo = b * block_size;
+    const int64_t hi = lo + block_size < n ? lo + block_size : n;
+    T sum{};
+    for (int64_t i = lo; i < hi; ++i) {
+      sum += values[static_cast<size_t>(i)];
+    }
+    block_sums[static_cast<size_t>(b)] = sum;
+  });
+
+  T running{};
+  for (int64_t b = 0; b < blocks; ++b) {
+    const T sum = block_sums[static_cast<size_t>(b)];
+    block_sums[static_cast<size_t>(b)] = running;
+    running += sum;
+  }
+
+  ParallelFor(0, blocks, [&](int64_t b) {
+    const int64_t lo = b * block_size;
+    const int64_t hi = lo + block_size < n ? lo + block_size : n;
+    T prefix = block_sums[static_cast<size_t>(b)];
+    for (int64_t i = lo; i < hi; ++i) {
+      const T value = values[static_cast<size_t>(i)];
+      values[static_cast<size_t>(i)] = prefix;
+      prefix += value;
+    }
+  });
+  return running;
+}
+
+}  // namespace egraph
+
+#endif  // SRC_UTIL_PARALLEL_H_

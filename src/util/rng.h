@@ -1,0 +1,65 @@
+// Deterministic, fast random number generation. Graph generators must be
+// reproducible across runs and thread counts, so every parallel chunk seeds
+// its own generator from (seed, index) via SplitMix64.
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace egraph {
+
+// SplitMix64: statistically strong 64-bit mixer; ideal for turning an
+// (arbitrary) seed into a stream of well-distributed values and for seeding
+// other generators.
+inline uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256**: fast general-purpose PRNG (Blackman & Vigna). One instance
+// per thread/chunk; never shared between threads.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : s_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    // Lemire's multiply-shift rejection-free approximation is fine here:
+    // the tiny modulo bias is irrelevant for graph generation.
+    return static_cast<uint64_t>((static_cast<__uint128_t>(Next()) * bound) >> 64);
+  }
+
+  // Uniform float in [0, 1).
+  float NextFloat() { return static_cast<float>(Next() >> 40) * 0x1.0p-24f; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace egraph
+
+#endif  // SRC_UTIL_RNG_H_

@@ -1,0 +1,36 @@
+// Plain-text table printer used by the benchmark harness to emit the paper's
+// tables and figure series in a uniform, grep-friendly format.
+#ifndef SRC_UTIL_TABLE_H_
+#define SRC_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace egraph {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; cells are stringified by the caller (see AddRow overload
+  // helpers in table.cc users). Rows shorter than the header are padded.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the table with aligned columns.
+  std::string ToString() const;
+
+  // Prints to stdout with a title banner.
+  void Print(const std::string& title) const;
+
+  static std::string FormatSeconds(double seconds);
+  static std::string FormatPercent(double fraction);
+  static std::string FormatCount(int64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace egraph
+
+#endif  // SRC_UTIL_TABLE_H_

@@ -1,0 +1,89 @@
+// Work-stealing thread pool: the parallel runtime substrate standing in for
+// the Cilk runtime used by the paper (the paper reports OpenMP and PThreads
+// perform comparably, so the specific runtime is not load-bearing).
+//
+// Parallel loops split their iteration space into chunks that are distributed
+// round-robin onto per-worker queues; a worker that drains its own queue
+// steals chunks from victims. This matches the paper's description: "threads
+// take work items from the queue in large enough chunks to reduce the work
+// distribution overheads" and "Cilk balances the work among threads by
+// allowing threads to steal work items from one another".
+#ifndef SRC_UTIL_THREAD_POOL_H_
+#define SRC_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace egraph {
+
+class ThreadPool {
+ public:
+  // `num_threads` counts all participants including the calling thread:
+  // the pool spawns num_threads - 1 workers and the caller joins in.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Global pool, sized by EG_THREADS (default: hardware concurrency).
+  static ThreadPool& Get();
+
+  int num_threads() const { return num_threads_; }
+
+  // Calls body(chunk_begin, chunk_end, worker_id) until [begin, end) is
+  // covered. Chunks have `grain` iterations (last chunk may be short);
+  // grain <= 0 selects an automatic grain of ~8 chunks per worker.
+  // `body` must not throw. Nested calls from inside a worker run the whole
+  // range serially on the calling worker.
+  void ParallelForChunks(int64_t begin, int64_t end, int64_t grain,
+                         const std::function<void(int64_t, int64_t, int)>& body);
+
+  // worker id of the current thread while inside a parallel region
+  // (0..num_threads-1); 0 outside.
+  static int CurrentWorker();
+
+  // True while executing inside a parallel region on this thread.
+  static bool InParallelRegion();
+
+  // Total number of chunks stolen since construction (telemetry for tests).
+  uint64_t steal_count() const { return steal_count_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Chunk {
+    int64_t begin;
+    int64_t end;
+  };
+  // Per-worker chunk queue: chunks are preloaded before the region starts
+  // and only consumed afterwards, so a lock-free atomic cursor suffices.
+  struct alignas(64) WorkerQueue {
+    std::vector<Chunk> chunks;
+    std::atomic<int64_t> next{0};
+  };
+
+  void WorkerLoop(int worker_id);
+  void RunRegion(int worker_id);
+
+  int num_threads_;
+  std::vector<std::thread> threads_;
+  std::vector<WorkerQueue> queues_;
+
+  std::mutex region_mutex_;  // serializes whole parallel regions
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  uint64_t epoch_ = 0;        // incremented per parallel region
+  int pending_workers_ = 0;   // workers still running the current region
+  bool shutdown_ = false;
+  const std::function<void(int64_t, int64_t, int)>* body_ = nullptr;
+  std::atomic<uint64_t> steal_count_{0};
+};
+
+}  // namespace egraph
+
+#endif  // SRC_UTIL_THREAD_POOL_H_

@@ -1,0 +1,150 @@
+// Cache model tests: hand-computed hit/miss sequences, LRU and
+// associativity behavior, then the layout traces — whose relative miss
+// ratios must reproduce the orderings in the paper's Tables 2 and 4.
+#include <gtest/gtest.h>
+
+#include "src/cachesim/cache_model.h"
+#include "src/cachesim/trace.h"
+#include "src/gen/rmat.h"
+#include "src/layout/csr_builder.h"
+#include "src/layout/grid.h"
+
+namespace egraph {
+namespace {
+
+CacheConfig TinyCache(uint64_t size, uint32_t assoc, uint32_t line = 64) {
+  CacheConfig config;
+  config.size_bytes = size;
+  config.associativity = assoc;
+  config.line_bytes = line;
+  return config;
+}
+
+TEST(CacheModel, FirstAccessMissesSecondHits) {
+  CacheModel cache(TinyCache(4096, 4));
+  EXPECT_FALSE(cache.Access(0));
+  EXPECT_TRUE(cache.Access(0));
+  EXPECT_TRUE(cache.Access(63));   // same line
+  EXPECT_FALSE(cache.Access(64));  // next line
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(CacheModel, LruEvictsOldestWay) {
+  // 1 set x 2 ways x 64-byte lines = 128-byte cache; identical set index for
+  // all aligned addresses.
+  CacheModel cache(TinyCache(128, 2));
+  const uint64_t a = 0;
+  const uint64_t b = 1 << 12;
+  const uint64_t c = 2 << 12;
+  EXPECT_FALSE(cache.Access(a));
+  EXPECT_FALSE(cache.Access(b));
+  EXPECT_TRUE(cache.Access(a));   // refresh a: b becomes LRU
+  EXPECT_FALSE(cache.Access(c));  // evicts b
+  EXPECT_TRUE(cache.Access(a));
+  EXPECT_FALSE(cache.Access(b));  // b was evicted
+}
+
+TEST(CacheModel, AssociativityHoldsConflictingLines) {
+  CacheModel cache(TinyCache(64 * 8, 8));  // 1 set, 8 ways
+  for (uint64_t i = 0; i < 8; ++i) {
+    EXPECT_FALSE(cache.Access(i << 12));
+  }
+  for (uint64_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(cache.Access(i << 12)) << i;  // all 8 still resident
+  }
+}
+
+TEST(CacheModel, SequentialStreamMissesOncePerLine) {
+  CacheModel cache(TinyCache(1 << 20, 16));
+  for (uint64_t addr = 0; addr < 64 * 100; addr += 8) {
+    cache.Access(addr);
+  }
+  EXPECT_EQ(cache.misses(), 100u);
+  EXPECT_EQ(cache.accesses(), 64u / 8 * 100);
+}
+
+TEST(CacheModel, AccessRangeTouchesEveryLine) {
+  CacheModel cache(TinyCache(1 << 20, 16));
+  cache.AccessRange(10, 300);  // spans lines 0..4
+  EXPECT_EQ(cache.misses(), 5u);
+}
+
+TEST(CacheModel, ResetCountersKeepsContents) {
+  CacheModel cache(TinyCache(4096, 4));
+  cache.Access(0);
+  cache.ResetCounters();
+  EXPECT_EQ(cache.accesses(), 0u);
+  EXPECT_TRUE(cache.Access(0));  // line still cached
+}
+
+// --- Trace orderings (the paper's qualitative claims) -----------------------
+
+class TraceTest : public ::testing::Test {
+ protected:
+  static EdgeList MakeGraph() {
+    RmatOptions options;
+    options.scale = 13;  // metadata footprint >> modeled LLC below
+    return GenerateRmat(options);
+  }
+  // Small LLC so the working set cannot fully fit (matching the real
+  // relationship between a 16 MB LLC and a billion-edge graph).
+  static CacheConfig SmallLlc() { return TinyCache(64 << 10, 16); }
+};
+
+TEST_F(TraceTest, RadixBuildMissesFarLessThanCountSortAndDynamic) {
+  const EdgeList graph = MakeGraph();
+  CacheModel radix(SmallLlc());
+  TraceRadixSortBuild(radix, graph);
+  CacheModel count(SmallLlc());
+  TraceCountSortBuild(count, graph);
+  CacheModel dynamic(SmallLlc());
+  TraceDynamicBuild(dynamic, graph);
+
+  // Paper Table 2: radix 26% vs count 71% / dynamic 69%.
+  EXPECT_LT(radix.MissRatio(), 0.6 * count.MissRatio());
+  EXPECT_LT(radix.MissRatio(), 0.6 * dynamic.MissRatio());
+}
+
+TEST_F(TraceTest, GridHalvesMissRatioVsEdgeArray) {
+  const EdgeList graph = MakeGraph();
+  GridOptions options;
+  options.num_blocks = 16;
+  const Grid grid = BuildGrid(graph, options);
+
+  CacheModel edge_array(SmallLlc());
+  TraceEdgeArrayPass(edge_array, graph, /*meta_bytes=*/10);
+  CacheModel grid_cache(SmallLlc());
+  TraceGridPass(grid_cache, grid, /*meta_bytes=*/10);
+
+  // Paper Table 4 (Pagerank): 83% edge array vs 35% grid.
+  EXPECT_LT(grid_cache.MissRatio(), 0.65 * edge_array.MissRatio());
+}
+
+TEST_F(TraceTest, AdjacencyComparableToEdgeArray) {
+  const EdgeList graph = MakeGraph();
+  const Csr out = BuildCsr(graph, EdgeDirection::kOut, BuildMethod::kRadixSort);
+
+  CacheModel edge_array(SmallLlc());
+  TraceEdgeArrayPass(edge_array, graph, /*meta_bytes=*/10);
+  CacheModel adjacency(SmallLlc());
+  TraceAdjacencyPass(adjacency, out, /*meta_bytes=*/10);
+
+  // Paper Table 4: adjacency (78%) close to edge array (83%) — both are
+  // destination-bound; neither blocks the metadata accesses.
+  EXPECT_GT(adjacency.MissRatio(), 0.5 * edge_array.MissRatio());
+  EXPECT_LT(adjacency.MissRatio(), 1.5 * edge_array.MissRatio());
+}
+
+TEST_F(TraceTest, SmallerMetadataLowersMissRatio) {
+  const EdgeList graph = MakeGraph();
+  CacheModel bfs_like(SmallLlc());
+  TraceEdgeArrayPass(bfs_like, graph, /*meta_bytes=*/1);  // BFS: 64 vertices/line
+  CacheModel pr_like(SmallLlc());
+  TraceEdgeArrayPass(pr_like, graph, /*meta_bytes=*/10);  // PR: ~6 vertices/line
+  // Paper Table 4: BFS 57% < Pagerank 83% on the edge array.
+  EXPECT_LT(bfs_like.MissRatio(), pr_like.MissRatio());
+}
+
+}  // namespace
+}  // namespace egraph

@@ -1,0 +1,372 @@
+// Engine primitive tests: frontier representations, EdgeMap equivalence
+// across layout x direction x sync, push-pull switching, scan helpers,
+// GraphHandle preparation accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "src/algos/bfs.h"
+#include "src/algos/reference.h"
+#include "src/engine/edge_map.h"
+#include "src/engine/graph_handle.h"
+#include "src/engine/scan.h"
+#include "src/gen/rmat.h"
+#include "src/graph/stats.h"
+#include "src/util/atomics.h"
+
+namespace egraph {
+namespace {
+
+TEST(Frontier, SingleAndNone) {
+  Frontier none = Frontier::None(100);
+  EXPECT_TRUE(none.Empty());
+  Frontier single = Frontier::Single(100, 42);
+  EXPECT_EQ(single.Count(), 1);
+  single.EnsureDense();
+  EXPECT_TRUE(single.Contains(42));
+  EXPECT_FALSE(single.Contains(41));
+}
+
+TEST(Frontier, AllContainsEverything) {
+  Frontier all = Frontier::All(300);
+  EXPECT_EQ(all.Count(), 300);
+  for (VertexId v = 0; v < 300; ++v) {
+    ASSERT_TRUE(all.Contains(v));
+  }
+  all.EnsureSparse();
+  EXPECT_EQ(all.Vertices().size(), 300u);
+}
+
+TEST(Frontier, SparseDenseRoundTrip) {
+  Frontier f = Frontier::FromVector(1000, {1, 63, 64, 999});
+  f.EnsureDense();
+  EXPECT_TRUE(f.Contains(63));
+  EXPECT_FALSE(f.Contains(62));
+  Bitmap bitmap(1000);
+  bitmap.Set(5);
+  bitmap.Set(700);
+  Frontier g = Frontier::FromBitmap(1000, std::move(bitmap), 2);
+  g.EnsureSparse();
+  EXPECT_EQ(g.Vertices(), (std::vector<VertexId>{5, 700}));
+}
+
+TEST(Frontier, WorkEstimateCountsDegreesPlusSize) {
+  EdgeList graph;
+  graph.set_num_vertices(4);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(0, 2);
+  graph.AddEdge(1, 2);
+  const Csr out = BuildCsr(graph, EdgeDirection::kOut, BuildMethod::kRadixSort);
+  Frontier f = Frontier::FromVector(4, {0, 1});
+  EXPECT_EQ(f.WorkEstimate(out), 2u + 3u);  // deg(0)=2, deg(1)=1, |F|=2
+}
+
+// --- EdgeMap equivalence: BFS reachability across all strategies -----------
+
+struct ReachFunctor {
+  uint8_t* visited;
+  bool Update(VertexId /*s*/, VertexId d, float) {
+    if (visited[d] == 0) {
+      visited[d] = 1;
+      return true;
+    }
+    return false;
+  }
+  bool UpdateAtomic(VertexId /*s*/, VertexId d, float) {
+    return AtomicCas(&visited[d], uint8_t{0}, uint8_t{1});
+  }
+  bool Cond(VertexId d) const { return AtomicLoad(&visited[d]) == 0; }
+};
+
+class EdgeMapTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    RmatOptions options;
+    options.scale = 10;
+    graph_ = new EdgeList(GenerateRmat(options));
+    handle_ = new GraphHandle(*graph_);
+    PrepareConfig prepare;
+    prepare.layout = Layout::kAdjacency;
+    prepare.need_out = true;
+    prepare.need_in = true;
+    handle_->Prepare(prepare);
+    prepare.layout = Layout::kGrid;
+    handle_->Prepare(prepare);
+    // Expected reachable set from vertex 0 (sequential reference).
+    const auto levels = RefBfsLevels(*graph_, 0);
+    expected_ = new std::set<VertexId>();
+    for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
+      if (levels[v] != UINT32_MAX) {
+        expected_->insert(v);
+      }
+    }
+  }
+  static void TearDownTestSuite() {
+    delete expected_;
+    delete handle_;
+    delete graph_;
+  }
+
+  template <typename Step>
+  std::set<VertexId> Reach(Step&& step) {
+    const VertexId n = graph_->num_vertices();
+    std::vector<uint8_t> visited(n, 0);
+    visited[0] = 1;
+    ReachFunctor func{visited.data()};
+    Frontier frontier = Frontier::Single(n, 0);
+    while (!frontier.Empty()) {
+      frontier = step(frontier, func);
+    }
+    std::set<VertexId> reached;
+    for (VertexId v = 0; v < n; ++v) {
+      if (visited[v]) {
+        reached.insert(v);
+      }
+    }
+    return reached;
+  }
+
+  static EdgeList* graph_;
+  static GraphHandle* handle_;
+  static std::set<VertexId>* expected_;
+};
+
+EdgeList* EdgeMapTest::graph_ = nullptr;
+GraphHandle* EdgeMapTest::handle_ = nullptr;
+std::set<VertexId>* EdgeMapTest::expected_ = nullptr;
+
+TEST_F(EdgeMapTest, CsrPushAtomics) {
+  auto reached = Reach([&](Frontier& f, ReachFunctor& fn) {
+    return EdgeMapCsrPush(handle_->out_csr(), f, fn, Sync::kAtomics, &handle_->locks());
+  });
+  EXPECT_EQ(reached, *expected_);
+}
+
+TEST_F(EdgeMapTest, CsrPushLocks) {
+  auto reached = Reach([&](Frontier& f, ReachFunctor& fn) {
+    return EdgeMapCsrPush(handle_->out_csr(), f, fn, Sync::kLocks, &handle_->locks());
+  });
+  EXPECT_EQ(reached, *expected_);
+}
+
+TEST_F(EdgeMapTest, CsrPull) {
+  auto reached = Reach([&](Frontier& f, ReachFunctor& fn) {
+    return EdgeMapCsrPull(handle_->in_csr(), f, fn);
+  });
+  EXPECT_EQ(reached, *expected_);
+}
+
+TEST_F(EdgeMapTest, CsrPushPull) {
+  bool ever_pulled = false;
+  auto reached = Reach([&](Frontier& f, ReachFunctor& fn) {
+    bool used_pull = false;
+    Frontier next = EdgeMapCsrPushPull(handle_->out_csr(), handle_->in_csr(), f, fn,
+                                       Sync::kAtomics, &handle_->locks(), PushPullConfig{},
+                                       &used_pull);
+    ever_pulled |= used_pull;
+    return next;
+  });
+  EXPECT_EQ(reached, *expected_);
+  // On a power-law graph the mid-traversal frontier is large enough that the
+  // heuristic must have switched to pull at least once.
+  EXPECT_TRUE(ever_pulled);
+}
+
+TEST_F(EdgeMapTest, EdgeArray) {
+  auto reached = Reach([&](Frontier& f, ReachFunctor& fn) {
+    return EdgeMapEdgeArray(handle_->edges(), f, fn, Sync::kAtomics, &handle_->locks());
+  });
+  EXPECT_EQ(reached, *expected_);
+}
+
+TEST_F(EdgeMapTest, GridLockFree) {
+  auto reached = Reach([&](Frontier& f, ReachFunctor& fn) {
+    return EdgeMapGrid(handle_->grid(), f, fn, Sync::kLockFree, &handle_->locks());
+  });
+  EXPECT_EQ(reached, *expected_);
+}
+
+TEST_F(EdgeMapTest, GridLocks) {
+  auto reached = Reach([&](Frontier& f, ReachFunctor& fn) {
+    return EdgeMapGrid(handle_->grid(), f, fn, Sync::kLocks, &handle_->locks());
+  });
+  EXPECT_EQ(reached, *expected_);
+}
+
+TEST_F(EdgeMapTest, GridAtomics) {
+  auto reached = Reach([&](Frontier& f, ReachFunctor& fn) {
+    return EdgeMapGrid(handle_->grid(), f, fn, Sync::kAtomics, &handle_->locks());
+  });
+  EXPECT_EQ(reached, *expected_);
+}
+
+TEST(EdgeMapThreshold, LowThresholdForcesPull) {
+  EdgeList graph;
+  graph.set_num_vertices(3);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  GraphHandle handle(graph);
+  PrepareConfig prepare;
+  prepare.need_out = true;
+  prepare.need_in = true;
+  handle.Prepare(prepare);
+
+  std::vector<uint8_t> visited(3, 0);
+  visited[0] = 1;
+  ReachFunctor func{visited.data()};
+  Frontier frontier = Frontier::Single(3, 0);
+  bool used_pull = false;
+  PushPullConfig config;
+  config.threshold_den = 1e9;  // anything is "dense"
+  EdgeMapCsrPushPull(handle.out_csr(), handle.in_csr(), frontier, func, Sync::kAtomics,
+                     &handle.locks(), config, &used_pull);
+  EXPECT_TRUE(used_pull);
+}
+
+// --- Scan helpers -----------------------------------------------------------
+
+TEST(Scan, AllScansVisitEveryEdgeExactlyOnce) {
+  RmatOptions options;
+  options.scale = 9;
+  const EdgeList graph = GenerateRmat(options);
+  GraphHandle handle(graph);
+  PrepareConfig prepare;
+  prepare.layout = Layout::kAdjacency;
+  prepare.need_out = true;
+  prepare.need_in = true;
+  handle.Prepare(prepare);
+  prepare.layout = Layout::kGrid;
+  handle.Prepare(prepare);
+
+  const auto count_with = [&](auto scan) {
+    std::atomic<uint64_t> count{0};
+    scan([&](VertexId, VertexId, float) { count.fetch_add(1, std::memory_order_relaxed); });
+    return count.load();
+  };
+
+  const uint64_t m = graph.num_edges();
+  EXPECT_EQ(count_with([&](auto body) { ScanEdgeArray(handle.edges(), body); }), m);
+  EXPECT_EQ(count_with([&](auto body) { ScanCsrBySource(handle.out_csr(), body); }), m);
+  EXPECT_EQ(count_with([&](auto body) { ScanGridRowMajor(handle.grid(), body); }), m);
+  EXPECT_EQ(count_with([&](auto body) { ScanGridColumnOwned(handle.grid(), body); }), m);
+
+  std::atomic<uint64_t> pull_count{0};
+  ScanCsrByDestination(handle.in_csr(), [&](VertexId, std::span<const VertexId> sources,
+                                            std::span<const float>) {
+    pull_count.fetch_add(sources.size(), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(pull_count.load(), m);
+}
+
+TEST(Scan, GridColumnOwnershipIsExclusive) {
+  // Writes into per-destination counters without synchronization must be
+  // exact under column ownership.
+  RmatOptions options;
+  options.scale = 9;
+  const EdgeList graph = GenerateRmat(options);
+  GraphHandle handle(graph);
+  PrepareConfig prepare;
+  prepare.layout = Layout::kGrid;
+  handle.Prepare(prepare);
+
+  std::vector<uint32_t> in_degree(graph.num_vertices(), 0);
+  ScanGridColumnOwned(handle.grid(), [&](VertexId, VertexId dst, float) { ++in_degree[dst]; });
+  const std::vector<uint32_t> expected = InDegrees(graph);
+  EXPECT_EQ(in_degree, expected);
+}
+
+// --- GraphHandle ------------------------------------------------------------
+
+TEST(GraphHandle, AccumulatesPreprocessTimeAndSkipsRebuild) {
+  RmatOptions options;
+  options.scale = 10;
+  GraphHandle handle(GenerateRmat(options));
+  EXPECT_DOUBLE_EQ(handle.preprocess_seconds(), 0.0);
+
+  PrepareConfig prepare;
+  prepare.layout = Layout::kAdjacency;
+  handle.Prepare(prepare);
+  const double after_out = handle.preprocess_seconds();
+  EXPECT_GT(after_out, 0.0);
+
+  // Same request again: no rebuild, no extra time.
+  handle.Prepare(prepare);
+  EXPECT_DOUBLE_EQ(handle.preprocess_seconds(), after_out);
+
+  prepare.need_in = true;
+  handle.Prepare(prepare);
+  EXPECT_GT(handle.preprocess_seconds(), after_out);
+  EXPECT_TRUE(handle.has_in_csr());
+}
+
+TEST(GraphHandle, EdgeArrayNeedsNoPreprocessing) {
+  RmatOptions options;
+  options.scale = 9;
+  GraphHandle handle(GenerateRmat(options));
+  PrepareConfig prepare;
+  prepare.layout = Layout::kEdgeArray;
+  handle.Prepare(prepare);
+  EXPECT_DOUBLE_EQ(handle.preprocess_seconds(), 0.0);
+}
+
+TEST(GraphHandle, DropLayoutsAllowsRemeasure) {
+  RmatOptions options;
+  options.scale = 9;
+  GraphHandle handle(GenerateRmat(options));
+  PrepareConfig prepare;
+  handle.Prepare(prepare);
+  EXPECT_TRUE(handle.has_out_csr());
+  handle.DropLayouts();
+  EXPECT_FALSE(handle.has_out_csr());
+  handle.ResetPreprocessClock();
+  EXPECT_DOUBLE_EQ(handle.preprocess_seconds(), 0.0);
+}
+
+TEST(GraphHandle, SymmetricInputAliasesInCsrForFree) {
+  RmatOptions options;
+  options.scale = 9;
+  const EdgeList graph = GenerateRmat(options);
+  const EdgeList undirected = graph.MakeUndirected();
+
+  // Directed: building out then in costs roughly double.
+  GraphHandle directed(undirected);
+  PrepareConfig both;
+  both.need_out = true;
+  both.need_in = true;
+  directed.Prepare(both);
+  const double directed_cost = directed.preprocess_seconds();
+
+  // Symmetric: in aliases out; only one build is paid.
+  GraphHandle symmetric(undirected);
+  PrepareConfig aliased = both;
+  aliased.symmetric_input = true;
+  symmetric.Prepare(aliased);
+  EXPECT_TRUE(symmetric.has_in_csr());
+  EXPECT_EQ(&symmetric.in_csr(), &symmetric.out_csr());
+  EXPECT_LT(symmetric.preprocess_seconds(), 0.8 * directed_cost);
+}
+
+TEST(GraphHandle, SymmetricPushPullBfsIsCorrect) {
+  RmatOptions options;
+  options.scale = 9;
+  const EdgeList undirected = GenerateRmat(options).MakeUndirected();
+  GraphHandle handle(undirected);
+  RunConfig config;
+  config.direction = Direction::kPushPull;
+  config.symmetric_input = true;
+  const BfsResult result = RunBfs(handle, 0, config);
+  const auto levels = RefBfsLevels(undirected, 0);
+  for (VertexId v = 0; v < undirected.num_vertices(); ++v) {
+    ASSERT_EQ(result.parent[v] != kInvalidVertex, levels[v] != UINT32_MAX) << v;
+  }
+}
+
+TEST(GraphHandle, AutoGridBlocksScalesWithGraph) {
+  EXPECT_EQ(GraphHandle::AutoGridBlocks(100), 4u);
+  EXPECT_EQ(GraphHandle::AutoGridBlocks(4 << 20), 256u);
+  EXPECT_EQ(GraphHandle::AutoGridBlocks(256 * 1024), 64u);
+}
+
+}  // namespace
+}  // namespace egraph

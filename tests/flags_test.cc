@@ -1,0 +1,70 @@
+// Tests for the CLI flag parser.
+#include <gtest/gtest.h>
+
+#include "src/util/flags.h"
+
+namespace egraph {
+namespace {
+
+Flags Parse(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  std::vector<char*> argv;
+  for (auto& s : storage) {
+    argv.push_back(s.data());
+  }
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, KeyEqualsValue) {
+  const Flags flags = Parse({"prog", "--scale=18", "--type=rmat"});
+  EXPECT_EQ(flags.GetInt("scale", 0), 18);
+  EXPECT_EQ(flags.GetString("type", ""), "rmat");
+}
+
+TEST(Flags, KeySpaceValue) {
+  const Flags flags = Parse({"prog", "--scale", "20", "--out", "g.bin"});
+  EXPECT_EQ(flags.GetInt("scale", 0), 20);
+  EXPECT_EQ(flags.GetString("out", ""), "g.bin");
+}
+
+TEST(Flags, BareBooleanFlag) {
+  const Flags flags = Parse({"prog", "--weights", "--advisor"});
+  EXPECT_TRUE(flags.GetBool("weights", false));
+  EXPECT_TRUE(flags.GetBool("advisor", false));
+  EXPECT_FALSE(flags.GetBool("missing", false));
+}
+
+TEST(Flags, TrailingBooleanBeforePositional) {
+  // "--verbose input.bin": "input.bin" is consumed as the value; callers use
+  // explicit "=true" when a positional follows. Document the behavior.
+  const Flags flags = Parse({"prog", "--verbose=true", "input.bin"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "input.bin");
+}
+
+TEST(Flags, PositionalOrderPreserved) {
+  const Flags flags = Parse({"prog", "a.txt", "--to=binary", "b.bin"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "a.txt");
+  EXPECT_EQ(flags.positional()[1], "b.bin");
+}
+
+TEST(Flags, DefaultsOnMissingAndUnparsable) {
+  const Flags flags = Parse({"prog", "--n=abc"});
+  EXPECT_EQ(flags.GetInt("n", 7), 7);
+  EXPECT_EQ(flags.GetInt("absent", 9), 9);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("absent", 1.5), 1.5);
+}
+
+TEST(Flags, UnusedKeyDetection) {
+  const Flags flags = Parse({"prog", "--used=1", "--typo=2"});
+  flags.GetInt("used", 0);
+  const auto unused = flags.UnusedKeys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+}  // namespace
+}  // namespace egraph

@@ -1,0 +1,150 @@
+// Tests for interchange formats (SNAP, MatrixMarket) and the memory-mapped
+// edge file.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "src/gen/rmat.h"
+#include "src/io/edge_io.h"
+#include "src/io/formats.h"
+#include "src/io/mmap_file.h"
+
+namespace egraph {
+namespace {
+
+class FormatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("egraph_fmt_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Write(const std::string& name, const std::string& content) {
+    const std::string path = (dir_ / name).string();
+    std::ofstream out(path);
+    out << content;
+    return path;
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(FormatsTest, SnapBasic) {
+  const std::string path = Write("g.snap",
+                                 "# Directed graph\n"
+                                 "# FromNodeId\tToNodeId\n"
+                                 "0\t1\n"
+                                 "1\t2\n"
+                                 "5\t0\n");
+  const EdgeList graph = ReadSnapEdges(path);
+  EXPECT_EQ(graph.num_vertices(), 6u);
+  ASSERT_EQ(graph.num_edges(), 3u);
+  EXPECT_EQ(graph.edges()[2], (Edge{5, 0}));
+}
+
+TEST_F(FormatsTest, SnapRejectsGarbage) {
+  const std::string path = Write("bad.snap", "0 1\nhello world\n");
+  EXPECT_THROW(ReadSnapEdges(path), std::runtime_error);
+}
+
+TEST_F(FormatsTest, MatrixMarketGeneralReal) {
+  const std::string path = Write("m.mtx",
+                                 "%%MatrixMarket matrix coordinate real general\n"
+                                 "% comment\n"
+                                 "3 3 2\n"
+                                 "1 2 0.5\n"
+                                 "3 1 2.0\n");
+  const EdgeList graph = ReadMatrixMarket(path);
+  EXPECT_EQ(graph.num_vertices(), 3u);
+  ASSERT_EQ(graph.num_edges(), 2u);
+  EXPECT_EQ(graph.edges()[0], (Edge{0, 1}));
+  EXPECT_FLOAT_EQ(graph.weights()[0], 0.5f);
+  EXPECT_EQ(graph.edges()[1], (Edge{2, 0}));
+}
+
+TEST_F(FormatsTest, MatrixMarketSymmetricMirrors) {
+  const std::string path = Write("s.mtx",
+                                 "%%MatrixMarket matrix coordinate pattern symmetric\n"
+                                 "3 3 2\n"
+                                 "2 1\n"
+                                 "3 3\n");  // diagonal: not mirrored
+  const EdgeList graph = ReadMatrixMarket(path);
+  ASSERT_EQ(graph.num_edges(), 3u);  // (1,0), (0,1), (2,2)
+  EXPECT_FALSE(graph.has_weights());
+}
+
+TEST_F(FormatsTest, MatrixMarketRejectsBadBanner) {
+  const std::string path = Write("bad.mtx", "%%NotMatrixMarket\n1 1 0\n");
+  EXPECT_THROW(ReadMatrixMarket(path), std::runtime_error);
+}
+
+TEST_F(FormatsTest, MatrixMarketRejectsCountMismatch) {
+  const std::string path = Write("bad.mtx",
+                                 "%%MatrixMarket matrix coordinate pattern general\n"
+                                 "3 3 5\n"
+                                 "1 2\n");
+  EXPECT_THROW(ReadMatrixMarket(path), std::runtime_error);
+}
+
+TEST_F(FormatsTest, MatrixMarketRejectsOutOfRangeIndex) {
+  const std::string path = Write("bad.mtx",
+                                 "%%MatrixMarket matrix coordinate pattern general\n"
+                                 "2 2 1\n"
+                                 "3 1\n");
+  EXPECT_THROW(ReadMatrixMarket(path), std::runtime_error);
+}
+
+TEST_F(FormatsTest, MmapRoundTrip) {
+  RmatOptions options;
+  options.scale = 9;
+  EdgeList graph = GenerateRmat(options);
+  graph.AssignRandomWeights(0.5f, 1.5f, 3);
+  const std::string path = (dir_ / "g.bin").string();
+  WriteBinaryEdges(path, graph);
+
+  const MappedEdgeFile mapped(path);
+  EXPECT_EQ(mapped.num_vertices(), graph.num_vertices());
+  ASSERT_EQ(mapped.num_edges(), graph.num_edges());
+  // Zero-copy views match.
+  for (size_t i = 0; i < graph.edges().size(); i += 97) {
+    EXPECT_EQ(mapped.edges()[i], graph.edges()[i]);
+    EXPECT_FLOAT_EQ(mapped.weights()[i], graph.weights()[i]);
+  }
+  // Owning copy matches too.
+  const EdgeList copy = mapped.ToEdgeList();
+  EXPECT_EQ(copy.edges(), graph.edges());
+  EXPECT_EQ(copy.weights(), graph.weights());
+}
+
+TEST_F(FormatsTest, MmapRejectsTruncatedFile) {
+  RmatOptions options;
+  options.scale = 8;
+  const EdgeList graph = GenerateRmat(options);
+  const std::string path = (dir_ / "g.bin").string();
+  WriteBinaryEdges(path, graph);
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) / 2);
+  EXPECT_THROW(MappedEdgeFile{path}, std::runtime_error);
+}
+
+TEST_F(FormatsTest, MmapRejectsBadMagic) {
+  const std::string path = Write("junk.bin", std::string(64, 'x'));
+  EXPECT_THROW(MappedEdgeFile{path}, std::runtime_error);
+}
+
+TEST_F(FormatsTest, MmapMoveTransfersOwnership) {
+  RmatOptions options;
+  options.scale = 8;
+  const EdgeList graph = GenerateRmat(options);
+  const std::string path = (dir_ / "g.bin").string();
+  WriteBinaryEdges(path, graph);
+  MappedEdgeFile a(path);
+  MappedEdgeFile b(std::move(a));
+  EXPECT_EQ(b.num_edges(), graph.num_edges());
+  EXPECT_FALSE(b.edges().empty());
+}
+
+}  // namespace
+}  // namespace egraph

@@ -1,0 +1,202 @@
+// Generator tests: each proxy dataset must reproduce the structural property
+// the paper's conclusions depend on (degree skew, diameter, bipartiteness).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "src/gen/bipartite.h"
+#include "src/gen/datasets.h"
+#include "src/gen/erdos_renyi.h"
+#include "src/gen/rmat.h"
+#include "src/gen/road.h"
+#include "src/graph/stats.h"
+
+namespace egraph {
+namespace {
+
+TEST(Rmat, SizesMatchTable1) {
+  RmatOptions options;
+  options.scale = 12;
+  const EdgeList graph = GenerateRmat(options);
+  EXPECT_EQ(graph.num_vertices(), 1u << 12);
+  EXPECT_EQ(graph.num_edges(), uint64_t{1} << (12 + 4));  // paper: 2^(N+4)
+}
+
+TEST(Rmat, DeterministicAcrossRuns) {
+  RmatOptions options;
+  options.scale = 10;
+  options.seed = 123;
+  const EdgeList a = GenerateRmat(options);
+  const EdgeList b = GenerateRmat(options);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(Rmat, SeedChangesGraph) {
+  RmatOptions options;
+  options.scale = 10;
+  options.seed = 1;
+  const EdgeList a = GenerateRmat(options);
+  options.seed = 2;
+  const EdgeList b = GenerateRmat(options);
+  EXPECT_NE(a.edges(), b.edges());
+}
+
+TEST(Rmat, EndpointsInRange) {
+  RmatOptions options;
+  options.scale = 11;
+  const EdgeList graph = GenerateRmat(options);
+  for (const Edge& e : graph.edges()) {
+    ASSERT_LT(e.src, graph.num_vertices());
+    ASSERT_LT(e.dst, graph.num_vertices());
+  }
+}
+
+TEST(Rmat, PowerLawSkew) {
+  RmatOptions options;
+  options.scale = 14;
+  const EdgeList graph = GenerateRmat(options);
+  const GraphStats stats = ComputeStats(graph);
+  // Power law: top 1% of vertices owns far more than 1% of edges, and the
+  // max degree dwarfs the average.
+  EXPECT_GT(stats.top1pct_out_edge_share, 0.08);
+  EXPECT_GT(stats.max_out_degree, 10 * stats.avg_degree);
+}
+
+TEST(Rmat, ScrambleIsBijective) {
+  // Degree sums must be preserved: every generated endpoint stays in range
+  // and the edge count is untouched by id scrambling.
+  RmatOptions options;
+  options.scale = 10;
+  options.scramble_ids = false;
+  const EdgeList plain = GenerateRmat(options);
+  options.scramble_ids = true;
+  const EdgeList scrambled = GenerateRmat(options);
+  EXPECT_EQ(plain.num_edges(), scrambled.num_edges());
+  // Scrambling permutes ids, so sorted degree sequences must match.
+  auto degree_seq = [](const EdgeList& g) {
+    std::vector<uint32_t> d = OutDegrees(g);
+    std::sort(d.begin(), d.end());
+    return d;
+  };
+  EXPECT_EQ(degree_seq(plain), degree_seq(scrambled));
+}
+
+TEST(Road, ShapeMatchesUsRoadProxy) {
+  RoadOptions options;
+  options.width = 64;
+  options.height = 64;
+  const EdgeList graph = GenerateRoad(options);
+  EXPECT_EQ(graph.num_vertices(), 64u * 64u);
+  const GraphStats stats = ComputeStats(graph);
+  // Road networks: uniformly tiny degrees (lattice max is 3 out-links per
+  // cell x 2 directions = 6, plus incoming).
+  EXPECT_LE(stats.max_out_degree, 8u);
+  EXPECT_GT(stats.avg_degree, 1.0);
+  EXPECT_LT(stats.avg_degree, 8.0);
+  // High diameter: eccentricity of corner vertex ~ width + height, far above
+  // a power-law graph's O(log n).
+  EXPECT_GT(EstimateEccentricity(graph, 0), 64u);
+}
+
+TEST(Road, Bidirectional) {
+  RoadOptions options;
+  options.width = 16;
+  options.height = 16;
+  const EdgeList graph = GenerateRoad(options);
+  // Every edge has its mirror.
+  std::set<std::pair<VertexId, VertexId>> edges;
+  for (const Edge& e : graph.edges()) {
+    edges.insert({e.src, e.dst});
+  }
+  for (const Edge& e : graph.edges()) {
+    EXPECT_TRUE(edges.count({e.dst, e.src})) << e.src << "->" << e.dst;
+  }
+}
+
+TEST(Road, Deterministic) {
+  RoadOptions options;
+  options.width = 32;
+  options.height = 8;
+  const EdgeList a = GenerateRoad(options);
+  const EdgeList b = GenerateRoad(options);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(Bipartite, EdgesRunUserToItem) {
+  BipartiteOptions options;
+  options.num_users = 500;
+  options.num_items = 50;
+  const BipartiteGraph graph = GenerateBipartite(options);
+  EXPECT_EQ(graph.edges.num_vertices(), 550u);
+  EXPECT_TRUE(graph.edges.has_weights());
+  EXPECT_GT(graph.edges.num_edges(), 0u);
+  for (const Edge& e : graph.edges.edges()) {
+    ASSERT_LT(e.src, 500u);                      // user side
+    ASSERT_GE(e.dst, 500u);                      // item side
+    ASSERT_LT(e.dst, 550u);
+  }
+}
+
+TEST(Bipartite, RatingsWithinBounds) {
+  BipartiteOptions options;
+  options.num_users = 200;
+  options.num_items = 40;
+  options.rating_min = 1.0;
+  options.rating_max = 5.0;
+  const BipartiteGraph graph = GenerateBipartite(options);
+  for (const float r : graph.edges.weights()) {
+    ASSERT_GE(r, 1.0f);
+    ASSERT_LE(r, 5.0f);
+  }
+}
+
+TEST(Bipartite, EveryUserRatesSomething) {
+  BipartiteOptions options;
+  options.num_users = 100;
+  options.num_items = 20;
+  const BipartiteGraph graph = GenerateBipartite(options);
+  std::vector<uint32_t> degree = OutDegrees(graph.edges);
+  for (VertexId u = 0; u < 100; ++u) {
+    EXPECT_GE(degree[u], 1u) << "user " << u;
+  }
+}
+
+TEST(ErdosRenyi, SizeAndUniformity) {
+  ErdosRenyiOptions options;
+  options.num_vertices = 1 << 12;
+  options.num_edges = 1 << 16;
+  const EdgeList graph = GenerateErdosRenyi(options);
+  EXPECT_EQ(graph.num_edges(), options.num_edges);
+  const GraphStats stats = ComputeStats(graph);
+  // Uniform graph: top 1% share close to 1% x small factor, no heavy hubs.
+  EXPECT_LT(stats.top1pct_out_edge_share, 0.05);
+  EXPECT_LT(stats.max_out_degree, 100u);
+}
+
+TEST(Datasets, TwitterProxyIsSkewedAndDenser) {
+  const EdgeList twitter = DatasetTwitter(/*scale=*/13);
+  const GraphStats stats = ComputeStats(twitter);
+  EXPECT_EQ(stats.num_vertices, 1u << 13);
+  // Twitter proxy: edge factor 24 (vs RMAT's 16).
+  EXPECT_EQ(stats.num_edges, 24u * (1u << 13));
+  EXPECT_GT(stats.top1pct_out_edge_share, 0.15);
+}
+
+TEST(Datasets, UsRoadProxyHasLatticeShape) {
+  const EdgeList road = DatasetUsRoad(/*scale=*/12);
+  const GraphStats stats = ComputeStats(road);
+  EXPECT_LE(stats.max_out_degree, 8u);
+  EXPECT_GE(stats.num_vertices, 1u << 11);
+}
+
+TEST(Datasets, DescribeMentionsKeyStats) {
+  const EdgeList graph = DatasetRmat(8);
+  const std::string description = DescribeDataset("rmat8", graph);
+  EXPECT_NE(description.find("rmat8"), std::string::npos);
+  EXPECT_NE(description.find("|V|=256"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace egraph

@@ -1,0 +1,198 @@
+// Tests for EdgeList and graph statistics.
+#include <gtest/gtest.h>
+
+#include "src/graph/edge_list.h"
+#include "src/graph/stats.h"
+
+namespace egraph {
+namespace {
+
+EdgeList Chain(VertexId n) {
+  EdgeList graph;
+  graph.set_num_vertices(n);
+  for (VertexId v = 0; v + 1 < n; ++v) {
+    graph.AddEdge(v, v + 1);
+  }
+  return graph;
+}
+
+TEST(EdgeList, BasicAccounting) {
+  EdgeList graph = Chain(5);
+  EXPECT_EQ(graph.num_vertices(), 5u);
+  EXPECT_EQ(graph.num_edges(), 4u);
+  EXPECT_FALSE(graph.has_weights());
+  EXPECT_FLOAT_EQ(graph.EdgeWeight(0), 1.0f);  // unweighted defaults to 1
+}
+
+TEST(EdgeList, WeightedEdges) {
+  EdgeList graph;
+  graph.set_num_vertices(3);
+  graph.AddWeightedEdge(0, 1, 2.5f);
+  graph.AddWeightedEdge(1, 2, 0.5f);
+  EXPECT_TRUE(graph.has_weights());
+  EXPECT_FLOAT_EQ(graph.EdgeWeight(0), 2.5f);
+  EXPECT_FLOAT_EQ(graph.EdgeWeight(1), 0.5f);
+}
+
+TEST(EdgeList, RecomputeNumVertices) {
+  EdgeList graph;
+  graph.AddEdge(3, 9);
+  graph.AddEdge(1, 2);
+  graph.RecomputeNumVertices();
+  EXPECT_EQ(graph.num_vertices(), 10u);
+  // Never shrinks an explicitly larger count.
+  graph.set_num_vertices(50);
+  graph.RecomputeNumVertices();
+  EXPECT_EQ(graph.num_vertices(), 50u);
+}
+
+TEST(EdgeList, MakeUndirectedMirrorsEveryEdge) {
+  EdgeList graph = Chain(4);
+  EdgeList undirected = graph.MakeUndirected();
+  EXPECT_EQ(undirected.num_edges(), 2 * graph.num_edges());
+  EXPECT_EQ(undirected.num_vertices(), graph.num_vertices());
+  // Every original edge and its mirror are present.
+  int forward = 0;
+  int backward = 0;
+  for (const Edge& e : undirected.edges()) {
+    if (e.src + 1 == e.dst) {
+      ++forward;
+    }
+    if (e.dst + 1 == e.src) {
+      ++backward;
+    }
+  }
+  EXPECT_EQ(forward, 3);
+  EXPECT_EQ(backward, 3);
+}
+
+TEST(EdgeList, MakeUndirectedPreservesWeights) {
+  EdgeList graph;
+  graph.set_num_vertices(2);
+  graph.AddWeightedEdge(0, 1, 3.5f);
+  EdgeList undirected = graph.MakeUndirected();
+  ASSERT_EQ(undirected.num_edges(), 2u);
+  EXPECT_FLOAT_EQ(undirected.EdgeWeight(0), 3.5f);
+  EXPECT_FLOAT_EQ(undirected.EdgeWeight(1), 3.5f);
+}
+
+TEST(EdgeList, AssignRandomWeightsDeterministicInRange) {
+  EdgeList a = Chain(1000);
+  EdgeList b = Chain(1000);
+  a.AssignRandomWeights(1.0f, 5.0f, 77);
+  b.AssignRandomWeights(1.0f, 5.0f, 77);
+  ASSERT_TRUE(a.has_weights());
+  EXPECT_EQ(a.weights(), b.weights());
+  for (const float w : a.weights()) {
+    EXPECT_GE(w, 1.0f);
+    EXPECT_LT(w, 5.0f);
+  }
+}
+
+TEST(EdgeList, RemoveSelfLoops) {
+  EdgeList graph;
+  graph.set_num_vertices(4);
+  graph.AddEdge(0, 0);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(2, 2);
+  graph.AddEdge(1, 3);
+  EXPECT_EQ(graph.RemoveSelfLoops(), 2u);
+  EXPECT_EQ(graph.num_edges(), 2u);
+  for (const Edge& e : graph.edges()) {
+    EXPECT_NE(e.src, e.dst);
+  }
+}
+
+TEST(EdgeList, RemoveSelfLoopsKeepsWeightsAligned) {
+  EdgeList graph;
+  graph.set_num_vertices(3);
+  graph.AddWeightedEdge(0, 0, 9.0f);
+  graph.AddWeightedEdge(0, 1, 1.0f);
+  graph.AddWeightedEdge(1, 1, 8.0f);
+  graph.AddWeightedEdge(1, 2, 2.0f);
+  EXPECT_EQ(graph.RemoveSelfLoops(), 2u);
+  ASSERT_EQ(graph.num_edges(), 2u);
+  EXPECT_FLOAT_EQ(graph.EdgeWeight(0), 1.0f);
+  EXPECT_FLOAT_EQ(graph.EdgeWeight(1), 2.0f);
+}
+
+TEST(EdgeList, RemoveDuplicateEdges) {
+  EdgeList graph;
+  graph.set_num_vertices(4);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(2, 3);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 0);
+  EXPECT_EQ(graph.RemoveDuplicateEdges(), 2u);
+  EXPECT_EQ(graph.num_edges(), 3u);
+}
+
+TEST(EdgeList, RemoveDuplicateEdgesKeepsFirstWeight) {
+  EdgeList graph;
+  graph.set_num_vertices(2);
+  graph.AddWeightedEdge(0, 1, 5.0f);
+  graph.AddWeightedEdge(0, 1, 9.0f);
+  EXPECT_EQ(graph.RemoveDuplicateEdges(), 1u);
+  ASSERT_EQ(graph.num_edges(), 1u);
+  EXPECT_FLOAT_EQ(graph.EdgeWeight(0), 5.0f);
+}
+
+TEST(EdgeList, RemoveDuplicateEdgesOnEmpty) {
+  EdgeList graph;
+  EXPECT_EQ(graph.RemoveDuplicateEdges(), 0u);
+}
+
+TEST(Stats, DegreesOnChain) {
+  EdgeList graph = Chain(5);
+  const auto out = OutDegrees(graph);
+  const auto in = InDegrees(graph);
+  EXPECT_EQ(out, (std::vector<uint32_t>{1, 1, 1, 1, 0}));
+  EXPECT_EQ(in, (std::vector<uint32_t>{0, 1, 1, 1, 1}));
+}
+
+TEST(Stats, ComputeStatsBasics) {
+  EdgeList graph;
+  graph.set_num_vertices(10);
+  // Star: vertex 0 points at 1..4; vertices 5..9 isolated.
+  for (VertexId v = 1; v <= 4; ++v) {
+    graph.AddEdge(0, v);
+  }
+  const GraphStats stats = ComputeStats(graph);
+  EXPECT_EQ(stats.num_vertices, 10u);
+  EXPECT_EQ(stats.num_edges, 4u);
+  EXPECT_EQ(stats.max_out_degree, 4u);
+  EXPECT_EQ(stats.max_in_degree, 1u);
+  EXPECT_DOUBLE_EQ(stats.avg_degree, 0.4);
+  EXPECT_EQ(stats.isolated_vertices, 5u);
+  // The single hub (top 1% rounds to 1 vertex) owns all edges.
+  EXPECT_DOUBLE_EQ(stats.top1pct_out_edge_share, 1.0);
+}
+
+TEST(Stats, EmptyGraph) {
+  EdgeList graph;
+  const GraphStats stats = ComputeStats(graph);
+  EXPECT_EQ(stats.num_vertices, 0u);
+  EXPECT_EQ(stats.num_edges, 0u);
+}
+
+TEST(Stats, EccentricityOfChainEnd) {
+  EdgeList graph = Chain(17);
+  EXPECT_EQ(EstimateEccentricity(graph, 0), 16u);
+  EXPECT_EQ(EstimateEccentricity(graph, 8), 8u);  // middle: half the chain
+}
+
+TEST(Stats, EccentricityUsesUndirectedView) {
+  // Directed chain 0->1->2: from vertex 2 the directed graph reaches
+  // nothing, but the undirected eccentricity is 2.
+  EdgeList graph = Chain(3);
+  EXPECT_EQ(EstimateEccentricity(graph, 2), 2u);
+}
+
+TEST(Stats, EccentricityOutOfRangeSourceIsZero) {
+  EdgeList graph = Chain(3);
+  EXPECT_EQ(EstimateEccentricity(graph, 99), 0u);
+}
+
+}  // namespace
+}  // namespace egraph

@@ -1,0 +1,80 @@
+// Hilbert-curve grid traversal tests: the curve must be a bijection on the
+// cell grid with unit steps, and the scan must visit every edge exactly once.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+
+#include "src/engine/hilbert.h"
+#include "src/gen/rmat.h"
+#include "src/graph/stats.h"
+#include "src/util/atomics.h"
+#include "src/layout/grid.h"
+
+namespace egraph {
+namespace {
+
+TEST(Hilbert, CurveIsBijective) {
+  const uint32_t order = 4;  // 16 x 16
+  std::set<std::pair<uint32_t, uint32_t>> seen;
+  for (uint64_t d = 0; d < 256; ++d) {
+    uint32_t x = 0;
+    uint32_t y = 0;
+    HilbertD2Xy(order, d, &x, &y);
+    ASSERT_LT(x, 16u);
+    ASSERT_LT(y, 16u);
+    ASSERT_TRUE(seen.insert({x, y}).second) << "duplicate cell at d=" << d;
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(Hilbert, ConsecutiveCellsAreAdjacent) {
+  const uint32_t order = 5;  // 32 x 32
+  uint32_t px = 0;
+  uint32_t py = 0;
+  HilbertD2Xy(order, 0, &px, &py);
+  for (uint64_t d = 1; d < 1024; ++d) {
+    uint32_t x = 0;
+    uint32_t y = 0;
+    HilbertD2Xy(order, d, &x, &y);
+    const int manhattan = std::abs(static_cast<int>(x) - static_cast<int>(px)) +
+                          std::abs(static_cast<int>(y) - static_cast<int>(py));
+    ASSERT_EQ(manhattan, 1) << "jump at d=" << d;
+    px = x;
+    py = y;
+  }
+}
+
+TEST(Hilbert, ScanVisitsEveryEdgeOnce) {
+  RmatOptions options;
+  options.scale = 10;
+  const EdgeList graph = GenerateRmat(options);
+  GridOptions grid_options;
+  grid_options.num_blocks = 16;
+  const Grid grid = BuildGrid(graph, grid_options);
+
+  std::atomic<uint64_t> count{0};
+  ScanGridHilbert(grid, [&](VertexId, VertexId, float) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), graph.num_edges());
+}
+
+TEST(Hilbert, ScanHandlesNonPowerOfTwoGrid) {
+  RmatOptions options;
+  options.scale = 9;
+  const EdgeList graph = GenerateRmat(options);
+  GridOptions grid_options;
+  grid_options.num_blocks = 12;  // curve covers 16x16, cells 12..15 skipped
+  const Grid grid = BuildGrid(graph, grid_options);
+
+  std::vector<uint32_t> in_degree(graph.num_vertices(), 0);
+  ScanGridHilbert(grid, [&](VertexId, VertexId dst, float) {
+    AtomicAdd(&in_degree[dst], 1u);
+  });
+  EXPECT_EQ(in_degree, InDegrees(graph));
+}
+
+}  // namespace
+}  // namespace egraph

@@ -1,0 +1,145 @@
+// End-to-end pipelines: generate -> persist -> (throttled) load -> build ->
+// run -> verify, covering the full paper workflow for several algorithms.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "src/algos/bfs.h"
+#include "src/algos/pagerank.h"
+#include "src/algos/reference.h"
+#include "src/algos/sssp.h"
+#include "src/algos/wcc.h"
+#include "src/engine/advisor.h"
+#include "src/gen/rmat.h"
+#include "src/graph/stats.h"
+#include "src/io/edge_io.h"
+#include "src/io/loader.h"
+
+namespace egraph {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("egraph_int_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(IntegrationTest, GenerateSaveLoadRunBfs) {
+  RmatOptions options;
+  options.scale = 10;
+  const EdgeList graph = GenerateRmat(options);
+  WriteBinaryEdges(Path("g.bin"), graph);
+
+  // Stream from a simulated (fast) medium with overlapped dynamic build.
+  LoadBuildOptions load_options;
+  load_options.method = BuildMethod::kDynamic;
+  load_options.medium = kMediumSsd;
+  const LoadBuildResult loaded = LoadAndBuild(Path("g.bin"), load_options);
+  EXPECT_GT(loaded.total_seconds, 0.0);
+
+  GraphHandle handle(loaded.edges);
+  const BfsResult result = RunBfs(handle, 0, RunConfig{});
+  const std::vector<uint32_t> levels = RefBfsLevels(graph, 0);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    EXPECT_EQ(result.parent[v] != kInvalidVertex, levels[v] != UINT32_MAX);
+  }
+}
+
+TEST_F(IntegrationTest, AdvisorDrivenEndToEnd) {
+  // Use the roadmap to pick the configuration, then run it.
+  RmatOptions options;
+  options.scale = 10;
+  const EdgeList graph = GenerateRmat(options);
+  const GraphStats stats = ComputeStats(graph);
+  const Recommendation rec = Advise(TraitsPagerank(), stats, {1});
+
+  GraphHandle handle(graph);
+  RunConfig config;
+  config.layout = rec.layout;
+  config.direction = rec.direction;
+  config.sync = rec.sync;
+  const PagerankResult result = RunPagerank(handle, PagerankOptions{}, config);
+  const std::vector<float> expected = RefPagerank(graph, 10, 0.85f);
+  for (size_t v = 0; v < expected.size(); ++v) {
+    ASSERT_NEAR(result.rank[v], expected[v], 2e-4f);
+  }
+}
+
+TEST_F(IntegrationTest, EndToEndTimingBreakdownIsComplete) {
+  RmatOptions options;
+  options.scale = 10;
+  const EdgeList graph = GenerateRmat(options);
+  WriteBinaryEdges(Path("g.bin"), graph);
+
+  TimingBreakdown timing;
+  double load_seconds = 0.0;
+  const EdgeList loaded = LoadEdges(Path("g.bin"), kMediumMemory, &load_seconds);
+  timing.load_seconds = load_seconds;
+
+  GraphHandle handle(loaded);
+  PrepareConfig prepare;
+  prepare.layout = Layout::kAdjacency;
+  handle.Prepare(prepare);
+  timing.preprocess_seconds = handle.preprocess_seconds();
+
+  const BfsResult result = RunBfs(handle, 0, RunConfig{});
+  timing.algorithm_seconds = result.stats.algorithm_seconds;
+
+  EXPECT_GT(timing.load_seconds, 0.0);
+  EXPECT_GT(timing.preprocess_seconds, 0.0);
+  EXPECT_GT(timing.algorithm_seconds, 0.0);
+  EXPECT_NEAR(timing.Total(),
+              timing.load_seconds + timing.preprocess_seconds + timing.algorithm_seconds,
+              1e-12);
+}
+
+TEST_F(IntegrationTest, SameHandleRunsMultipleAlgorithms) {
+  RmatOptions options;
+  options.scale = 10;
+  EdgeList graph = GenerateRmat(options);
+  graph.AssignRandomWeights(0.5f, 1.5f, 2);
+  GraphHandle handle(graph);
+
+  const BfsResult bfs = RunBfs(handle, 0, RunConfig{});
+  const SsspResult sssp = RunSssp(handle, 0, RunConfig{});
+  // Reachability agrees between BFS and SSSP.
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    EXPECT_EQ(bfs.parent[v] != kInvalidVertex, !std::isinf(sssp.dist[v])) << v;
+  }
+  // The adjacency list was built once and reused.
+  const double preproc = handle.preprocess_seconds();
+  RunBfs(handle, 1, RunConfig{});
+  EXPECT_DOUBLE_EQ(handle.preprocess_seconds(), preproc);
+}
+
+TEST_F(IntegrationTest, TextFileImportPipeline) {
+  EdgeList graph;
+  graph.set_num_vertices(6);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  graph.AddEdge(2, 3);
+  graph.AddEdge(4, 5);
+  WriteTextEdges(Path("g.txt"), graph);
+
+  const EdgeList loaded = ReadTextEdges(Path("g.txt"));
+  GraphHandle handle(loaded);
+  RunConfig config;
+  config.layout = Layout::kEdgeArray;
+  const WccResult wcc = RunWcc(handle, config);
+  EXPECT_EQ(wcc.label[0], 0u);
+  EXPECT_EQ(wcc.label[3], 0u);
+  EXPECT_EQ(wcc.label[4], 4u);
+  EXPECT_EQ(wcc.label[5], 4u);
+}
+
+}  // namespace
+}  // namespace egraph

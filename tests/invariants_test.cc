@@ -1,0 +1,205 @@
+// Cross-cutting property tests: algorithm results must commute with vertex
+// relabeling (a bug anywhere in generators, builders, layouts or engine
+// breaks this), and must be invariant across layout/direction pipelines on
+// every graph family.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "src/algos/bfs.h"
+#include "src/algos/pagerank.h"
+#include "src/algos/sssp.h"
+#include "src/algos/wcc.h"
+#include "src/gen/erdos_renyi.h"
+#include "src/gen/rmat.h"
+#include "src/gen/road.h"
+#include "src/layout/reorder.h"
+
+namespace egraph {
+namespace {
+
+EdgeList FamilyGraph(int family) {
+  switch (family) {
+    case 0: {
+      RmatOptions options;
+      options.scale = 9;
+      return GenerateRmat(options);
+    }
+    case 1: {
+      ErdosRenyiOptions options;
+      options.num_vertices = 600;
+      options.num_edges = 6000;
+      return GenerateErdosRenyi(options);
+    }
+    default: {
+      RoadOptions options;
+      options.width = 24;
+      options.height = 24;
+      return GenerateRoad(options);
+    }
+  }
+}
+
+std::string FamilyName(const ::testing::TestParamInfo<int>& info) {
+  static const char* const kNames[] = {"rmat", "uniform", "road"};
+  return kNames[info.param];
+}
+
+class PermutationInvarianceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PermutationInvarianceTest, PagerankCommutesWithRelabeling) {
+  const EdgeList graph = FamilyGraph(GetParam());
+  const Reordering reordering = ComputeReordering(graph, ReorderMethod::kRandom, 99);
+  const EdgeList relabeled = ApplyReordering(graph, reordering);
+
+  GraphHandle original(graph);
+  GraphHandle permuted(relabeled);
+  const PagerankResult a = RunPagerank(original, PagerankOptions{}, RunConfig{});
+  const PagerankResult b = RunPagerank(permuted, PagerankOptions{}, RunConfig{});
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    ASSERT_NEAR(a.rank[v], b.rank[reordering.new_id_of[v]], 1e-5f) << "vertex " << v;
+  }
+}
+
+TEST_P(PermutationInvarianceTest, BfsReachabilityCommutesWithRelabeling) {
+  const EdgeList graph = FamilyGraph(GetParam());
+  const Reordering reordering = ComputeReordering(graph, ReorderMethod::kRandom, 5);
+  const EdgeList relabeled = ApplyReordering(graph, reordering);
+  const VertexId source = 7 % graph.num_vertices();
+
+  GraphHandle original(graph);
+  GraphHandle permuted(relabeled);
+  const BfsResult a = RunBfs(original, source, RunConfig{});
+  const BfsResult b = RunBfs(permuted, reordering.new_id_of[source], RunConfig{});
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    ASSERT_EQ(a.parent[v] != kInvalidVertex,
+              b.parent[reordering.new_id_of[v]] != kInvalidVertex)
+        << "vertex " << v;
+  }
+}
+
+TEST_P(PermutationInvarianceTest, SsspDistancesCommuteWithRelabeling) {
+  EdgeList graph = FamilyGraph(GetParam());
+  graph.AssignRandomWeights(0.5f, 2.0f, 41);
+  const Reordering reordering = ComputeReordering(graph, ReorderMethod::kDegreeDescending);
+  const EdgeList relabeled = ApplyReordering(graph, reordering);
+  const VertexId source = 3 % graph.num_vertices();
+
+  GraphHandle original(graph);
+  GraphHandle permuted(relabeled);
+  const SsspResult a = RunSssp(original, source, RunConfig{});
+  const SsspResult b = RunSssp(permuted, reordering.new_id_of[source], RunConfig{});
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const float da = a.dist[v];
+    const float db = b.dist[reordering.new_id_of[v]];
+    if (std::isinf(da)) {
+      ASSERT_TRUE(std::isinf(db)) << "vertex " << v;
+    } else {
+      ASSERT_NEAR(da, db, 1e-3f) << "vertex " << v;
+    }
+  }
+}
+
+TEST_P(PermutationInvarianceTest, WccComponentsCommuteWithRelabeling) {
+  const EdgeList graph = FamilyGraph(GetParam());
+  const Reordering reordering = ComputeReordering(graph, ReorderMethod::kRandom, 13);
+  const EdgeList relabeled = ApplyReordering(graph, reordering);
+
+  RunConfig config;
+  config.layout = Layout::kEdgeArray;
+  GraphHandle original(graph);
+  GraphHandle permuted(relabeled);
+  const WccResult a = RunWcc(original, config);
+  const WccResult b = RunWcc(permuted, config);
+  // Labels differ (they are min ids under different numberings) but the
+  // partition into components must be identical: same-label iff same-label.
+  for (const Edge& e : graph.edges()) {
+    ASSERT_EQ(a.label[e.src] == a.label[e.dst],
+              b.label[reordering.new_id_of[e.src]] == b.label[reordering.new_id_of[e.dst]]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, PermutationInvarianceTest, ::testing::Values(0, 1, 2),
+                         FamilyName);
+
+// --- Layout invariance on non-power-law families ---------------------------
+// (bfs_test covers layouts on R-MAT; these cover uniform + road.)
+
+class LayoutInvarianceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LayoutInvarianceTest, AllLayoutsAgreeOnBfsReachability) {
+  const EdgeList graph = FamilyGraph(GetParam());
+  const VertexId source = 0;
+  std::vector<int64_t> reach_counts;
+  for (const Layout layout : {Layout::kAdjacency, Layout::kEdgeArray, Layout::kGrid}) {
+    GraphHandle handle(graph);
+    RunConfig config;
+    config.layout = layout;
+    if (layout == Layout::kGrid) {
+      config.sync = Sync::kLockFree;
+    }
+    const BfsResult result = RunBfs(handle, source, config);
+    int64_t reached = 0;
+    for (const VertexId p : result.parent) {
+      reached += p != kInvalidVertex ? 1 : 0;
+    }
+    reach_counts.push_back(reached);
+  }
+  EXPECT_EQ(reach_counts[0], reach_counts[1]);
+  EXPECT_EQ(reach_counts[0], reach_counts[2]);
+}
+
+TEST_P(LayoutInvarianceTest, PagerankAgreesAcrossLayouts) {
+  const EdgeList graph = FamilyGraph(GetParam());
+  GraphHandle h1(graph);
+  GraphHandle h2(graph);
+  GraphHandle h3(graph);
+  RunConfig adjacency;
+  adjacency.direction = Direction::kPull;
+  adjacency.sync = Sync::kLockFree;
+  RunConfig edge_array;
+  edge_array.layout = Layout::kEdgeArray;
+  RunConfig grid;
+  grid.layout = Layout::kGrid;
+  grid.direction = Direction::kPull;
+  grid.sync = Sync::kLockFree;
+  const PagerankResult a = RunPagerank(h1, PagerankOptions{}, adjacency);
+  const PagerankResult b = RunPagerank(h2, PagerankOptions{}, edge_array);
+  const PagerankResult c = RunPagerank(h3, PagerankOptions{}, grid);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    ASSERT_NEAR(a.rank[v], b.rank[v], 2e-4f) << "vertex " << v;
+    ASSERT_NEAR(a.rank[v], c.rank[v], 2e-4f) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, LayoutInvarianceTest, ::testing::Values(0, 1, 2),
+                         FamilyName);
+
+// --- Build-method invariance end to end -------------------------------------
+
+TEST(BuildMethodInvariance, BfsIdenticalAcrossBuilders) {
+  RmatOptions options;
+  options.scale = 9;
+  const EdgeList graph = GenerateRmat(options);
+  std::vector<int64_t> reach_counts;
+  for (const BuildMethod method :
+       {BuildMethod::kDynamic, BuildMethod::kCountSort, BuildMethod::kRadixSort}) {
+    GraphHandle handle(graph);
+    RunConfig config;
+    config.method = method;
+    const BfsResult result = RunBfs(handle, 0, config);
+    int64_t reached = 0;
+    for (const VertexId p : result.parent) {
+      reached += p != kInvalidVertex ? 1 : 0;
+    }
+    reach_counts.push_back(reached);
+  }
+  EXPECT_EQ(reach_counts[0], reach_counts[1]);
+  EXPECT_EQ(reach_counts[0], reach_counts[2]);
+}
+
+}  // namespace
+}  // namespace egraph

@@ -1,0 +1,112 @@
+// k-core decomposition tests against the sequential bucket-peeling
+// reference, plus structural invariants of core numbers.
+#include <gtest/gtest.h>
+
+#include "src/algos/kcore.h"
+#include "src/gen/erdos_renyi.h"
+#include "src/gen/rmat.h"
+
+namespace egraph {
+namespace {
+
+EdgeList Undirected(EdgeList graph) {
+  EdgeList u = graph.MakeUndirected();
+  u.RemoveSelfLoops();
+  u.RemoveDuplicateEdges();
+  return u;
+}
+
+TEST(Kcore, TriangleWithTail) {
+  // Triangle {0,1,2} (core 2) with tail 2-3 (vertex 3: core 1) and isolated
+  // vertex 4 (core 0).
+  EdgeList graph;
+  graph.set_num_vertices(5);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  graph.AddEdge(2, 0);
+  graph.AddEdge(2, 3);
+  const EdgeList undirected = Undirected(graph);
+  GraphHandle handle(undirected);
+  const KcoreResult result = RunKcore(handle, RunConfig{});
+  EXPECT_EQ(result.core[0], 2u);
+  EXPECT_EQ(result.core[1], 2u);
+  EXPECT_EQ(result.core[2], 2u);
+  EXPECT_EQ(result.core[3], 1u);
+  EXPECT_EQ(result.core[4], 0u);
+  EXPECT_EQ(result.max_core, 2u);
+}
+
+TEST(Kcore, CliqueCoreIsSizeMinusOne) {
+  EdgeList graph;
+  graph.set_num_vertices(6);
+  for (VertexId a = 0; a < 6; ++a) {
+    for (VertexId b = a + 1; b < 6; ++b) {
+      graph.AddEdge(a, b);
+    }
+  }
+  const EdgeList undirected = Undirected(graph);
+  GraphHandle handle(undirected);
+  const KcoreResult result = RunKcore(handle, RunConfig{});
+  for (VertexId v = 0; v < 6; ++v) {
+    EXPECT_EQ(result.core[v], 5u);
+  }
+}
+
+TEST(Kcore, MatchesReferenceOnRmat) {
+  RmatOptions options;
+  options.scale = 10;
+  const EdgeList undirected = Undirected(GenerateRmat(options));
+  GraphHandle handle(undirected);
+  const KcoreResult result = RunKcore(handle, RunConfig{});
+  const std::vector<uint32_t> expected = RefKcore(undirected);
+  ASSERT_EQ(result.core.size(), expected.size());
+  for (VertexId v = 0; v < undirected.num_vertices(); ++v) {
+    ASSERT_EQ(result.core[v], expected[v]) << "vertex " << v;
+  }
+}
+
+TEST(Kcore, MatchesReferenceOnUniform) {
+  ErdosRenyiOptions options;
+  options.num_vertices = 2000;
+  options.num_edges = 12000;
+  const EdgeList undirected = Undirected(GenerateErdosRenyi(options));
+  GraphHandle handle(undirected);
+  const KcoreResult result = RunKcore(handle, RunConfig{});
+  EXPECT_EQ(result.core, RefKcore(undirected));
+}
+
+TEST(Kcore, CoreNumbersAreSelfConsistent) {
+  // Invariant: in the subgraph induced by {v : core[v] >= k}, every vertex
+  // has degree >= k, for k = max_core.
+  RmatOptions options;
+  options.scale = 9;
+  const EdgeList undirected = Undirected(GenerateRmat(options));
+  GraphHandle handle(undirected);
+  const KcoreResult result = RunKcore(handle, RunConfig{});
+  const uint32_t k = result.max_core;
+  std::vector<uint32_t> degree_in_core(undirected.num_vertices(), 0);
+  for (const Edge& e : undirected.edges()) {
+    if (result.core[e.src] >= k && result.core[e.dst] >= k) {
+      ++degree_in_core[e.src];
+    }
+  }
+  for (VertexId v = 0; v < undirected.num_vertices(); ++v) {
+    if (result.core[v] >= k) {
+      EXPECT_GE(degree_in_core[v], k) << "vertex " << v;
+    }
+  }
+}
+
+TEST(Kcore, EmptyGraphAllZero) {
+  EdgeList graph;
+  graph.set_num_vertices(4);
+  GraphHandle handle(graph);
+  const KcoreResult result = RunKcore(handle, RunConfig{});
+  EXPECT_EQ(result.max_core, 0u);
+  for (const uint32_t c : result.core) {
+    EXPECT_EQ(c, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace egraph

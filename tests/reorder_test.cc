@@ -1,0 +1,112 @@
+// Vertex reordering tests: permutation validity, structure preservation,
+// and the locality properties each method promises.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/gen/rmat.h"
+#include "src/graph/stats.h"
+#include "src/layout/reorder.h"
+
+namespace egraph {
+namespace {
+
+EdgeList TestGraph() {
+  RmatOptions options;
+  options.scale = 10;
+  return GenerateRmat(options);
+}
+
+void ExpectBijection(const Reordering& reordering, VertexId n) {
+  ASSERT_EQ(reordering.new_id_of.size(), n);
+  std::vector<bool> seen(n, false);
+  for (const VertexId id : reordering.new_id_of) {
+    ASSERT_LT(id, n);
+    ASSERT_FALSE(seen[id]) << "duplicate new id " << id;
+    seen[id] = true;
+  }
+}
+
+class ReorderMethodTest : public ::testing::TestWithParam<ReorderMethod> {};
+
+TEST_P(ReorderMethodTest, ProducesBijection) {
+  const EdgeList graph = TestGraph();
+  const Reordering reordering = ComputeReordering(graph, GetParam());
+  ExpectBijection(reordering, graph.num_vertices());
+}
+
+TEST_P(ReorderMethodTest, PreservesDegreeSequenceAndEdgeCount) {
+  const EdgeList graph = TestGraph();
+  const Reordering reordering = ComputeReordering(graph, GetParam());
+  const EdgeList relabeled = ApplyReordering(graph, reordering);
+  EXPECT_EQ(relabeled.num_edges(), graph.num_edges());
+  EXPECT_EQ(relabeled.num_vertices(), graph.num_vertices());
+  auto sorted_degrees = [](const EdgeList& g) {
+    std::vector<uint32_t> d = OutDegrees(g);
+    std::sort(d.begin(), d.end());
+    return d;
+  };
+  EXPECT_EQ(sorted_degrees(relabeled), sorted_degrees(graph));
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, ReorderMethodTest,
+                         ::testing::Values(ReorderMethod::kDegreeDescending,
+                                           ReorderMethod::kBfsOrder, ReorderMethod::kRandom),
+                         [](const ::testing::TestParamInfo<ReorderMethod>& info) {
+                           std::string name = ReorderMethodName(info.param);
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+TEST(Reorder, DegreeDescendingPutsHubsFirst) {
+  const EdgeList graph = TestGraph();
+  const Reordering reordering =
+      ComputeReordering(graph, ReorderMethod::kDegreeDescending);
+  const EdgeList relabeled = ApplyReordering(graph, reordering);
+  const std::vector<uint32_t> degrees = OutDegrees(relabeled);
+  // New id order must be non-increasing in degree.
+  for (VertexId v = 1; v < relabeled.num_vertices(); ++v) {
+    ASSERT_GE(degrees[v - 1], degrees[v]) << "at " << v;
+  }
+}
+
+TEST(Reorder, WeightsFollowEdges) {
+  EdgeList graph;
+  graph.set_num_vertices(3);
+  graph.AddWeightedEdge(0, 1, 7.0f);
+  graph.AddWeightedEdge(1, 2, 8.0f);
+  const Reordering reordering = ComputeReordering(graph, ReorderMethod::kRandom, 5);
+  const EdgeList relabeled = ApplyReordering(graph, reordering);
+  ASSERT_TRUE(relabeled.has_weights());
+  // Edge i keeps weight i (ApplyReordering preserves edge order).
+  EXPECT_FLOAT_EQ(relabeled.weights()[0], 7.0f);
+  EXPECT_FLOAT_EQ(relabeled.weights()[1], 8.0f);
+  EXPECT_EQ(relabeled.edges()[0].src, reordering.new_id_of[0]);
+  EXPECT_EQ(relabeled.edges()[0].dst, reordering.new_id_of[1]);
+}
+
+TEST(Reorder, RandomIsDeterministicPerSeed) {
+  const EdgeList graph = TestGraph();
+  const Reordering a = ComputeReordering(graph, ReorderMethod::kRandom, 9);
+  const Reordering b = ComputeReordering(graph, ReorderMethod::kRandom, 9);
+  const Reordering c = ComputeReordering(graph, ReorderMethod::kRandom, 10);
+  EXPECT_EQ(a.new_id_of, b.new_id_of);
+  EXPECT_NE(a.new_id_of, c.new_id_of);
+}
+
+TEST(Reorder, BfsOrderAssignsContiguousIdsToReachableSet) {
+  // Chain 5 -> 6 -> 7 plus isolated vertices: BFS root is in the chain and
+  // the three chain vertices get ids 0, 1, 2.
+  EdgeList graph;
+  graph.set_num_vertices(10);
+  graph.AddEdge(5, 6);
+  graph.AddEdge(5, 7);  // vertex 5 has the max degree -> BFS root
+  const Reordering reordering = ComputeReordering(graph, ReorderMethod::kBfsOrder);
+  EXPECT_EQ(reordering.new_id_of[5], 0u);
+  EXPECT_LT(reordering.new_id_of[6], 3u);
+  EXPECT_LT(reordering.new_id_of[7], 3u);
+}
+
+}  // namespace
+}  // namespace egraph

@@ -1,0 +1,87 @@
+// Triangle counting tests against a brute-force reference.
+#include <gtest/gtest.h>
+
+#include "src/algos/triangles.h"
+#include "src/gen/erdos_renyi.h"
+#include "src/gen/rmat.h"
+
+namespace egraph {
+namespace {
+
+EdgeList Simple(EdgeList graph) {
+  EdgeList u = graph.MakeUndirected();
+  u.RemoveSelfLoops();
+  u.RemoveDuplicateEdges();
+  return u;
+}
+
+uint64_t CountVia(GraphHandle& handle) {
+  return RunTriangleCount(handle, RunConfig{}).triangles;
+}
+
+TEST(Triangles, SingleTriangle) {
+  EdgeList graph;
+  graph.set_num_vertices(3);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  graph.AddEdge(2, 0);
+  const EdgeList simple = Simple(graph);
+  GraphHandle handle(simple);
+  EXPECT_EQ(CountVia(handle), 1u);
+}
+
+TEST(Triangles, SquareHasNone) {
+  EdgeList graph;
+  graph.set_num_vertices(4);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  graph.AddEdge(2, 3);
+  graph.AddEdge(3, 0);
+  const EdgeList simple = Simple(graph);
+  GraphHandle handle(simple);
+  EXPECT_EQ(CountVia(handle), 0u);
+}
+
+TEST(Triangles, CliqueBinomial) {
+  // K6 has C(6,3) = 20 triangles.
+  EdgeList graph;
+  graph.set_num_vertices(6);
+  for (VertexId a = 0; a < 6; ++a) {
+    for (VertexId b = a + 1; b < 6; ++b) {
+      graph.AddEdge(a, b);
+    }
+  }
+  const EdgeList simple = Simple(graph);
+  GraphHandle handle(simple);
+  EXPECT_EQ(CountVia(handle), 20u);
+}
+
+TEST(Triangles, MatchesBruteForceOnRandomGraphs) {
+  for (const uint64_t seed : {1ull, 2ull, 3ull}) {
+    ErdosRenyiOptions options;
+    options.num_vertices = 120;
+    options.num_edges = 900;
+    options.seed = seed;
+    const EdgeList simple = Simple(GenerateErdosRenyi(options));
+    GraphHandle handle(simple);
+    EXPECT_EQ(CountVia(handle), RefTriangleCount(simple)) << "seed " << seed;
+  }
+}
+
+TEST(Triangles, MatchesBruteForceOnSmallRmat) {
+  RmatOptions options;
+  options.scale = 7;
+  const EdgeList simple = Simple(GenerateRmat(options));
+  GraphHandle handle(simple);
+  EXPECT_EQ(CountVia(handle), RefTriangleCount(simple));
+}
+
+TEST(Triangles, EmptyGraph) {
+  EdgeList graph;
+  graph.set_num_vertices(10);
+  GraphHandle handle(graph);
+  EXPECT_EQ(CountVia(handle), 0u);
+}
+
+}  // namespace
+}  // namespace egraph

@@ -1,0 +1,113 @@
+// WCC correctness: labels must equal the union-find reference (minimum
+// vertex id per weakly connected component) under every layout.
+#include <gtest/gtest.h>
+
+#include "src/algos/reference.h"
+#include "src/algos/wcc.h"
+#include "src/gen/erdos_renyi.h"
+#include "src/gen/rmat.h"
+
+namespace egraph {
+namespace {
+
+EdgeList MultiComponentGraph() {
+  // Three components: {0..3} ring, {10..12} chain, {20} isolated-with-loop,
+  // plus isolated vertices with no edges.
+  EdgeList graph;
+  graph.set_num_vertices(25);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  graph.AddEdge(2, 3);
+  graph.AddEdge(3, 0);
+  graph.AddEdge(10, 11);
+  graph.AddEdge(12, 11);  // direction against the chain: weak connectivity
+  graph.AddEdge(20, 20);
+  return graph;
+}
+
+TEST(Wcc, EdgeArrayMatchesReferenceWithoutSymmetrization) {
+  const EdgeList graph = MultiComponentGraph();
+  GraphHandle handle(graph);
+  RunConfig config;
+  config.layout = Layout::kEdgeArray;
+  const WccResult result = RunWcc(handle, config);
+  EXPECT_EQ(result.label, RefWccLabels(graph));
+  // Edge array needed no pre-processing at all (paper Table 6's 0.0 rows).
+  EXPECT_DOUBLE_EQ(handle.preprocess_seconds(), 0.0);
+}
+
+TEST(Wcc, GridMatchesReferenceWithoutSymmetrization) {
+  const EdgeList graph = MultiComponentGraph();
+  GraphHandle handle(graph);
+  RunConfig config;
+  config.layout = Layout::kGrid;
+  const WccResult result = RunWcc(handle, config);
+  EXPECT_EQ(result.label, RefWccLabels(graph));
+}
+
+TEST(Wcc, AdjacencyNeedsSymmetrizedInput) {
+  const EdgeList graph = MultiComponentGraph();
+  // Adjacency-list WCC runs on the undirected version (paper section 8),
+  // doubling CSR construction work — charged as pre-processing.
+  GraphHandle handle(graph.MakeUndirected());
+  RunConfig config;
+  config.layout = Layout::kAdjacency;
+  config.direction = Direction::kPush;
+  const WccResult result = RunWcc(handle, config);
+  EXPECT_EQ(result.label, RefWccLabels(graph));
+  EXPECT_GT(handle.preprocess_seconds(), 0.0);
+}
+
+TEST(Wcc, RmatAllLayoutsAgree) {
+  RmatOptions options;
+  options.scale = 10;
+  const EdgeList graph = GenerateRmat(options);
+  const std::vector<VertexId> expected = RefWccLabels(graph);
+
+  for (const Layout layout : {Layout::kEdgeArray, Layout::kGrid}) {
+    GraphHandle handle(graph);
+    RunConfig config;
+    config.layout = layout;
+    EXPECT_EQ(RunWcc(handle, config).label, expected) << LayoutName(layout);
+  }
+  GraphHandle handle(graph.MakeUndirected());
+  RunConfig config;
+  config.layout = Layout::kAdjacency;
+  EXPECT_EQ(RunWcc(handle, config).label, expected);
+}
+
+TEST(Wcc, LabelsAreComponentMinima) {
+  ErdosRenyiOptions options;
+  options.num_vertices = 2000;
+  options.num_edges = 3000;  // sparse: many components
+  const EdgeList graph = GenerateErdosRenyi(options);
+  GraphHandle handle(graph);
+  RunConfig config;
+  config.layout = Layout::kEdgeArray;
+  const WccResult result = RunWcc(handle, config);
+  // Property: every vertex's label is <= its id, and label[label[v]] ==
+  // label[v] (labels are fixed points).
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    EXPECT_LE(result.label[v], v);
+    EXPECT_EQ(result.label[result.label[v]], result.label[v]);
+  }
+  // Endpoint labels agree across every edge.
+  for (const Edge& e : graph.edges()) {
+    EXPECT_EQ(result.label[e.src], result.label[e.dst]);
+  }
+}
+
+TEST(Wcc, EmptyGraphTrivialLabels) {
+  EdgeList graph;
+  graph.set_num_vertices(7);
+  GraphHandle handle(graph);
+  RunConfig config;
+  config.layout = Layout::kEdgeArray;
+  const WccResult result = RunWcc(handle, config);
+  for (VertexId v = 0; v < 7; ++v) {
+    EXPECT_EQ(result.label[v], v);
+  }
+}
+
+}  // namespace
+}  // namespace egraph

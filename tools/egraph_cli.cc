@@ -1,0 +1,347 @@
+// egraph_cli: command-line front end to the whole library. Subcommands:
+//
+//   generate  --type=rmat|twitter|road|uniform --scale=N [--weights]
+//             [--seed=S] --out=FILE
+//   convert   --from=snap|mm|text|binary --to=binary|text IN OUT
+//   stats     FILE                       print Table-1-style statistics
+//   run       --algo=bfs|wcc|sssp|pagerank|spmv|kcore|triangles
+//             [--layout=adjacency|edge-array|grid]
+//             [--direction=push|pull|push-pull] [--sync=atomics|locks|lock-free]
+//             [--method=radix|count|dynamic] [--source=V] [--iterations=N]
+//             [--advisor] [--numa-nodes=K] FILE
+//
+// `run --advisor` lets the paper's section-9 roadmap pick the configuration.
+// Every run prints the end-to-end breakdown (load / preprocess / algorithm).
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "src/algos/bfs.h"
+#include "src/algos/kcore.h"
+#include "src/algos/pagerank.h"
+#include "src/algos/spmv.h"
+#include "src/algos/sssp.h"
+#include "src/algos/triangles.h"
+#include "src/algos/wcc.h"
+#include "src/engine/advisor.h"
+#include "src/gen/datasets.h"
+#include "src/gen/erdos_renyi.h"
+#include "src/graph/stats.h"
+#include "src/io/edge_io.h"
+#include "src/io/formats.h"
+#include "src/io/loader.h"
+#include "src/util/flags.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+namespace egraph {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: egraph_cli <generate|convert|stats|run> [flags] [files]\n"
+               "see the header of tools/egraph_cli.cc for the full flag list\n");
+  return 2;
+}
+
+Layout ParseLayout(const std::string& name) {
+  if (name == "adjacency") {
+    return Layout::kAdjacency;
+  }
+  if (name == "edge-array") {
+    return Layout::kEdgeArray;
+  }
+  if (name == "grid") {
+    return Layout::kGrid;
+  }
+  throw std::runtime_error("unknown layout: " + name);
+}
+
+Direction ParseDirection(const std::string& name) {
+  if (name == "push") {
+    return Direction::kPush;
+  }
+  if (name == "pull") {
+    return Direction::kPull;
+  }
+  if (name == "push-pull") {
+    return Direction::kPushPull;
+  }
+  throw std::runtime_error("unknown direction: " + name);
+}
+
+Sync ParseSync(const std::string& name) {
+  if (name == "atomics") {
+    return Sync::kAtomics;
+  }
+  if (name == "locks") {
+    return Sync::kLocks;
+  }
+  if (name == "lock-free") {
+    return Sync::kLockFree;
+  }
+  throw std::runtime_error("unknown sync: " + name);
+}
+
+BuildMethod ParseMethod(const std::string& name) {
+  if (name == "radix") {
+    return BuildMethod::kRadixSort;
+  }
+  if (name == "count") {
+    return BuildMethod::kCountSort;
+  }
+  if (name == "dynamic") {
+    return BuildMethod::kDynamic;
+  }
+  throw std::runtime_error("unknown build method: " + name);
+}
+
+int CmdGenerate(const Flags& flags) {
+  const std::string type = flags.GetString("type", "rmat");
+  const int scale = static_cast<int>(flags.GetInt("scale", 18));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: --out is required\n");
+    return 2;
+  }
+  EdgeList graph;
+  if (type == "rmat") {
+    graph = DatasetRmat(scale, seed);
+  } else if (type == "twitter") {
+    graph = DatasetTwitter(scale, seed);
+  } else if (type == "road") {
+    graph = DatasetUsRoad(scale, seed);
+  } else if (type == "uniform") {
+    ErdosRenyiOptions options;
+    options.num_vertices = 1u << scale;
+    options.num_edges = 16ull << scale;
+    options.seed = seed;
+    graph = GenerateErdosRenyi(options);
+  } else {
+    std::fprintf(stderr, "generate: unknown --type=%s\n", type.c_str());
+    return 2;
+  }
+  if (flags.GetBool("weights", false)) {
+    graph.AssignRandomWeights(0.1f, 1.0f, seed * 31);
+  }
+  WriteBinaryEdges(out, graph);
+  std::printf("%s\n", DescribeDataset(out, graph).c_str());
+  return 0;
+}
+
+EdgeList LoadAs(const std::string& format, const std::string& path) {
+  if (format == "binary") {
+    return ReadBinaryEdges(path);
+  }
+  if (format == "text") {
+    return ReadTextEdges(path);
+  }
+  if (format == "snap") {
+    return ReadSnapEdges(path);
+  }
+  if (format == "mm") {
+    return ReadMatrixMarket(path);
+  }
+  throw std::runtime_error("unknown format: " + format);
+}
+
+int CmdConvert(const Flags& flags) {
+  if (flags.positional().size() != 2) {
+    std::fprintf(stderr, "convert: expected IN and OUT files\n");
+    return 2;
+  }
+  const EdgeList graph = LoadAs(flags.GetString("from", "binary"), flags.positional()[0]);
+  const std::string to = flags.GetString("to", "binary");
+  if (to == "binary") {
+    WriteBinaryEdges(flags.positional()[1], graph);
+  } else if (to == "text") {
+    WriteTextEdges(flags.positional()[1], graph);
+  } else {
+    std::fprintf(stderr, "convert: unknown --to=%s\n", to.c_str());
+    return 2;
+  }
+  std::printf("converted %llu edges\n", static_cast<unsigned long long>(graph.num_edges()));
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "stats: expected a graph file\n");
+    return 2;
+  }
+  const EdgeList graph =
+      LoadAs(flags.GetString("from", "binary"), flags.positional()[0]);
+  const GraphStats stats = ComputeStats(graph);
+  Table table({"metric", "value"});
+  table.AddRow({"vertices", Table::FormatCount(stats.num_vertices)});
+  table.AddRow({"edges", Table::FormatCount(static_cast<int64_t>(stats.num_edges))});
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", stats.avg_degree);
+  table.AddRow({"avg degree", buffer});
+  table.AddRow({"max out-degree", Table::FormatCount(stats.max_out_degree)});
+  table.AddRow({"max in-degree", Table::FormatCount(stats.max_in_degree)});
+  table.AddRow({"isolated vertices", Table::FormatCount(stats.isolated_vertices)});
+  table.AddRow({"top-1% edge share", Table::FormatPercent(stats.top1pct_out_edge_share)});
+  table.Print("graph statistics");
+  return 0;
+}
+
+int CmdRun(const Flags& flags) {
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "run: expected a graph file\n");
+    return 2;
+  }
+  const std::string algo = flags.GetString("algo", "bfs");
+
+  Timer load_timer;
+  EdgeList graph = LoadAs(flags.GetString("from", "binary"), flags.positional()[0]);
+  const double load_seconds = load_timer.Seconds();
+
+  RunConfig config;
+  config.layout = ParseLayout(flags.GetString("layout", "adjacency"));
+  config.direction = ParseDirection(flags.GetString("direction", "push"));
+  config.sync = ParseSync(flags.GetString("sync", "atomics"));
+  config.method = ParseMethod(flags.GetString("method", "radix"));
+
+  if (flags.GetBool("advisor", false)) {
+    const GraphStats stats = ComputeStats(graph);
+    AlgorithmTraits traits;
+    if (algo == "bfs") {
+      traits = TraitsBfs();
+    } else if (algo == "wcc") {
+      traits = TraitsWcc();
+    } else if (algo == "sssp") {
+      traits = TraitsSssp();
+    } else if (algo == "pagerank") {
+      traits = TraitsPagerank();
+    } else if (algo == "spmv") {
+      traits = TraitsSpmv();
+    } else {
+      traits = TraitsBfs();
+    }
+    MachineTraits machine;
+    machine.numa_nodes = static_cast<int>(flags.GetInt("numa-nodes", 1));
+    const Recommendation rec = Advise(traits, stats, machine);
+    config.layout = rec.layout;
+    config.direction = rec.direction;
+    config.sync = rec.sync;
+    std::printf("advisor: %s / %s / %s  (%s)\n", LayoutName(rec.layout),
+                DirectionName(rec.direction), SyncName(rec.sync), rec.rationale.c_str());
+  }
+
+  const VertexId source = static_cast<VertexId>(flags.GetInt("source", 0));
+  const int iterations = static_cast<int>(flags.GetInt("iterations", 10));
+
+  double algorithm_seconds = 0.0;
+  std::string summary;
+  char buffer[128];
+
+  if (algo == "wcc" && config.layout == Layout::kAdjacency) {
+    graph = graph.MakeUndirected();
+  }
+  if (algo == "kcore" || algo == "triangles") {
+    graph = graph.MakeUndirected();
+    graph.RemoveSelfLoops();
+    graph.RemoveDuplicateEdges();
+  }
+  GraphHandle handle(std::move(graph));
+
+  if (algo == "bfs") {
+    const BfsResult result = RunBfs(handle, source, config);
+    int64_t reached = 0;
+    for (const VertexId p : result.parent) {
+      reached += p != kInvalidVertex ? 1 : 0;
+    }
+    std::snprintf(buffer, sizeof(buffer), "reached %lld vertices in %d iterations",
+                  static_cast<long long>(reached), result.stats.iterations);
+    summary = buffer;
+    algorithm_seconds = result.stats.algorithm_seconds;
+  } else if (algo == "wcc") {
+    const WccResult result = RunWcc(handle, config);
+    int64_t components = 0;
+    for (VertexId v = 0; v < handle.num_vertices(); ++v) {
+      components += result.label[v] == v ? 1 : 0;
+    }
+    std::snprintf(buffer, sizeof(buffer), "%lld components in %d rounds",
+                  static_cast<long long>(components), result.stats.iterations);
+    summary = buffer;
+    algorithm_seconds = result.stats.algorithm_seconds;
+  } else if (algo == "sssp") {
+    const SsspResult result = RunSssp(handle, source, config);
+    std::snprintf(buffer, sizeof(buffer), "%d relaxation rounds", result.stats.iterations);
+    summary = buffer;
+    algorithm_seconds = result.stats.algorithm_seconds;
+  } else if (algo == "pagerank") {
+    PagerankOptions options;
+    options.iterations = iterations;
+    const PagerankResult result = RunPagerank(handle, options, config);
+    VertexId best = 0;
+    for (VertexId v = 1; v < handle.num_vertices(); ++v) {
+      if (result.rank[v] > result.rank[best]) {
+        best = v;
+      }
+    }
+    std::snprintf(buffer, sizeof(buffer), "top vertex %u (rank %.3e)", best,
+                  static_cast<double>(result.rank[best]));
+    summary = buffer;
+    algorithm_seconds = result.stats.algorithm_seconds;
+  } else if (algo == "spmv") {
+    const std::vector<float> x(handle.num_vertices(), 1.0f);
+    const SpmvResult result = RunSpmv(handle, x, config);
+    summary = "single pass complete";
+    algorithm_seconds = result.stats.algorithm_seconds;
+  } else if (algo == "kcore") {
+    const KcoreResult result = RunKcore(handle, config);
+    std::snprintf(buffer, sizeof(buffer), "max core %u", result.max_core);
+    summary = buffer;
+    algorithm_seconds = result.stats.algorithm_seconds;
+  } else if (algo == "triangles") {
+    const TriangleResult result = RunTriangleCount(handle, config);
+    std::snprintf(buffer, sizeof(buffer), "%llu triangles",
+                  static_cast<unsigned long long>(result.triangles));
+    summary = buffer;
+    algorithm_seconds = result.stats.algorithm_seconds;
+  } else {
+    std::fprintf(stderr, "run: unknown --algo=%s\n", algo.c_str());
+    return 2;
+  }
+
+  std::printf("%s: %s\n", algo.c_str(), summary.c_str());
+  std::printf("end-to-end: load %.3fs + preprocess %.3fs + algorithm %.3fs = %.3fs\n",
+              load_seconds, handle.preprocess_seconds(), algorithm_seconds,
+              load_seconds + handle.preprocess_seconds() + algorithm_seconds);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  const Flags flags(argc - 1, argv + 1);
+  try {
+    if (command == "generate") {
+      return CmdGenerate(flags);
+    }
+    if (command == "convert") {
+      return CmdConvert(flags);
+    }
+    if (command == "stats") {
+      return CmdStats(flags);
+    }
+    if (command == "run") {
+      return CmdRun(flags);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace egraph
+
+int main(int argc, char** argv) { return egraph::Main(argc, argv); }
