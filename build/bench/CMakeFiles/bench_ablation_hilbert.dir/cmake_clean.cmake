@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hilbert.dir/bench_ablation_hilbert.cc.o"
+  "CMakeFiles/bench_ablation_hilbert.dir/bench_ablation_hilbert.cc.o.d"
+  "bench_ablation_hilbert"
+  "bench_ablation_hilbert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hilbert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_bfs_pushpull.dir/bench_fig01_bfs_pushpull.cc.o"
+  "CMakeFiles/bench_fig01_bfs_pushpull.dir/bench_fig01_bfs_pushpull.cc.o.d"
+  "bench_fig01_bfs_pushpull"
+  "bench_fig01_bfs_pushpull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_bfs_pushpull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

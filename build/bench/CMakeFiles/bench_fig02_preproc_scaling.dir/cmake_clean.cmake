@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_preproc_scaling.dir/bench_fig02_preproc_scaling.cc.o"
+  "CMakeFiles/bench_fig02_preproc_scaling.dir/bench_fig02_preproc_scaling.cc.o.d"
+  "bench_fig02_preproc_scaling"
+  "bench_fig02_preproc_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_preproc_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_per_iteration.dir/bench_fig06_per_iteration.cc.o"
+  "CMakeFiles/bench_fig06_per_iteration.dir/bench_fig06_per_iteration.cc.o.d"
+  "bench_fig06_per_iteration"
+  "bench_fig06_per_iteration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_per_iteration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_numa.dir/bench_fig09_numa.cc.o"
+  "CMakeFiles/bench_fig09_numa.dir/bench_fig09_numa.cc.o.d"
+  "bench_fig09_numa"
+  "bench_fig09_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_road_numa.dir/bench_fig10_road_numa.cc.o"
+  "CMakeFiles/bench_fig10_road_numa.dir/bench_fig10_road_numa.cc.o.d"
+  "bench_fig10_road_numa"
+  "bench_fig10_road_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_road_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_best_bfs_pr.dir/bench_table5_best_bfs_pr.cc.o"
+  "CMakeFiles/bench_table5_best_bfs_pr.dir/bench_table5_best_bfs_pr.cc.o.d"
+  "bench_table5_best_bfs_pr"
+  "bench_table5_best_bfs_pr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_best_bfs_pr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_best_others.dir/bench_table6_best_others.cc.o"
+  "CMakeFiles/bench_table6_best_others.dir/bench_table6_best_others.cc.o.d"
+  "bench_table6_best_others"
+  "bench_table6_best_others.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_best_others.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/road_navigation.cc" "examples/CMakeFiles/road_navigation.dir/road_navigation.cc.o" "gcc" "examples/CMakeFiles/road_navigation.dir/road_navigation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gen/CMakeFiles/egraph_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/egraph_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/egraph_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/numa/CMakeFiles/egraph_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/algos/CMakeFiles/egraph_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/egraph_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/egraph_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/egraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/egraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

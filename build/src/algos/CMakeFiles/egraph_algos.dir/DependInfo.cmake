@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/als.cc" "src/algos/CMakeFiles/egraph_algos.dir/als.cc.o" "gcc" "src/algos/CMakeFiles/egraph_algos.dir/als.cc.o.d"
+  "/root/repo/src/algos/analytics.cc" "src/algos/CMakeFiles/egraph_algos.dir/analytics.cc.o" "gcc" "src/algos/CMakeFiles/egraph_algos.dir/analytics.cc.o.d"
+  "/root/repo/src/algos/betweenness.cc" "src/algos/CMakeFiles/egraph_algos.dir/betweenness.cc.o" "gcc" "src/algos/CMakeFiles/egraph_algos.dir/betweenness.cc.o.d"
+  "/root/repo/src/algos/bfs.cc" "src/algos/CMakeFiles/egraph_algos.dir/bfs.cc.o" "gcc" "src/algos/CMakeFiles/egraph_algos.dir/bfs.cc.o.d"
+  "/root/repo/src/algos/common.cc" "src/algos/CMakeFiles/egraph_algos.dir/common.cc.o" "gcc" "src/algos/CMakeFiles/egraph_algos.dir/common.cc.o.d"
+  "/root/repo/src/algos/delta_stepping.cc" "src/algos/CMakeFiles/egraph_algos.dir/delta_stepping.cc.o" "gcc" "src/algos/CMakeFiles/egraph_algos.dir/delta_stepping.cc.o.d"
+  "/root/repo/src/algos/kcore.cc" "src/algos/CMakeFiles/egraph_algos.dir/kcore.cc.o" "gcc" "src/algos/CMakeFiles/egraph_algos.dir/kcore.cc.o.d"
+  "/root/repo/src/algos/pagerank.cc" "src/algos/CMakeFiles/egraph_algos.dir/pagerank.cc.o" "gcc" "src/algos/CMakeFiles/egraph_algos.dir/pagerank.cc.o.d"
+  "/root/repo/src/algos/reference.cc" "src/algos/CMakeFiles/egraph_algos.dir/reference.cc.o" "gcc" "src/algos/CMakeFiles/egraph_algos.dir/reference.cc.o.d"
+  "/root/repo/src/algos/spmv.cc" "src/algos/CMakeFiles/egraph_algos.dir/spmv.cc.o" "gcc" "src/algos/CMakeFiles/egraph_algos.dir/spmv.cc.o.d"
+  "/root/repo/src/algos/sssp.cc" "src/algos/CMakeFiles/egraph_algos.dir/sssp.cc.o" "gcc" "src/algos/CMakeFiles/egraph_algos.dir/sssp.cc.o.d"
+  "/root/repo/src/algos/triangles.cc" "src/algos/CMakeFiles/egraph_algos.dir/triangles.cc.o" "gcc" "src/algos/CMakeFiles/egraph_algos.dir/triangles.cc.o.d"
+  "/root/repo/src/algos/wcc.cc" "src/algos/CMakeFiles/egraph_algos.dir/wcc.cc.o" "gcc" "src/algos/CMakeFiles/egraph_algos.dir/wcc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/egraph_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/egraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/egraph_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/egraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

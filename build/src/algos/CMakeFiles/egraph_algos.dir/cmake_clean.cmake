@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/egraph_algos.dir/als.cc.o"
+  "CMakeFiles/egraph_algos.dir/als.cc.o.d"
+  "CMakeFiles/egraph_algos.dir/analytics.cc.o"
+  "CMakeFiles/egraph_algos.dir/analytics.cc.o.d"
+  "CMakeFiles/egraph_algos.dir/betweenness.cc.o"
+  "CMakeFiles/egraph_algos.dir/betweenness.cc.o.d"
+  "CMakeFiles/egraph_algos.dir/bfs.cc.o"
+  "CMakeFiles/egraph_algos.dir/bfs.cc.o.d"
+  "CMakeFiles/egraph_algos.dir/common.cc.o"
+  "CMakeFiles/egraph_algos.dir/common.cc.o.d"
+  "CMakeFiles/egraph_algos.dir/delta_stepping.cc.o"
+  "CMakeFiles/egraph_algos.dir/delta_stepping.cc.o.d"
+  "CMakeFiles/egraph_algos.dir/kcore.cc.o"
+  "CMakeFiles/egraph_algos.dir/kcore.cc.o.d"
+  "CMakeFiles/egraph_algos.dir/pagerank.cc.o"
+  "CMakeFiles/egraph_algos.dir/pagerank.cc.o.d"
+  "CMakeFiles/egraph_algos.dir/reference.cc.o"
+  "CMakeFiles/egraph_algos.dir/reference.cc.o.d"
+  "CMakeFiles/egraph_algos.dir/spmv.cc.o"
+  "CMakeFiles/egraph_algos.dir/spmv.cc.o.d"
+  "CMakeFiles/egraph_algos.dir/sssp.cc.o"
+  "CMakeFiles/egraph_algos.dir/sssp.cc.o.d"
+  "CMakeFiles/egraph_algos.dir/triangles.cc.o"
+  "CMakeFiles/egraph_algos.dir/triangles.cc.o.d"
+  "CMakeFiles/egraph_algos.dir/wcc.cc.o"
+  "CMakeFiles/egraph_algos.dir/wcc.cc.o.d"
+  "libegraph_algos.a"
+  "libegraph_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/egraph_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

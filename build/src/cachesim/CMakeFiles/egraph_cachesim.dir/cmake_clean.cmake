@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/egraph_cachesim.dir/cache_model.cc.o"
+  "CMakeFiles/egraph_cachesim.dir/cache_model.cc.o.d"
+  "CMakeFiles/egraph_cachesim.dir/trace.cc.o"
+  "CMakeFiles/egraph_cachesim.dir/trace.cc.o.d"
+  "libegraph_cachesim.a"
+  "libegraph_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/egraph_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/advisor.cc" "src/engine/CMakeFiles/egraph_engine.dir/advisor.cc.o" "gcc" "src/engine/CMakeFiles/egraph_engine.dir/advisor.cc.o.d"
+  "/root/repo/src/engine/frontier.cc" "src/engine/CMakeFiles/egraph_engine.dir/frontier.cc.o" "gcc" "src/engine/CMakeFiles/egraph_engine.dir/frontier.cc.o.d"
+  "/root/repo/src/engine/graph_handle.cc" "src/engine/CMakeFiles/egraph_engine.dir/graph_handle.cc.o" "gcc" "src/engine/CMakeFiles/egraph_engine.dir/graph_handle.cc.o.d"
+  "/root/repo/src/engine/options.cc" "src/engine/CMakeFiles/egraph_engine.dir/options.cc.o" "gcc" "src/engine/CMakeFiles/egraph_engine.dir/options.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/egraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/egraph_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/egraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/egraph_engine.dir/advisor.cc.o"
+  "CMakeFiles/egraph_engine.dir/advisor.cc.o.d"
+  "CMakeFiles/egraph_engine.dir/frontier.cc.o"
+  "CMakeFiles/egraph_engine.dir/frontier.cc.o.d"
+  "CMakeFiles/egraph_engine.dir/graph_handle.cc.o"
+  "CMakeFiles/egraph_engine.dir/graph_handle.cc.o.d"
+  "CMakeFiles/egraph_engine.dir/options.cc.o"
+  "CMakeFiles/egraph_engine.dir/options.cc.o.d"
+  "libegraph_engine.a"
+  "libegraph_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/egraph_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

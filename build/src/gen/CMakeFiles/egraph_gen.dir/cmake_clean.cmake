@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/egraph_gen.dir/bipartite.cc.o"
+  "CMakeFiles/egraph_gen.dir/bipartite.cc.o.d"
+  "CMakeFiles/egraph_gen.dir/datasets.cc.o"
+  "CMakeFiles/egraph_gen.dir/datasets.cc.o.d"
+  "CMakeFiles/egraph_gen.dir/erdos_renyi.cc.o"
+  "CMakeFiles/egraph_gen.dir/erdos_renyi.cc.o.d"
+  "CMakeFiles/egraph_gen.dir/rmat.cc.o"
+  "CMakeFiles/egraph_gen.dir/rmat.cc.o.d"
+  "CMakeFiles/egraph_gen.dir/road.cc.o"
+  "CMakeFiles/egraph_gen.dir/road.cc.o.d"
+  "libegraph_gen.a"
+  "libegraph_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/egraph_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

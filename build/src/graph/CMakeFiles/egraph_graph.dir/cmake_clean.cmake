@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/egraph_graph.dir/edge_list.cc.o"
+  "CMakeFiles/egraph_graph.dir/edge_list.cc.o.d"
+  "CMakeFiles/egraph_graph.dir/stats.cc.o"
+  "CMakeFiles/egraph_graph.dir/stats.cc.o.d"
+  "libegraph_graph.a"
+  "libegraph_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/egraph_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/edge_io.cc" "src/io/CMakeFiles/egraph_io.dir/edge_io.cc.o" "gcc" "src/io/CMakeFiles/egraph_io.dir/edge_io.cc.o.d"
+  "/root/repo/src/io/formats.cc" "src/io/CMakeFiles/egraph_io.dir/formats.cc.o" "gcc" "src/io/CMakeFiles/egraph_io.dir/formats.cc.o.d"
+  "/root/repo/src/io/loader.cc" "src/io/CMakeFiles/egraph_io.dir/loader.cc.o" "gcc" "src/io/CMakeFiles/egraph_io.dir/loader.cc.o.d"
+  "/root/repo/src/io/mmap_file.cc" "src/io/CMakeFiles/egraph_io.dir/mmap_file.cc.o" "gcc" "src/io/CMakeFiles/egraph_io.dir/mmap_file.cc.o.d"
+  "/root/repo/src/io/storage_sim.cc" "src/io/CMakeFiles/egraph_io.dir/storage_sim.cc.o" "gcc" "src/io/CMakeFiles/egraph_io.dir/storage_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/egraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/egraph_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/egraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/egraph_io.dir/edge_io.cc.o"
+  "CMakeFiles/egraph_io.dir/edge_io.cc.o.d"
+  "CMakeFiles/egraph_io.dir/formats.cc.o"
+  "CMakeFiles/egraph_io.dir/formats.cc.o.d"
+  "CMakeFiles/egraph_io.dir/loader.cc.o"
+  "CMakeFiles/egraph_io.dir/loader.cc.o.d"
+  "CMakeFiles/egraph_io.dir/mmap_file.cc.o"
+  "CMakeFiles/egraph_io.dir/mmap_file.cc.o.d"
+  "CMakeFiles/egraph_io.dir/storage_sim.cc.o"
+  "CMakeFiles/egraph_io.dir/storage_sim.cc.o.d"
+  "libegraph_io.a"
+  "libegraph_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/egraph_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libegraph_io.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/compressed_csr.cc" "src/layout/CMakeFiles/egraph_layout.dir/compressed_csr.cc.o" "gcc" "src/layout/CMakeFiles/egraph_layout.dir/compressed_csr.cc.o.d"
+  "/root/repo/src/layout/csr.cc" "src/layout/CMakeFiles/egraph_layout.dir/csr.cc.o" "gcc" "src/layout/CMakeFiles/egraph_layout.dir/csr.cc.o.d"
+  "/root/repo/src/layout/csr_builder.cc" "src/layout/CMakeFiles/egraph_layout.dir/csr_builder.cc.o" "gcc" "src/layout/CMakeFiles/egraph_layout.dir/csr_builder.cc.o.d"
+  "/root/repo/src/layout/grid.cc" "src/layout/CMakeFiles/egraph_layout.dir/grid.cc.o" "gcc" "src/layout/CMakeFiles/egraph_layout.dir/grid.cc.o.d"
+  "/root/repo/src/layout/radix_sort.cc" "src/layout/CMakeFiles/egraph_layout.dir/radix_sort.cc.o" "gcc" "src/layout/CMakeFiles/egraph_layout.dir/radix_sort.cc.o.d"
+  "/root/repo/src/layout/reorder.cc" "src/layout/CMakeFiles/egraph_layout.dir/reorder.cc.o" "gcc" "src/layout/CMakeFiles/egraph_layout.dir/reorder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/egraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/egraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/egraph_layout.dir/compressed_csr.cc.o"
+  "CMakeFiles/egraph_layout.dir/compressed_csr.cc.o.d"
+  "CMakeFiles/egraph_layout.dir/csr.cc.o"
+  "CMakeFiles/egraph_layout.dir/csr.cc.o.d"
+  "CMakeFiles/egraph_layout.dir/csr_builder.cc.o"
+  "CMakeFiles/egraph_layout.dir/csr_builder.cc.o.d"
+  "CMakeFiles/egraph_layout.dir/grid.cc.o"
+  "CMakeFiles/egraph_layout.dir/grid.cc.o.d"
+  "CMakeFiles/egraph_layout.dir/radix_sort.cc.o"
+  "CMakeFiles/egraph_layout.dir/radix_sort.cc.o.d"
+  "CMakeFiles/egraph_layout.dir/reorder.cc.o"
+  "CMakeFiles/egraph_layout.dir/reorder.cc.o.d"
+  "libegraph_layout.a"
+  "libegraph_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/egraph_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

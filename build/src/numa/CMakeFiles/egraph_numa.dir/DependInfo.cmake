@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numa/cost_model.cc" "src/numa/CMakeFiles/egraph_numa.dir/cost_model.cc.o" "gcc" "src/numa/CMakeFiles/egraph_numa.dir/cost_model.cc.o.d"
+  "/root/repo/src/numa/numa_run.cc" "src/numa/CMakeFiles/egraph_numa.dir/numa_run.cc.o" "gcc" "src/numa/CMakeFiles/egraph_numa.dir/numa_run.cc.o.d"
+  "/root/repo/src/numa/partition.cc" "src/numa/CMakeFiles/egraph_numa.dir/partition.cc.o" "gcc" "src/numa/CMakeFiles/egraph_numa.dir/partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/egraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/egraph_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/egraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/egraph_numa.dir/cost_model.cc.o"
+  "CMakeFiles/egraph_numa.dir/cost_model.cc.o.d"
+  "CMakeFiles/egraph_numa.dir/numa_run.cc.o"
+  "CMakeFiles/egraph_numa.dir/numa_run.cc.o.d"
+  "CMakeFiles/egraph_numa.dir/partition.cc.o"
+  "CMakeFiles/egraph_numa.dir/partition.cc.o.d"
+  "libegraph_numa.a"
+  "libegraph_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/egraph_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/egraph_util.dir/bitmap.cc.o"
+  "CMakeFiles/egraph_util.dir/bitmap.cc.o.d"
+  "CMakeFiles/egraph_util.dir/env.cc.o"
+  "CMakeFiles/egraph_util.dir/env.cc.o.d"
+  "CMakeFiles/egraph_util.dir/flags.cc.o"
+  "CMakeFiles/egraph_util.dir/flags.cc.o.d"
+  "CMakeFiles/egraph_util.dir/table.cc.o"
+  "CMakeFiles/egraph_util.dir/table.cc.o.d"
+  "CMakeFiles/egraph_util.dir/thread_pool.cc.o"
+  "CMakeFiles/egraph_util.dir/thread_pool.cc.o.d"
+  "libegraph_util.a"
+  "libegraph_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/egraph_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/betweenness_test.dir/betweenness_test.cc.o"
+  "CMakeFiles/betweenness_test.dir/betweenness_test.cc.o.d"
+  "betweenness_test"
+  "betweenness_test.pdb"
+  "betweenness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/betweenness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_csr_test.dir/compressed_csr_test.cc.o"
+  "CMakeFiles/compressed_csr_test.dir/compressed_csr_test.cc.o.d"
+  "compressed_csr_test"
+  "compressed_csr_test.pdb"
+  "compressed_csr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_csr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

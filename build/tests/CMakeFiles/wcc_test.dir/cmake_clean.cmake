@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcc_test.dir/wcc_test.cc.o"
+  "CMakeFiles/wcc_test.dir/wcc_test.cc.o.d"
+  "wcc_test"
+  "wcc_test.pdb"
+  "wcc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

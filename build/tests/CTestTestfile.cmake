@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/flags_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_test[1]_include.cmake")
+include("/root/repo/build/tests/layout_test[1]_include.cmake")
+include("/root/repo/build/tests/compressed_csr_test[1]_include.cmake")
+include("/root/repo/build/tests/reorder_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/formats_test[1]_include.cmake")
+include("/root/repo/build/tests/cachesim_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/hilbert_test[1]_include.cmake")
+include("/root/repo/build/tests/bfs_test[1]_include.cmake")
+include("/root/repo/build/tests/wcc_test[1]_include.cmake")
+include("/root/repo/build/tests/sssp_test[1]_include.cmake")
+include("/root/repo/build/tests/betweenness_test[1]_include.cmake")
+include("/root/repo/build/tests/pagerank_test[1]_include.cmake")
+include("/root/repo/build/tests/spmv_test[1]_include.cmake")
+include("/root/repo/build/tests/als_test[1]_include.cmake")
+include("/root/repo/build/tests/kcore_test[1]_include.cmake")
+include("/root/repo/build/tests/triangles_test[1]_include.cmake")
+include("/root/repo/build/tests/numa_test[1]_include.cmake")
+include("/root/repo/build/tests/advisor_test[1]_include.cmake")
+include("/root/repo/build/tests/analytics_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/invariants_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/egraph_cli.dir/egraph_cli.cc.o"
+  "CMakeFiles/egraph_cli.dir/egraph_cli.cc.o.d"
+  "egraph_cli"
+  "egraph_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/egraph_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
