@@ -1,13 +1,45 @@
 #include "bench/bench_common.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 #include "src/gen/rmat.h"
 #include "src/graph/stats.h"
+#include "src/obs/export.h"
 #include "src/util/env.h"
 #include "src/util/thread_pool.h"
 
 namespace egraph::bench {
+namespace {
+
+// Experiment id of the first PrintBanner call; names the trace report.
+std::string g_experiment_slug;
+
+std::string Slugify(const std::string& text) {
+  std::string slug;
+  for (const char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!slug.empty() && slug.back() != '-') {
+      slug.push_back('-');
+    }
+  }
+  while (!slug.empty() && slug.back() == '-') {
+    slug.pop_back();
+  }
+  return slug.empty() ? std::string("bench") : slug;
+}
+
+void EmitTraceAtExit() {
+  const std::string path =
+      EnvString("EG_TRACE_FILE", g_experiment_slug + ".trace.json");
+  if (obs::WriteProcessReport(path, g_experiment_slug)) {
+    std::printf("trace: %s\n", path.c_str());
+  }
+}
+
+}  // namespace
 
 int Scale() { return EnvBenchScale(); }
 
@@ -26,6 +58,10 @@ EdgeList UsRoad() { return DatasetUsRoad(Scale()); }
 
 void PrintBanner(const std::string& experiment, const std::string& paper_expectation,
                  const std::string& dataset_description) {
+  if (g_experiment_slug.empty() && EnvInt64("EG_TRACE", 1) != 0) {
+    g_experiment_slug = Slugify(experiment);
+    std::atexit(EmitTraceAtExit);
+  }
   std::printf("\n================================================================\n");
   std::printf("%s\n", experiment.c_str());
   std::printf("paper expectation: %s\n", paper_expectation.c_str());

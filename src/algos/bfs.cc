@@ -1,6 +1,8 @@
 #include "src/algos/bfs.h"
 
 #include "src/engine/edge_map.h"
+#include "src/obs/phase.h"
+#include "src/obs/trace.h"
 #include "src/util/atomics.h"
 #include "src/util/timer.h"
 
@@ -40,6 +42,9 @@ BfsResult RunBfs(GraphHandle& handle, VertexId source, const RunConfig& config) 
   }
 
   Timer total;
+  obs::ScopedPhase phase(obs::Phase::kAlgorithm);
+  obs::TraceSession trace(result.stats.trace, "bfs", config.layout, config.direction,
+                          config.sync);
   result.parent[source] = source;
   BfsFunctor func{result.parent.data()};
   Frontier frontier = Frontier::Single(n, source);
@@ -47,6 +52,8 @@ BfsResult RunBfs(GraphHandle& handle, VertexId source, const RunConfig& config) 
   while (!frontier.Empty()) {
     Timer iteration;
     result.stats.frontier_sizes.push_back(frontier.Count());
+    trace.BeginIteration(frontier.Count(), frontier.has_sparse());
+    Direction used = config.direction;
     Frontier next;
     switch (config.layout) {
       case Layout::kAdjacency: {
@@ -64,6 +71,7 @@ BfsResult RunBfs(GraphHandle& handle, VertexId source, const RunConfig& config) 
                                       config.sync, &handle.locks(), config.pushpull,
                                       &used_pull);
             result.stats.used_pull.push_back(used_pull);
+            used = used_pull ? Direction::kPull : Direction::kPush;
             break;
           }
         }
@@ -77,6 +85,7 @@ BfsResult RunBfs(GraphHandle& handle, VertexId source, const RunConfig& config) 
         break;
     }
     frontier = std::move(next);
+    trace.EndIteration(used);
     result.stats.per_iteration_seconds.push_back(iteration.Seconds());
     ++result.stats.iterations;
   }

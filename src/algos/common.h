@@ -10,6 +10,7 @@
 
 #include "src/engine/graph_handle.h"
 #include "src/engine/options.h"
+#include "src/obs/trace.h"
 
 namespace egraph {
 
@@ -31,6 +32,9 @@ struct AlgoStats {
   std::vector<double> per_iteration_seconds;
   std::vector<int64_t> frontier_sizes;  // active vertices entering each round
   std::vector<bool> used_pull;          // push-pull decisions, when applicable
+  // Per-iteration engine trace (frontier shape, edges scanned/relaxed,
+  // direction actually used); also deposited in obs::TraceSink for export.
+  obs::EngineTrace trace;
 };
 
 // Builds the layouts `config` needs on `handle` (cost lands in

@@ -2,6 +2,8 @@
 
 #include "src/engine/scan.h"
 #include "src/graph/stats.h"
+#include "src/obs/phase.h"
+#include "src/obs/trace.h"
 #include "src/util/atomics.h"
 #include "src/util/parallel.h"
 #include "src/util/spinlock.h"
@@ -19,6 +21,9 @@ PagerankResult RunPagerank(GraphHandle& handle, const PagerankOptions& options,
   }
 
   Timer total;
+  obs::ScopedPhase phase(obs::Phase::kAlgorithm);
+  obs::TraceSession trace(result.stats.trace, "pagerank", config.layout, config.direction,
+                          config.sync);
   // Out-degrees are part of the algorithm phase: the edge-array layout has
   // no pre-processing, so everything it needs beyond the raw input counts
   // as computation (consistent with the paper's 0.0s pre-processing rows).
@@ -39,6 +44,7 @@ PagerankResult RunPagerank(GraphHandle& handle, const PagerankOptions& options,
 
   for (int iter = 0; iter < options.iterations; ++iter) {
     Timer iteration;
+    trace.BeginIteration(n, /*frontier_sparse=*/false);
     // Per-vertex contribution; dangling vertices spread their mass uniformly.
     double dangling = ParallelReduceSum<double>(0, static_cast<int64_t>(n), [&](int64_t v) {
       if (degree[static_cast<size_t>(v)] == 0) {
@@ -110,6 +116,7 @@ PagerankResult RunPagerank(GraphHandle& handle, const PagerankOptions& options,
                                                static_cast<float>(n);
     VertexMap(n, [&](VertexId v) { next[v] = teleport + options.damping * next[v]; });
     rank.swap(next);
+    trace.EndIteration(config.direction);
     result.stats.per_iteration_seconds.push_back(iteration.Seconds());
     ++result.stats.iterations;
   }

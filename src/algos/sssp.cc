@@ -3,6 +3,8 @@
 #include <limits>
 
 #include "src/engine/edge_map.h"
+#include "src/obs/phase.h"
+#include "src/obs/trace.h"
 #include "src/util/atomics.h"
 #include "src/util/timer.h"
 
@@ -43,6 +45,9 @@ SsspResult RunSssp(GraphHandle& handle, VertexId source, const RunConfig& config
   }
 
   Timer total;
+  obs::ScopedPhase phase(obs::Phase::kAlgorithm);
+  obs::TraceSession trace(result.stats.trace, "sssp", config.layout, config.direction,
+                          config.sync);
   result.dist[source] = 0.0f;
   SsspFunctor func{result.dist.data()};
   Frontier frontier = Frontier::Single(n, source);
@@ -50,6 +55,8 @@ SsspResult RunSssp(GraphHandle& handle, VertexId source, const RunConfig& config
   while (!frontier.Empty()) {
     Timer iteration;
     result.stats.frontier_sizes.push_back(frontier.Count());
+    trace.BeginIteration(frontier.Count(), frontier.has_sparse());
+    Direction used = config.direction;
     Frontier next;
     switch (config.layout) {
       case Layout::kAdjacency:
@@ -67,6 +74,7 @@ SsspResult RunSssp(GraphHandle& handle, VertexId source, const RunConfig& config
                                       config.sync, &handle.locks(), config.pushpull,
                                       &used_pull);
             result.stats.used_pull.push_back(used_pull);
+            used = used_pull ? Direction::kPull : Direction::kPush;
             break;
           }
         }
@@ -79,6 +87,7 @@ SsspResult RunSssp(GraphHandle& handle, VertexId source, const RunConfig& config
         break;
     }
     frontier = std::move(next);
+    trace.EndIteration(used);
     result.stats.per_iteration_seconds.push_back(iteration.Seconds());
     ++result.stats.iterations;
   }

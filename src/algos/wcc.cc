@@ -2,6 +2,8 @@
 
 #include "src/engine/edge_map.h"
 #include "src/engine/scan.h"
+#include "src/obs/phase.h"
+#include "src/obs/trace.h"
 #include "src/util/atomics.h"
 #include "src/util/timer.h"
 
@@ -37,6 +39,9 @@ WccResult RunWcc(GraphHandle& handle, const RunConfig& config) {
   const VertexId n = handle.num_vertices();
   result.label.resize(n);
   Timer total;
+  obs::ScopedPhase phase(obs::Phase::kAlgorithm);
+  obs::TraceSession trace(result.stats.trace, "wcc", config.layout, config.direction,
+                          config.sync);
   VertexMap(n, [&](VertexId v) { result.label[v] = v; });
 
   if (config.layout == Layout::kAdjacency) {
@@ -47,6 +52,8 @@ WccResult RunWcc(GraphHandle& handle, const RunConfig& config) {
     while (!frontier.Empty()) {
       Timer iteration;
       result.stats.frontier_sizes.push_back(frontier.Count());
+      trace.BeginIteration(frontier.Count(), frontier.has_sparse());
+      Direction used = config.direction;
       Frontier next;
       switch (config.direction) {
         case Direction::kPush:
@@ -61,10 +68,12 @@ WccResult RunWcc(GraphHandle& handle, const RunConfig& config) {
           next = EdgeMapCsrPushPull(handle.out_csr(), handle.in_csr(), frontier, func,
                                     config.sync, &handle.locks(), config.pushpull, &used_pull);
           result.stats.used_pull.push_back(used_pull);
+          used = used_pull ? Direction::kPull : Direction::kPush;
           break;
         }
       }
       frontier = std::move(next);
+      trace.EndIteration(used);
       result.stats.per_iteration_seconds.push_back(iteration.Seconds());
       ++result.stats.iterations;
     }
@@ -89,11 +98,13 @@ WccResult RunWcc(GraphHandle& handle, const RunConfig& config) {
     while (changed.load(std::memory_order_relaxed)) {
       changed.store(false, std::memory_order_relaxed);
       Timer iteration;
+      trace.BeginIteration(n, /*frontier_sparse=*/false);
       if (config.layout == Layout::kEdgeArray) {
         ScanEdgeArray(handle.edges(), relax);
       } else {
         ScanGridRowMajor(handle.grid(), relax);
       }
+      trace.EndIteration(config.direction);
       result.stats.per_iteration_seconds.push_back(iteration.Seconds());
       ++result.stats.iterations;
     }

@@ -1,5 +1,7 @@
 #include "src/engine/advisor.h"
 
+#include "src/obs/metrics.h"
+
 namespace egraph {
 namespace {
 
@@ -88,6 +90,11 @@ Recommendation Advise(const AlgorithmTraits& algorithm, const GraphStats& graph,
   if (rec.numa_partition) {
     rec.rationale += "; NUMA partitioning amortized by long all-active run";
   }
+
+  obs::Registry::Get().GetCounter("advisor.calls").Add(1);
+  obs::Registry::Get()
+      .GetCounter(std::string("advisor.recommend.") + LayoutName(rec.layout))
+      .Add(1);
   return rec;
 }
 

@@ -27,6 +27,7 @@
 #include "src/graph/edge_list.h"
 #include "src/layout/csr.h"
 #include "src/layout/grid.h"
+#include "src/obs/metrics.h"
 #include "src/util/parallel.h"
 #include "src/util/spinlock.h"
 
@@ -45,6 +46,9 @@ inline std::vector<VertexId> ConcatBuffers(std::vector<std::vector<VertexId>>& b
   out.reserve(total);
   for (auto& b : buffers) {
     out.insert(out.end(), b.begin(), b.end());
+    // swap-with-empty, not clear(): drained buffers must not retain their
+    // peak-iteration capacity.
+    std::vector<VertexId>().swap(b);
   }
   return out;
 }
@@ -63,6 +67,9 @@ Frontier EdgeMapCsrPush(const Csr& out, Frontier& frontier, F& func, Sync sync,
   frontier.EnsureSparse();
   const auto& active = frontier.Vertices();
 
+  obs::EngineCounters& metrics = obs::EngineCounters::Get();
+  metrics.edgemap_calls.Add(1);
+
   Bitmap next(n);
   const int workers = ThreadPool::Get().num_threads();
   std::vector<std::vector<VertexId>> buffers(static_cast<size_t>(workers));
@@ -71,10 +78,13 @@ Frontier EdgeMapCsrPush(const Csr& out, Frontier& frontier, F& func, Sync sync,
       0, static_cast<int64_t>(active.size()), /*grain=*/64,
       [&](int64_t lo, int64_t hi, int worker) {
         auto& buffer = buffers[static_cast<size_t>(worker)];
+        int64_t scanned = 0;
+        int64_t relaxed = 0;
         for (int64_t i = lo; i < hi; ++i) {
           const VertexId src = active[static_cast<size_t>(i)];
           const auto neighbors = out.Neighbors(src);
           const auto weights = out.Weights(src);
+          scanned += static_cast<int64_t>(neighbors.size());
           for (size_t j = 0; j < neighbors.size(); ++j) {
             const VertexId dst = neighbors[j];
             if (!func.Cond(dst)) {
@@ -88,11 +98,16 @@ Frontier EdgeMapCsrPush(const Csr& out, Frontier& frontier, F& func, Sync sync,
             } else {
               updated = func.UpdateAtomic(src, dst, w);
             }
-            if (updated && next.TestAndSet(dst)) {
-              buffer.push_back(dst);
+            if (updated) {
+              ++relaxed;
+              if (next.TestAndSet(dst)) {
+                buffer.push_back(dst);
+              }
             }
           }
         }
+        metrics.edges_scanned.Add(scanned);
+        metrics.edges_relaxed.Add(relaxed);
       });
 
   return Frontier::FromVector(n, edge_map_internal::ConcatBuffers(buffers));
@@ -109,6 +124,9 @@ Frontier EdgeMapCsrPull(const Csr& in, Frontier& frontier, F& func) {
   const VertexId n = in.num_vertices();
   frontier.EnsureDense();
 
+  obs::EngineCounters& metrics = obs::EngineCounters::Get();
+  metrics.edgemap_calls.Add(1);
+
   Bitmap next(n);
   const int workers = ThreadPool::Get().num_threads();
   std::vector<int64_t> counts(static_cast<size_t>(workers), 0);
@@ -117,6 +135,8 @@ Frontier EdgeMapCsrPull(const Csr& in, Frontier& frontier, F& func) {
       0, static_cast<int64_t>(n), /*grain=*/256,
       [&](int64_t lo, int64_t hi, int worker) {
         int64_t local = 0;
+        int64_t scanned = 0;
+        int64_t relaxed = 0;
         for (int64_t v = lo; v < hi; ++v) {
           const VertexId dst = static_cast<VertexId>(v);
           if (!func.Cond(dst)) {
@@ -127,12 +147,14 @@ Frontier EdgeMapCsrPull(const Csr& in, Frontier& frontier, F& func) {
           bool updated = false;
           for (size_t j = 0; j < neighbors.size(); ++j) {
             const VertexId src = neighbors[j];
+            ++scanned;
             if (!frontier.Contains(src)) {
               continue;
             }
             const float w = weights.empty() ? 1.0f : weights[j];
             if (func.Update(src, dst, w)) {
               updated = true;
+              ++relaxed;
             }
             if (!func.Cond(dst)) {
               break;  // early exit: dst is done for this round
@@ -144,6 +166,8 @@ Frontier EdgeMapCsrPull(const Csr& in, Frontier& frontier, F& func) {
           }
         }
         counts[static_cast<size_t>(worker)] += local;
+        metrics.edges_scanned.Add(scanned);
+        metrics.edges_relaxed.Add(relaxed);
       });
 
   int64_t total = 0;
@@ -182,6 +206,9 @@ Frontier EdgeMapEdgeArray(const EdgeList& graph, Frontier& frontier, F& func, Sy
   frontier.EnsureDense();
   const auto& edges = graph.edges();
 
+  obs::EngineCounters& metrics = obs::EngineCounters::Get();
+  metrics.edgemap_calls.Add(1);
+
   Bitmap next(n);
   const int workers = ThreadPool::Get().num_threads();
   std::vector<int64_t> counts(static_cast<size_t>(workers), 0);
@@ -190,6 +217,7 @@ Frontier EdgeMapEdgeArray(const EdgeList& graph, Frontier& frontier, F& func, Sy
       0, static_cast<int64_t>(edges.size()), /*grain=*/4096,
       [&](int64_t lo, int64_t hi, int worker) {
         int64_t local = 0;
+        int64_t relaxed = 0;
         for (int64_t i = lo; i < hi; ++i) {
           const Edge& e = edges[static_cast<size_t>(i)];
           if (!frontier.Contains(e.src) || !func.Cond(e.dst)) {
@@ -203,11 +231,16 @@ Frontier EdgeMapEdgeArray(const EdgeList& graph, Frontier& frontier, F& func, Sy
           } else {
             updated = func.UpdateAtomic(e.src, e.dst, w);
           }
-          if (updated && next.TestAndSet(e.dst)) {
-            ++local;
+          if (updated) {
+            ++relaxed;
+            if (next.TestAndSet(e.dst)) {
+              ++local;
+            }
           }
         }
         counts[static_cast<size_t>(worker)] += local;
+        metrics.edges_scanned.Add(hi - lo);  // edge-centric: every edge is touched
+        metrics.edges_relaxed.Add(relaxed);
       });
 
   int64_t total = 0;
@@ -231,6 +264,9 @@ Frontier EdgeMapGrid(const Grid& grid, Frontier& frontier, F& func, Sync sync,
   frontier.EnsureDense();
   const uint32_t blocks = grid.num_blocks();
 
+  obs::EngineCounters& metrics = obs::EngineCounters::Get();
+  metrics.edgemap_calls.Add(1);
+
   Bitmap next(n);
   const int workers = ThreadPool::Get().num_threads();
   std::vector<int64_t> counts(static_cast<size_t>(workers), 0);
@@ -239,6 +275,7 @@ Frontier EdgeMapGrid(const Grid& grid, Frontier& frontier, F& func, Sync sync,
     const auto cell = grid.Cell(i, j);
     const auto weights = grid.CellWeights(i, j);
     int64_t local = 0;
+    int64_t relaxed = 0;
     for (size_t k = 0; k < cell.size(); ++k) {
       const Edge& e = cell[k];
       if (!frontier.Contains(e.src) || !func.Cond(e.dst)) {
@@ -254,11 +291,16 @@ Frontier EdgeMapGrid(const Grid& grid, Frontier& frontier, F& func, Sync sync,
       } else {
         updated = func.UpdateAtomic(e.src, e.dst, w);
       }
-      if (updated && next.TestAndSet(e.dst)) {
-        ++local;
+      if (updated) {
+        ++relaxed;
+        if (next.TestAndSet(e.dst)) {
+          ++local;
+        }
       }
     }
     counts[static_cast<size_t>(worker)] += local;
+    metrics.edges_scanned.Add(static_cast<int64_t>(cell.size()));
+    metrics.edges_relaxed.Add(relaxed);
   };
 
   if (sync == Sync::kLockFree) {

@@ -1,5 +1,6 @@
 #include "src/engine/frontier.h"
 
+#include "src/obs/metrics.h"
 #include "src/util/parallel.h"
 
 namespace egraph {
@@ -53,6 +54,7 @@ void Frontier::EnsureDense() {
   if (has_dense_) {
     return;
   }
+  obs::EngineCounters::Get().frontier_to_dense.Add(1);
   dense_.Resize(num_vertices_);
   ParallelFor(0, static_cast<int64_t>(sparse_.size()),
               [this](int64_t i) { dense_.Set(sparse_[static_cast<size_t>(i)]); });
@@ -63,6 +65,7 @@ void Frontier::EnsureSparse() {
   if (has_sparse_) {
     return;
   }
+  obs::EngineCounters::Get().frontier_to_sparse.Add(1);
   dense_.ToVector(sparse_);
   has_sparse_ = true;
 }

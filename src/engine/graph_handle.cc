@@ -1,5 +1,7 @@
 #include "src/engine/graph_handle.h"
 
+#include "src/obs/phase.h"
+
 namespace egraph {
 
 uint32_t GraphHandle::AutoGridBlocks(VertexId num_vertices) {
@@ -17,6 +19,7 @@ uint32_t GraphHandle::AutoGridBlocks(VertexId num_vertices) {
 }
 
 void GraphHandle::Prepare(const PrepareConfig& config) {
+  obs::ScopedPhase phase(obs::Phase::kPreprocess);
   switch (config.layout) {
     case Layout::kEdgeArray:
       // Nothing to build: the input layout is the computation layout.

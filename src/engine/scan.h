@@ -1,12 +1,16 @@
 // Whole-graph scan primitives for algorithms where every vertex is active in
 // every round (Pagerank, SpMV): no frontier bookkeeping, just the layout's
 // native iteration order. Each maps to one of the paper's configurations.
+//
+// All scans iterate in chunks so the edges_scanned counter is bumped once per
+// chunk, not per edge — the metrics cost stays off the inner loop.
 #ifndef SRC_ENGINE_SCAN_H_
 #define SRC_ENGINE_SCAN_H_
 
 #include "src/graph/edge_list.h"
 #include "src/layout/csr.h"
 #include "src/layout/grid.h"
+#include "src/obs/metrics.h"
 #include "src/util/parallel.h"
 
 namespace egraph {
@@ -16,36 +20,53 @@ namespace egraph {
 template <typename Body>
 void ScanEdgeArray(const EdgeList& graph, Body&& body) {
   const auto& edges = graph.edges();
-  ParallelForGrain(0, static_cast<int64_t>(edges.size()), /*grain=*/4096, [&](int64_t i) {
-    const Edge& e = edges[static_cast<size_t>(i)];
-    body(e.src, e.dst, graph.EdgeWeight(static_cast<EdgeIndex>(i)));
-  });
+  obs::Counter& scanned = obs::EngineCounters::Get().edges_scanned;
+  ParallelForChunks(0, static_cast<int64_t>(edges.size()), /*grain=*/4096,
+                    [&](int64_t lo, int64_t hi, int /*worker*/) {
+                      for (int64_t i = lo; i < hi; ++i) {
+                        const Edge& e = edges[static_cast<size_t>(i)];
+                        body(e.src, e.dst, graph.EdgeWeight(static_cast<EdgeIndex>(i)));
+                      }
+                      scanned.Add(hi - lo);
+                    });
 }
 
 // Vertex-centric push scan over an out-CSR: body(src, dst, weight); source
 // metadata naturally cached per vertex. Caller synchronizes dst writes.
 template <typename Body>
 void ScanCsrBySource(const Csr& out, Body&& body) {
-  ParallelForGrain(0, static_cast<int64_t>(out.num_vertices()), /*grain=*/256,
-                   [&](int64_t v) {
-                     const VertexId src = static_cast<VertexId>(v);
-                     const auto neighbors = out.Neighbors(src);
-                     const auto weights = out.Weights(src);
-                     for (size_t j = 0; j < neighbors.size(); ++j) {
-                       body(src, neighbors[j], weights.empty() ? 1.0f : weights[j]);
-                     }
-                   });
+  obs::Counter& scanned = obs::EngineCounters::Get().edges_scanned;
+  ParallelForChunks(0, static_cast<int64_t>(out.num_vertices()), /*grain=*/256,
+                    [&](int64_t lo, int64_t hi, int /*worker*/) {
+                      int64_t local = 0;
+                      for (int64_t v = lo; v < hi; ++v) {
+                        const VertexId src = static_cast<VertexId>(v);
+                        const auto neighbors = out.Neighbors(src);
+                        const auto weights = out.Weights(src);
+                        local += static_cast<int64_t>(neighbors.size());
+                        for (size_t j = 0; j < neighbors.size(); ++j) {
+                          body(src, neighbors[j], weights.empty() ? 1.0f : weights[j]);
+                        }
+                      }
+                      scanned.Add(local);
+                    });
 }
 
 // Vertex-centric pull scan over an in-CSR: body(dst, in_neighbors, weights)
 // once per destination; dst is written by exactly one thread (lock-free).
 template <typename Body>
 void ScanCsrByDestination(const Csr& in, Body&& body) {
-  ParallelForGrain(0, static_cast<int64_t>(in.num_vertices()), /*grain=*/256,
-                   [&](int64_t v) {
-                     const VertexId dst = static_cast<VertexId>(v);
-                     body(dst, in.Neighbors(dst), in.Weights(dst));
-                   });
+  obs::Counter& scanned = obs::EngineCounters::Get().edges_scanned;
+  ParallelForChunks(0, static_cast<int64_t>(in.num_vertices()), /*grain=*/256,
+                    [&](int64_t lo, int64_t hi, int /*worker*/) {
+                      int64_t local = 0;
+                      for (int64_t v = lo; v < hi; ++v) {
+                        const VertexId dst = static_cast<VertexId>(v);
+                        local += static_cast<int64_t>(in.Neighbors(dst).size());
+                        body(dst, in.Neighbors(dst), in.Weights(dst));
+                      }
+                      scanned.Add(local);
+                    });
 }
 
 // Grid scan, row-major cells: body(src, dst, weight); best source-block
@@ -53,15 +74,22 @@ void ScanCsrByDestination(const Csr& in, Body&& body) {
 template <typename Body>
 void ScanGridRowMajor(const Grid& grid, Body&& body) {
   const uint32_t blocks = grid.num_blocks();
-  ParallelForGrain(0, static_cast<int64_t>(blocks) * blocks, /*grain=*/1, [&](int64_t c) {
-    const uint32_t i = static_cast<uint32_t>(c / blocks);
-    const uint32_t j = static_cast<uint32_t>(c % blocks);
-    const auto cell = grid.Cell(i, j);
-    const auto weights = grid.CellWeights(i, j);
-    for (size_t k = 0; k < cell.size(); ++k) {
-      body(cell[k].src, cell[k].dst, weights.empty() ? 1.0f : weights[k]);
-    }
-  });
+  obs::Counter& scanned = obs::EngineCounters::Get().edges_scanned;
+  ParallelForChunks(0, static_cast<int64_t>(blocks) * blocks, /*grain=*/1,
+                    [&](int64_t lo, int64_t hi, int /*worker*/) {
+                      int64_t local = 0;
+                      for (int64_t c = lo; c < hi; ++c) {
+                        const uint32_t i = static_cast<uint32_t>(c / blocks);
+                        const uint32_t j = static_cast<uint32_t>(c % blocks);
+                        const auto cell = grid.Cell(i, j);
+                        const auto weights = grid.CellWeights(i, j);
+                        local += static_cast<int64_t>(cell.size());
+                        for (size_t k = 0; k < cell.size(); ++k) {
+                          body(cell[k].src, cell[k].dst, weights.empty() ? 1.0f : weights[k]);
+                        }
+                      }
+                      scanned.Add(local);
+                    });
 }
 
 // Grid scan with column ownership: each thread exclusively owns the
@@ -70,14 +98,20 @@ void ScanGridRowMajor(const Grid& grid, Body&& body) {
 template <typename Body>
 void ScanGridColumnOwned(const Grid& grid, Body&& body) {
   const uint32_t blocks = grid.num_blocks();
-  ParallelForGrain(0, blocks, /*grain=*/1, [&](int64_t j) {
-    for (uint32_t i = 0; i < blocks; ++i) {
-      const auto cell = grid.Cell(i, static_cast<uint32_t>(j));
-      const auto weights = grid.CellWeights(i, static_cast<uint32_t>(j));
-      for (size_t k = 0; k < cell.size(); ++k) {
-        body(cell[k].src, cell[k].dst, weights.empty() ? 1.0f : weights[k]);
+  obs::Counter& scanned = obs::EngineCounters::Get().edges_scanned;
+  ParallelForChunks(0, blocks, /*grain=*/1, [&](int64_t lo, int64_t hi, int /*worker*/) {
+    int64_t local = 0;
+    for (int64_t j = lo; j < hi; ++j) {
+      for (uint32_t i = 0; i < blocks; ++i) {
+        const auto cell = grid.Cell(i, static_cast<uint32_t>(j));
+        const auto weights = grid.CellWeights(i, static_cast<uint32_t>(j));
+        local += static_cast<int64_t>(cell.size());
+        for (size_t k = 0; k < cell.size(); ++k) {
+          body(cell[k].src, cell[k].dst, weights.empty() ? 1.0f : weights[k]);
+        }
       }
     }
+    scanned.Add(local);
   });
 }
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/layout/radix_sort.h"
+#include "src/obs/metrics.h"
 #include "src/util/atomics.h"
 #include "src/util/parallel.h"
 #include "src/util/spinlock.h"
@@ -307,6 +308,9 @@ Csr BuildCsr(const EdgeList& graph, EdgeDirection direction, BuildMethod method,
   if (stats != nullptr) {
     stats->seconds = seconds;
   }
+  obs::Registry::Get()
+      .GetCounter(std::string("build.csr.") + BuildMethodName(method))
+      .Add(1);
   return csr;
 }
 

@@ -5,6 +5,8 @@
 #include "src/graph/stats.h"
 #include "src/layout/csr_builder.h"
 #include "src/layout/radix_sort.h"
+#include "src/obs/metrics.h"
+#include "src/obs/phase.h"
 #include "src/util/atomics.h"
 #include "src/util/parallel.h"
 #include "src/util/timer.h"
@@ -51,6 +53,8 @@ Csr CsrFromSortedSegment(const Edge* edges, uint64_t count, VertexId num_vertice
 }  // namespace
 
 NumaPartition PartitionGraph(const EdgeList& graph, int num_nodes, PartitionCsrs csrs) {
+  obs::ScopedPhase phase(obs::Phase::kPartition);
+  obs::Registry::Get().GetCounter("numa.partition_calls").Add(1);
   NumaPartition partition;
   Timer timer;
   const VertexId n = graph.num_vertices();

@@ -1,0 +1,181 @@
+#include "src/obs/export.h"
+
+#include <cstdio>
+
+#include "src/obs/phase.h"
+#include "src/util/table.h"
+#include "src/util/thread_pool.h"
+
+namespace egraph::obs {
+namespace {
+
+// Local enum names: obs sits below the engine library in the link order, so
+// it spells out the handful of names itself instead of pulling in
+// engine/options.cc.
+const char* LayoutString(Layout layout) {
+  switch (layout) {
+    case Layout::kEdgeArray:
+      return "edge-array";
+    case Layout::kAdjacency:
+      return "adjacency";
+    case Layout::kGrid:
+      return "grid";
+  }
+  return "?";
+}
+
+const char* DirectionString(Direction direction) {
+  switch (direction) {
+    case Direction::kPush:
+      return "push";
+    case Direction::kPull:
+      return "pull";
+    case Direction::kPushPull:
+      return "push-pull";
+  }
+  return "?";
+}
+
+const char* SyncString(Sync sync) {
+  switch (sync) {
+    case Sync::kAtomics:
+      return "atomics";
+    case Sync::kLocks:
+      return "locks";
+    case Sync::kLockFree:
+      return "lock-free";
+  }
+  return "?";
+}
+
+}  // namespace
+
+JsonValue PhasesToJson() {
+  const TimingBreakdown breakdown = PhaseTimers::Get().ToBreakdown();
+  JsonValue phases = JsonValue::Object();
+  phases.Set("load", breakdown.load_seconds);
+  phases.Set("preprocess", breakdown.preprocess_seconds);
+  phases.Set("partition", breakdown.partition_seconds);
+  phases.Set("algorithm", breakdown.algorithm_seconds);
+  phases.Set("total", breakdown.Total());
+  return phases;
+}
+
+JsonValue MetricsToJson() {
+  JsonValue metrics = JsonValue::Object();
+
+  JsonValue counters = JsonValue::Object();
+  for (const CounterSnapshot& c : Registry::Get().SnapshotCounters()) {
+    counters.Set(c.name, c.value);
+  }
+  metrics.Set("counters", std::move(counters));
+
+  JsonValue histograms = JsonValue::Object();
+  for (const HistogramSnapshot& h : Registry::Get().SnapshotHistograms()) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("count", h.count);
+    entry.Set("sum", h.sum);
+    entry.Set("mean", h.mean);
+    entry.Set("p50", h.p50);
+    entry.Set("p90", h.p90);
+    entry.Set("p99", h.p99);
+    histograms.Set(h.name, std::move(entry));
+  }
+  metrics.Set("histograms", std::move(histograms));
+  return metrics;
+}
+
+JsonValue TraceToJson(const EngineTrace& trace) {
+  JsonValue out = JsonValue::Object();
+  out.Set("algorithm", trace.algorithm);
+  out.Set("layout", LayoutString(trace.layout));
+  out.Set("direction", DirectionString(trace.direction));
+  out.Set("sync", SyncString(trace.sync));
+  out.Set("total_seconds", trace.total_seconds);
+  out.Set("num_iterations", static_cast<int64_t>(trace.iterations.size()));
+
+  JsonValue iterations = JsonValue::Array();
+  for (const IterationRecord& record : trace.iterations) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("iteration", record.iteration);
+    entry.Set("frontier_size", record.frontier_size);
+    entry.Set("frontier_repr", record.frontier_sparse ? "sparse" : "dense");
+    entry.Set("edges_scanned", record.edges_scanned);
+    entry.Set("edges_relaxed", record.edges_relaxed);
+    entry.Set("direction", DirectionString(record.direction));
+    entry.Set("seconds", record.seconds);
+    iterations.Append(std::move(entry));
+  }
+  out.Set("iterations", std::move(iterations));
+  return out;
+}
+
+JsonValue ProcessReportToJson(const std::string& name) {
+  JsonValue report = JsonValue::Object();
+  report.Set("name", name);
+  report.Set("schema", "egraph-trace-v1");
+  report.Set("metrics_compiled", kMetricsCompiled);
+  report.Set("threads", ThreadPool::Get().num_threads());
+  report.Set("phases", PhasesToJson());
+  report.Set("metrics", MetricsToJson());
+
+  JsonValue traces = JsonValue::Array();
+  for (const EngineTrace& trace : TraceSink::Get().Snapshot()) {
+    traces.Append(TraceToJson(trace));
+  }
+  report.Set("traces", std::move(traces));
+  return report;
+}
+
+std::string MetricsTableString() {
+  std::string out;
+
+  Table phases({"phase", "seconds"});
+  const TimingBreakdown breakdown = PhaseTimers::Get().ToBreakdown();
+  phases.AddRow({"load", Table::FormatSeconds(breakdown.load_seconds)});
+  phases.AddRow({"preprocess", Table::FormatSeconds(breakdown.preprocess_seconds)});
+  phases.AddRow({"partition", Table::FormatSeconds(breakdown.partition_seconds)});
+  phases.AddRow({"algorithm", Table::FormatSeconds(breakdown.algorithm_seconds)});
+  phases.AddRow({"total", Table::FormatSeconds(breakdown.Total())});
+  out += "phase breakdown\n";
+  out += phases.ToString();
+
+  const auto counters = Registry::Get().SnapshotCounters();
+  if (!counters.empty()) {
+    Table table({"counter", "value"});
+    for (const CounterSnapshot& c : counters) {
+      table.AddRow({c.name, Table::FormatCount(c.value)});
+    }
+    out += "counters\n";
+    out += table.ToString();
+  }
+
+  const auto histograms = Registry::Get().SnapshotHistograms();
+  if (!histograms.empty()) {
+    Table table({"histogram", "count", "mean", "p50", "p90", "p99"});
+    char buffer[32];
+    for (const HistogramSnapshot& h : histograms) {
+      std::snprintf(buffer, sizeof(buffer), "%.1f", h.mean);
+      table.AddRow({h.name, Table::FormatCount(h.count), buffer, Table::FormatCount(h.p50),
+                    Table::FormatCount(h.p90), Table::FormatCount(h.p99)});
+    }
+    out += "histograms\n";
+    out += table.ToString();
+  }
+  return out;
+}
+
+bool WriteProcessReport(const std::string& path, const std::string& name) {
+  const std::string json = ProcessReportToJson(name).Dump(/*indent=*/2);
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "obs: cannot write trace to %s\n", path.c_str());
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  return written == json.size();
+}
+
+}  // namespace egraph::obs

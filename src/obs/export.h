@@ -1,0 +1,39 @@
+// Exporters: turn the metrics registry, phase timers and collected engine
+// traces into JSON documents and human-readable tables. The JSON schema is
+// documented in docs/observability.md and covered by obs_test's round-trip
+// tests.
+#ifndef SRC_OBS_EXPORT_H_
+#define SRC_OBS_EXPORT_H_
+
+#include <string>
+
+#include "src/obs/json.h"
+#include "src/obs/trace.h"
+
+namespace egraph::obs {
+
+// {"load": s, "preprocess": s, "partition": s, "algorithm": s, "total": s}
+JsonValue PhasesToJson();
+
+// {"counters": {name: value, ...}, "histograms": {name: {...}, ...}}
+JsonValue MetricsToJson();
+
+// {"algorithm", "layout", "direction", "sync", "total_seconds",
+//  "iterations": [{...}, ...]}
+JsonValue TraceToJson(const EngineTrace& trace);
+
+// The full process report: name + threads + phases + metrics + every trace
+// currently in the TraceSink.
+JsonValue ProcessReportToJson(const std::string& name);
+
+// Renders counters, histograms and the phase breakdown as aligned tables
+// (the CLI's --metrics output).
+std::string MetricsTableString();
+
+// Writes ProcessReportToJson(name) to `path` (pretty-printed). Returns
+// false (and prints to stderr) when the file cannot be written.
+bool WriteProcessReport(const std::string& path, const std::string& name);
+
+}  // namespace egraph::obs
+
+#endif  // SRC_OBS_EXPORT_H_

@@ -1,0 +1,426 @@
+#include "src/obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace egraph::obs {
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void AppendNumber(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no Infinity/NaN; emit null like most encoders.
+    out += "null";
+    return;
+  }
+  // Integral values (the common case: counts) print without a fraction.
+  if (value == std::floor(value) && std::abs(value) < 9.007199254740992e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%lld", static_cast<long long>(value));
+    out += buffer;
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out += buffer;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue ParseDocument() {
+    JsonValue value = ParseValue();
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      Fail("trailing characters after document");
+    }
+    return value;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw std::runtime_error("json parse error at offset " + std::to_string(pos_) +
+                             ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) {
+      Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool Consume(const char* literal) {
+    const size_t len = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue ParseValue() {
+    switch (Peek()) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return JsonValue(ParseString());
+      case 't':
+        if (!Consume("true")) {
+          Fail("bad literal");
+        }
+        return JsonValue(true);
+      case 'f':
+        if (!Consume("false")) {
+          Fail("bad literal");
+        }
+        return JsonValue(false);
+      case 'n':
+        if (!Consume("null")) {
+          Fail("bad literal");
+        }
+        return JsonValue();
+      default:
+        return ParseNumber();
+    }
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    JsonValue object = JsonValue::Object();
+    if (Peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    while (true) {
+      if (Peek() != '"') {
+        Fail("expected object key");
+      }
+      std::string key = ParseString();
+      Expect(':');
+      object.Set(key, ParseValue());
+      const char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return object;
+      }
+      Fail("expected ',' or '}'");
+    }
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    JsonValue array = JsonValue::Array();
+    if (Peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    while (true) {
+      array.Append(ParseValue());
+      const char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return array;
+      }
+      Fail("expected ',' or ']'");
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        Fail("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        Fail("unterminated escape");
+      }
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            Fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              Fail("bad \\u escape");
+            }
+          }
+          // Encode as UTF-8 (basic multilingual plane only; surrogate pairs
+          // are outside the exporters' output alphabet).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          Fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue ParseNumber() {
+    SkipWhitespace();
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      Fail("expected a value");
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      Fail("bad number: " + token);
+    }
+    return JsonValue(value);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+void JsonValue::Set(const std::string& key, JsonValue value) {
+  for (auto& [existing_key, existing_value] : members_) {
+    if (existing_key == key) {
+      existing_value = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& [member_key, member_value] : members_) {
+    if (member_key == key) {
+      return &member_value;
+    }
+  }
+  return nullptr;
+}
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  if (type_ != other.type_) {
+    return false;
+  }
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kNumber:
+      return number_ == other.number_;
+    case Type::kString:
+      return string_ == other.string_;
+    case Type::kArray:
+      return items_ == other.items_;
+    case Type::kObject:
+      return members_ == other.members_;
+  }
+  return false;
+}
+
+void JsonValue::DumpTo(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad = pretty ? std::string(static_cast<size_t>(indent * (depth + 1)), ' ')
+                                 : std::string();
+  const std::string close_pad =
+      pretty ? std::string(static_cast<size_t>(indent * depth), ' ') : std::string();
+  const char* newline = pretty ? "\n" : "";
+  const char* colon = pretty ? ": " : ":";
+
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      AppendNumber(out, number_);
+      break;
+    case Type::kString:
+      AppendEscaped(out, string_);
+      break;
+    case Type::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[";
+      out += newline;
+      for (size_t i = 0; i < items_.size(); ++i) {
+        out += pad;
+        items_[i].DumpTo(out, indent, depth + 1);
+        if (i + 1 < items_.size()) {
+          out += ",";
+        }
+        out += newline;
+      }
+      out += close_pad;
+      out += "]";
+      break;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{";
+      out += newline;
+      for (size_t i = 0; i < members_.size(); ++i) {
+        out += pad;
+        AppendEscaped(out, members_[i].first);
+        out += colon;
+        members_[i].second.DumpTo(out, indent, depth + 1);
+        if (i + 1 < members_.size()) {
+          out += ",";
+        }
+        out += newline;
+      }
+      out += close_pad;
+      out += "}";
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+JsonValue JsonValue::Parse(const std::string& text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+}  // namespace egraph::obs

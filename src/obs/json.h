@@ -1,0 +1,84 @@
+// Minimal JSON document model with a writer and a strict recursive-descent
+// parser. Exists so trace export needs no third-party dependency and so the
+// test suite can round-trip every exported document through a real parser.
+// Scope: the JSON subset the exporters emit — objects (insertion-ordered),
+// arrays, strings (with standard escapes), finite doubles, bools, null.
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace egraph::obs {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool value) : type_(Type::kBool), bool_(value) {}           // NOLINT
+  JsonValue(double value) : type_(Type::kNumber), number_(value) {}     // NOLINT
+  JsonValue(int value) : JsonValue(static_cast<double>(value)) {}       // NOLINT
+  JsonValue(int64_t value) : JsonValue(static_cast<double>(value)) {}   // NOLINT
+  JsonValue(const char* value) : type_(Type::kString), string_(value) {}  // NOLINT
+  JsonValue(std::string value) : type_(Type::kString), string_(std::move(value)) {}  // NOLINT
+
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  // Typed accessors; only valid for the matching type.
+  bool bool_value() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  // Array append.
+  void Append(JsonValue value) { items_.push_back(std::move(value)); }
+
+  // Object insert (keeps insertion order; duplicate keys overwrite).
+  void Set(const std::string& key, JsonValue value);
+
+  // Object lookup; nullptr when absent (or not an object).
+  const JsonValue* Find(const std::string& key) const;
+
+  // Structural equality; numbers compare exactly.
+  bool operator==(const JsonValue& other) const;
+
+  // Serializes the document. indent < 0 emits compact single-line JSON;
+  // otherwise nested levels are indented by `indent` spaces.
+  std::string Dump(int indent = -1) const;
+
+  // Parses `text` (a complete document; trailing garbage is an error).
+  // Throws std::runtime_error with position information on malformed input.
+  static JsonValue Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace egraph::obs
+
+#endif  // SRC_OBS_JSON_H_

@@ -1,0 +1,193 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+namespace egraph::obs {
+
+namespace internal {
+std::atomic<bool> g_enabled{true};
+}  // namespace internal
+
+bool Enabled() { return internal::g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+
+Counter::Counter(std::string name)
+    : name_(std::move(name)),
+      shards_(static_cast<size_t>(ThreadPool::Get().num_threads())) {}
+
+int64_t Counter::Total() const {
+  int64_t total = 0;
+  for (const internal::CounterShard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (internal::CounterShard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(std::string name)
+    : name_(std::move(name)),
+      shards_(static_cast<size_t>(ThreadPool::Get().num_threads())) {}
+
+int64_t Histogram::Count() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+int64_t Histogram::Sum() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Mean() const {
+  const int64_t count = Count();
+  return count == 0 ? 0.0 : static_cast<double>(Sum()) / static_cast<double>(count);
+}
+
+std::vector<int64_t> Histogram::MergedBuckets() const {
+  std::vector<int64_t> merged(kBuckets, 0);
+  for (const Shard& shard : shards_) {
+    for (int b = 0; b < kBuckets; ++b) {
+      merged[static_cast<size_t>(b)] +=
+          shard.buckets[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+int64_t Histogram::Percentile(double q) const {
+  const std::vector<int64_t> merged = MergedBuckets();
+  int64_t total = 0;
+  for (const int64_t c : merged) {
+    total += c;
+  }
+  if (total == 0) {
+    return 0;
+  }
+  if (q < 0.0) {
+    q = 0.0;
+  }
+  if (q > 1.0) {
+    q = 1.0;
+  }
+  // Rank of the q-quantile sample, 1-based; q=0 maps to the first sample.
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(q * static_cast<double>(total) + 0.5));
+  int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += merged[static_cast<size_t>(b)];
+    if (seen >= rank) {
+      return BucketUpperBound(b);
+    }
+  }
+  return BucketUpperBound(kBuckets - 1);
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (int b = 0; b < kBuckets; ++b) {
+      shard.buckets[static_cast<size_t>(b)].store(0, std::memory_order_relaxed);
+    }
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Registry& Registry::Get() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>(name)).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::make_unique<Histogram>(name)).first;
+  }
+  return *it->second;
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+std::vector<CounterSnapshot> Registry::SnapshotCounters() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::vector<CounterSnapshot> snapshot;
+  snapshot.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.push_back({name, counter->Total()});
+  }
+  return snapshot;
+}
+
+std::vector<HistogramSnapshot> Registry::SnapshotHistograms() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::vector<HistogramSnapshot> snapshot;
+  snapshot.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot s;
+    s.name = name;
+    s.count = histogram->Count();
+    s.sum = histogram->Sum();
+    s.mean = histogram->Mean();
+    s.p50 = histogram->Percentile(0.50);
+    s.p90 = histogram->Percentile(0.90);
+    s.p99 = histogram->Percentile(0.99);
+    snapshot.push_back(std::move(s));
+  }
+  return snapshot;
+}
+
+// ---------------------------------------------------------------------------
+
+EngineCounters& EngineCounters::Get() {
+  static EngineCounters* counters = new EngineCounters{
+      Registry::Get().GetCounter("engine.edgemap_calls"),
+      Registry::Get().GetCounter("engine.edges_scanned"),
+      Registry::Get().GetCounter("engine.edges_relaxed"),
+      Registry::Get().GetCounter("frontier.to_dense"),
+      Registry::Get().GetCounter("frontier.to_sparse"),
+      Registry::Get().GetHistogram("engine.frontier_size"),
+  };
+  return *counters;
+}
+
+}  // namespace egraph::obs

@@ -1,0 +1,69 @@
+#include "src/obs/phase.h"
+
+namespace egraph::obs {
+namespace {
+
+// Per-thread nesting depth per phase, for outermost-only accounting.
+thread_local int t_phase_depth[kNumPhases] = {0, 0, 0, 0};
+
+}  // namespace
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kLoad:
+      return "load";
+    case Phase::kPreprocess:
+      return "preprocess";
+    case Phase::kPartition:
+      return "partition";
+    case Phase::kAlgorithm:
+      return "algorithm";
+  }
+  return "?";
+}
+
+PhaseTimers& PhaseTimers::Get() {
+  static PhaseTimers* timers = new PhaseTimers();
+  return *timers;
+}
+
+void PhaseTimers::Add(Phase phase, double seconds) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  seconds_[static_cast<int>(phase)] += seconds;
+}
+
+double PhaseTimers::Seconds(Phase phase) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return seconds_[static_cast<int>(phase)];
+}
+
+void PhaseTimers::Reset() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (double& s : seconds_) {
+    s = 0.0;
+  }
+}
+
+TimingBreakdown PhaseTimers::ToBreakdown() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  TimingBreakdown breakdown;
+  breakdown.load_seconds = seconds_[static_cast<int>(Phase::kLoad)];
+  breakdown.preprocess_seconds = seconds_[static_cast<int>(Phase::kPreprocess)];
+  breakdown.partition_seconds = seconds_[static_cast<int>(Phase::kPartition)];
+  breakdown.algorithm_seconds = seconds_[static_cast<int>(Phase::kAlgorithm)];
+  return breakdown;
+}
+
+ScopedPhase::ScopedPhase(Phase phase)
+    : phase_(phase), outermost_(t_phase_depth[static_cast<int>(phase)] == 0) {
+  ++t_phase_depth[static_cast<int>(phase_)];
+}
+
+ScopedPhase::~ScopedPhase() {
+  --t_phase_depth[static_cast<int>(phase_)];
+  if (outermost_) {
+    PhaseTimers::Get().Add(phase_, timer_.Seconds());
+  }
+}
+
+}  // namespace egraph::obs

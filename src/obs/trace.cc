@@ -1,0 +1,78 @@
+#include "src/obs/trace.h"
+
+namespace egraph::obs {
+
+TraceSession::TraceSession(EngineTrace& trace, const char* algorithm, Layout layout,
+                           Direction direction, Sync sync)
+    : trace_(trace) {
+  trace_.algorithm = algorithm;
+  trace_.layout = layout;
+  trace_.direction = direction;
+  trace_.sync = sync;
+  trace_.total_seconds = 0.0;
+  trace_.iterations.clear();
+}
+
+TraceSession::~TraceSession() {
+  if (in_iteration_) {
+    // An algorithm bailed mid-iteration; close the record so the trace is
+    // still well-formed.
+    EndIteration(trace_.direction);
+  }
+  trace_.total_seconds = total_timer_.Seconds();
+  TraceSink::Get().Record(trace_);
+}
+
+void TraceSession::BeginIteration(int64_t frontier_count, bool frontier_sparse) {
+  EngineCounters& counters = EngineCounters::Get();
+  pending_ = IterationRecord{};
+  pending_.iteration = static_cast<int>(trace_.iterations.size());
+  pending_.frontier_size = frontier_count;
+  pending_.frontier_sparse = frontier_sparse;
+  scanned_at_begin_ = counters.edges_scanned.Total();
+  relaxed_at_begin_ = counters.edges_relaxed.Total();
+  counters.frontier_size.Record(frontier_count);
+  in_iteration_ = true;
+  iteration_timer_.Reset();
+}
+
+void TraceSession::EndIteration(Direction direction_used) {
+  EngineCounters& counters = EngineCounters::Get();
+  pending_.seconds = iteration_timer_.Seconds();
+  pending_.edges_scanned = counters.edges_scanned.Total() - scanned_at_begin_;
+  pending_.edges_relaxed = counters.edges_relaxed.Total() - relaxed_at_begin_;
+  pending_.direction = direction_used;
+  trace_.iterations.push_back(pending_);
+  in_iteration_ = false;
+}
+
+TraceSink& TraceSink::Get() {
+  static TraceSink* sink = new TraceSink();
+  return *sink;
+}
+
+void TraceSink::Record(const EngineTrace& trace) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  ++recorded_;
+  if (traces_.size() >= static_cast<size_t>(kMaxTraces)) {
+    traces_.erase(traces_.begin());
+  }
+  traces_.push_back(trace);
+}
+
+std::vector<EngineTrace> TraceSink::Snapshot() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return traces_;
+}
+
+void TraceSink::Clear() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  traces_.clear();
+}
+
+int64_t TraceSink::recorded() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return recorded_;
+}
+
+}  // namespace egraph::obs

@@ -1,0 +1,103 @@
+// Per-iteration engine tracing: what the engine actually did each round —
+// frontier size and representation, edges scanned and relaxed, the
+// direction the push-pull heuristic chose, and wall time. One EngineTrace
+// per algorithm run; a TraceSession drives it from the run loop by
+// snapshotting the engine counters around each iteration.
+//
+// Completed traces are also deposited in the process-wide TraceSink so that
+// harness code (bench binaries, the CLI) can export every run's trace
+// without threading objects through each call site.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/engine/options.h"
+#include "src/obs/metrics.h"
+#include "src/util/timer.h"
+
+namespace egraph::obs {
+
+struct IterationRecord {
+  int iteration = 0;              // 0-based round index
+  int64_t frontier_size = 0;      // active vertices entering the round
+  bool frontier_sparse = false;   // representation entering the round
+  int64_t edges_scanned = 0;      // edge entries examined this round
+  int64_t edges_relaxed = 0;      // successful updates this round
+  Direction direction = Direction::kPush;  // direction actually executed
+  double seconds = 0.0;           // wall time of the round
+};
+
+struct EngineTrace {
+  std::string algorithm;
+  Layout layout = Layout::kAdjacency;
+  Direction direction = Direction::kPush;  // configured (kPushPull = hybrid)
+  Sync sync = Sync::kAtomics;
+  double total_seconds = 0.0;
+  std::vector<IterationRecord> iterations;
+};
+
+// Drives an EngineTrace from an algorithm's iteration loop:
+//
+//   obs::TraceSession session(stats.trace, "bfs", layout, direction, sync);
+//   while (!frontier.Empty()) {
+//     session.BeginIteration(frontier.Count(), frontier.has_sparse());
+//     ... EdgeMap ...
+//     session.EndIteration(direction_actually_used);
+//   }
+//
+// Edge counts come from counter deltas, so they include everything the
+// EdgeMap/scan instrumentation records during the iteration (and read as
+// zero under EGRAPH_METRICS=0). The destructor stamps total_seconds and
+// deposits a copy of the trace in the TraceSink.
+class TraceSession {
+ public:
+  TraceSession(EngineTrace& trace, const char* algorithm, Layout layout,
+               Direction direction, Sync sync);
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  void BeginIteration(int64_t frontier_count, bool frontier_sparse);
+  void EndIteration(Direction direction_used);
+
+ private:
+  EngineTrace& trace_;
+  Timer total_timer_;
+  Timer iteration_timer_;
+  IterationRecord pending_;
+  int64_t scanned_at_begin_ = 0;
+  int64_t relaxed_at_begin_ = 0;
+  bool in_iteration_ = false;
+};
+
+// Bounded process-wide collection of completed traces (newest kept; the
+// oldest are dropped past the cap so long-lived processes stay small).
+class TraceSink {
+ public:
+  static constexpr int kMaxTraces = 256;
+
+  static TraceSink& Get();
+
+  void Record(const EngineTrace& trace);
+  std::vector<EngineTrace> Snapshot() const;
+  void Clear();
+
+  // Traces recorded since process start (including dropped ones).
+  int64_t recorded() const;
+
+ private:
+  TraceSink() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<EngineTrace> traces_;
+  int64_t recorded_ = 0;
+};
+
+}  // namespace egraph::obs
+
+#endif  // SRC_OBS_TRACE_H_

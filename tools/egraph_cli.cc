@@ -8,10 +8,14 @@
 //             [--layout=adjacency|edge-array|grid]
 //             [--direction=push|pull|push-pull] [--sync=atomics|locks|lock-free]
 //             [--method=radix|count|dynamic] [--source=V] [--iterations=N]
-//             [--advisor] [--numa-nodes=K] FILE
+//             [--advisor] [--numa-nodes=K] [--metrics] [--metrics-json=FILE]
+//             FILE
 //
 // `run --advisor` lets the paper's section-9 roadmap pick the configuration.
 // Every run prints the end-to-end breakdown (load / preprocess / algorithm).
+// `--metrics` appends the observability tables (phase breakdown, engine
+// counters, histograms); `--metrics-json=FILE` writes the full JSON process
+// report (use `-` for stdout).
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
@@ -31,6 +35,8 @@
 #include "src/io/edge_io.h"
 #include "src/io/formats.h"
 #include "src/io/loader.h"
+#include "src/obs/export.h"
+#include "src/obs/phase.h"
 #include "src/util/flags.h"
 #include "src/util/table.h"
 #include "src/util/timer.h"
@@ -196,7 +202,11 @@ int CmdRun(const Flags& flags) {
   const std::string algo = flags.GetString("algo", "bfs");
 
   Timer load_timer;
-  EdgeList graph = LoadAs(flags.GetString("from", "binary"), flags.positional()[0]);
+  EdgeList graph;
+  {
+    obs::ScopedPhase load_phase(obs::Phase::kLoad);
+    graph = LoadAs(flags.GetString("from", "binary"), flags.positional()[0]);
+  }
   const double load_seconds = load_timer.Seconds();
 
   RunConfig config;
@@ -312,6 +322,19 @@ int CmdRun(const Flags& flags) {
   std::printf("end-to-end: load %.3fs + preprocess %.3fs + algorithm %.3fs = %.3fs\n",
               load_seconds, handle.preprocess_seconds(), algorithm_seconds,
               load_seconds + handle.preprocess_seconds() + algorithm_seconds);
+
+  if (flags.GetBool("metrics", false)) {
+    std::printf("%s", obs::MetricsTableString().c_str());
+  }
+  const std::string metrics_json = flags.GetString("metrics-json", "");
+  if (!metrics_json.empty()) {
+    const std::string report_name = "egraph_cli run --algo=" + algo;
+    if (metrics_json == "-") {
+      std::printf("%s\n", obs::ProcessReportToJson(report_name).Dump(2).c_str());
+    } else if (!obs::WriteProcessReport(metrics_json, report_name)) {
+      return 1;
+    }
+  }
   return 0;
 }
 

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# A/B measurement of the observability layer's compiled-in cost: builds the
+# tree twice (EGRAPH_METRICS=ON vs OFF), runs bench_fig08_pagerank_sync in
+# each, and reports the relative wall-time delta (min of N runs, which is
+# the noise-robust estimator for a fixed workload). The acceptance bar for
+# the instrumentation is < 3% overhead.
+#
+# Usage: tools/measure_obs_overhead.sh [scale] [runs]
+#   scale  EG_SCALE for the benchmark's R-MAT input (default 16)
+#   runs   repetitions per build; the minimum is compared (default 5)
+set -euo pipefail
+
+SCALE="${1:-16}"
+RUNS="${2:-5}"
+BENCH=bench/bench_fig08_pagerank_sync
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+build() {
+  local dir="$1" metrics="$2"
+  cmake -B "$dir" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
+    -DEGRAPH_METRICS="$metrics" >/dev/null
+  cmake --build "$dir" --target bench_fig08_pagerank_sync -j"$(nproc)" >/dev/null
+}
+
+# Prints the minimum wall-clock seconds over $RUNS runs of the benchmark.
+# EG_TRACE=0 so both builds skip report emission and the delta isolates the
+# hot-path counter writes themselves.
+min_seconds() {
+  local binary="$1" best="" t0 t1
+  for _ in $(seq "$RUNS"); do
+    t0=$(date +%s.%N)
+    EG_SCALE="$SCALE" EG_TRACE=0 "$binary" >/dev/null
+    t1=$(date +%s.%N)
+    best=$(awk -v a="$t0" -v b="$t1" -v best="${best:-1e30}" \
+      'BEGIN { e = b - a; print (e < best) ? e : best }')
+  done
+  echo "$best"
+}
+
+echo "building EGRAPH_METRICS=ON  -> build-metrics-on"
+build "$ROOT/build-metrics-on" ON
+echo "building EGRAPH_METRICS=OFF -> build-metrics-off"
+build "$ROOT/build-metrics-off" OFF
+
+echo "measuring (scale=$SCALE, $RUNS runs each, min taken)..."
+on=$(min_seconds "$ROOT/build-metrics-on/$BENCH")
+off=$(min_seconds "$ROOT/build-metrics-off/$BENCH")
+
+awk -v on="$on" -v off="$off" 'BEGIN {
+  overhead = 100 * (on - off) / off
+  printf "metrics ON : %.3fs\n", on
+  printf "metrics OFF: %.3fs\n", off
+  printf "overhead   : %+.2f%%\n", overhead
+  if (overhead < 3.0) {
+    print "PASS: overhead under the 3% budget"
+    exit 0
+  }
+  print "FAIL: overhead exceeds the 3% budget"
+  exit 1
+}'
