@@ -66,6 +66,15 @@ void GraphHandle::Prepare(const PrepareConfig& config) {
   }
 }
 
+void GraphHandle::InstallCsr(EdgeDirection direction, Csr csr, double build_seconds) {
+  if (direction == EdgeDirection::kOut) {
+    out_csr_ = std::move(csr);
+  } else {
+    in_csr_ = std::move(csr);
+  }
+  preprocess_seconds_ += build_seconds;
+}
+
 void GraphHandle::DropLayouts() {
   out_csr_.reset();
   in_csr_.reset();

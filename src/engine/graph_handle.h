@@ -48,6 +48,12 @@ class GraphHandle {
   // with a compatible method) and adds their cost to preprocess_seconds().
   void Prepare(const PrepareConfig& config);
 
+  // Installs a CSR built elsewhere (e.g. by the overlapped load→build
+  // pipeline in src/io/loader.h) so Prepare() will not rebuild it.
+  // `build_seconds` is the non-overlapped build cost, added to
+  // preprocess_seconds() to keep the paper's accounting honest.
+  void InstallCsr(EdgeDirection direction, Csr csr, double build_seconds);
+
   bool has_out_csr() const { return out_csr_.has_value(); }
   bool has_in_csr() const { return in_csr_.has_value() || (in_aliases_out_ && has_out_csr()); }
   bool has_grid() const { return grid_.has_value(); }

@@ -2,8 +2,12 @@
 
 #include <cstdio>
 #include <memory>
-#include <sstream>
 #include <stdexcept>
+#include <string_view>
+#include <vector>
+
+#include "src/io/text_parse.h"
+#include "src/util/parallel.h"
 
 namespace egraph {
 namespace {
@@ -70,6 +74,14 @@ EdgeList ReadBinaryEdges(const std::string& path) {
   if (header.magic != kEdgeFileMagic) {
     throw std::runtime_error("bad magic in " + path);
   }
+  // Check the declared sections against the physical size before sizing
+  // buffers, so a corrupt edge count fails cleanly instead of OOMing.
+  if (std::fseek(file.get(), 0, SEEK_END) != 0) {
+    throw std::runtime_error("seek failed on " + path);
+  }
+  const uint64_t file_bytes = static_cast<uint64_t>(std::ftell(file.get()));
+  ValidateEdgeFileSize(header, file_bytes, path);
+  std::fseek(file.get(), sizeof(EdgeFileHeader), SEEK_SET);
   EdgeList graph;
   graph.set_num_vertices(header.num_vertices);
   graph.mutable_edges().resize(header.num_edges);
@@ -79,13 +91,32 @@ EdgeList ReadBinaryEdges(const std::string& path) {
     ReadOrThrow(file.get(), graph.mutable_weights().data(), header.num_edges * sizeof(float),
                 path);
   }
-  // Validate endpoints against the declared vertex count.
-  for (const Edge& e : graph.edges()) {
-    if (e.src >= header.num_vertices || e.dst >= header.num_vertices) {
-      throw std::runtime_error("edge endpoint out of range in " + path);
-    }
-  }
+  ValidateEdgeChunk(graph.edges(), header.num_vertices, path);
   return graph;
+}
+
+void ValidateEdgeChunk(std::span<const Edge> edges, VertexId num_vertices,
+                       const std::string& path) {
+  const VertexId max_endpoint = ParallelReduceMax<VertexId>(
+      0, static_cast<int64_t>(edges.size()), 0, [&edges](int64_t i) {
+        const Edge& e = edges[static_cast<size_t>(i)];
+        return e.src > e.dst ? e.src : e.dst;
+      });
+  if (!edges.empty() && max_endpoint >= num_vertices) {
+    throw std::runtime_error("edge endpoint out of range in " + path);
+  }
+}
+
+void ValidateEdgeFileSize(const EdgeFileHeader& header, uint64_t file_bytes,
+                          const std::string& path) {
+  // Per-edge cost: 8 bytes, plus 4 for the weight when present. Overflow
+  // guard first: a garbage num_edges must not wrap the product.
+  const uint64_t per_edge = sizeof(Edge) + (header.has_weights() ? sizeof(float) : 0);
+  const uint64_t payload_budget = UINT64_MAX - sizeof(EdgeFileHeader);
+  if (header.num_edges > payload_budget / per_edge ||
+      sizeof(EdgeFileHeader) + header.num_edges * per_edge > file_bytes) {
+    throw std::runtime_error("truncated edge file: " + path);
+  }
 }
 
 void WriteTextEdges(const std::string& path, const EdgeList& graph) {
@@ -101,39 +132,111 @@ void WriteTextEdges(const std::string& path, const EdgeList& graph) {
   }
 }
 
-EdgeList ReadTextEdges(const std::string& path) {
-  UniqueFile file = OpenOrThrow(path, "r");
-  EdgeList graph;
-  char line[256];
-  bool any_weight = false;
-  while (std::fgets(line, sizeof(line), file.get()) != nullptr) {
-    if (line[0] == '#') {
-      unsigned declared = 0;
-      if (std::sscanf(line, "# vertices %u", &declared) == 1) {
-        graph.set_num_vertices(declared);
+namespace {
+
+// Per-shard output of the parallel text parse. Shards are concatenated in
+// order, so the resulting edge order matches the sequential reader's.
+struct TextShard {
+  std::vector<Edge> edges;
+  std::vector<float> weights;
+  bool any_weighted = false;
+  bool any_unweighted = false;
+  bool has_declared = false;
+  VertexId declared_vertices = 0;
+  std::string error;  // first malformed line, if any
+};
+
+// Parses one newline-aligned shard of "src dst [weight]" lines. Lines may
+// be arbitrarily long (no fgets buffer to split them); ids are strict
+// unsigned (no silent negative wraparound); trailing junk is an error.
+void ParseTextShard(std::string_view shard, const std::string& path, TextShard& out) {
+  const char* cursor = shard.data();
+  const char* const end = cursor + shard.size();
+  while (cursor != end) {
+    const std::string_view line = text::NextLine(cursor, end);
+    const char* p = line.data();
+    const char* const le = p + line.size();
+    p = text::SkipSpace(p, le);
+    if (p == le) {
+      continue;
+    }
+    if (*p == '#') {
+      // Recognize the "# vertices N" directive; other comments are skipped.
+      const char* q = text::SkipSpace(p + 1, le);
+      const std::string_view keyword("vertices");
+      if (static_cast<size_t>(le - q) > keyword.size() &&
+          std::string_view(q, keyword.size()) == keyword) {
+        q += keyword.size();
+        VertexId declared = 0;
+        if (text::ParseUnsigned(q, le, declared) && text::AtLineEnd(q, le)) {
+          out.declared_vertices = declared;
+          out.has_declared = true;
+        }
       }
       continue;
     }
-    unsigned src = 0;
-    unsigned dst = 0;
-    float weight = 0.0f;
-    const int fields = std::sscanf(line, "%u %u %f", &src, &dst, &weight);
-    if (fields < 2) {
-      std::ostringstream message;
-      message << "unparsable line in " << path << ": " << line;
-      throw std::runtime_error(message.str());
+    VertexId src = 0;
+    VertexId dst = 0;
+    if (!text::ParseUnsigned(p, le, src) || !text::ParseUnsigned(p, le, dst)) {
+      out.error = "unparsable line in " + path + ": " + std::string(line);
+      return;
     }
-    if (fields == 3) {
-      if (!any_weight && graph.num_edges() > 0) {
-        throw std::runtime_error("mixed weighted/unweighted lines in " + path);
-      }
-      any_weight = true;
-      graph.AddWeightedEdge(src, dst, weight);
-    } else {
-      if (any_weight) {
-        throw std::runtime_error("mixed weighted/unweighted lines in " + path);
-      }
-      graph.AddEdge(src, dst);
+    if (text::AtLineEnd(p, le)) {
+      out.any_unweighted = true;
+      out.edges.push_back({src, dst});
+      continue;
+    }
+    double weight = 0.0;
+    if (!text::ParseDouble(p, le, weight) || !text::AtLineEnd(p, le)) {
+      out.error = "unparsable line in " + path + ": " + std::string(line);
+      return;
+    }
+    out.any_weighted = true;
+    out.edges.push_back({src, dst});
+    out.weights.push_back(static_cast<float>(weight));
+  }
+}
+
+}  // namespace
+
+EdgeList ReadTextEdges(const std::string& path) {
+  const std::string content = ReadWholeFile(path);
+  std::vector<TextShard> shards(static_cast<size_t>(ThreadPool::Get().num_threads()));
+  const size_t used = ParallelLineShards(
+      content, /*min_shard_bytes=*/64u << 10,
+      [&](size_t index, std::string_view text) { ParseTextShard(text, path, shards[index]); });
+  shards.resize(used);
+
+  bool any_weighted = false;
+  bool any_unweighted = false;
+  size_t total_edges = 0;
+  for (const TextShard& shard : shards) {
+    if (!shard.error.empty()) {
+      throw std::runtime_error(shard.error);
+    }
+    any_weighted = any_weighted || shard.any_weighted;
+    any_unweighted = any_unweighted || shard.any_unweighted;
+    total_edges += shard.edges.size();
+  }
+  if (any_weighted && any_unweighted) {
+    throw std::runtime_error("mixed weighted/unweighted lines in " + path);
+  }
+
+  EdgeList graph;
+  graph.Reserve(total_edges);
+  if (any_weighted) {
+    graph.mutable_weights().reserve(total_edges);
+  }
+  for (TextShard& shard : shards) {
+    graph.mutable_edges().insert(graph.mutable_edges().end(), shard.edges.begin(),
+                                 shard.edges.end());
+    if (any_weighted) {
+      graph.mutable_weights().insert(graph.mutable_weights().end(), shard.weights.begin(),
+                                     shard.weights.end());
+    }
+    // The sequential reader honored the last "# vertices" directive seen.
+    if (shard.has_declared) {
+      graph.set_num_vertices(shard.declared_vertices);
     }
   }
   graph.RecomputeNumVertices();

@@ -13,6 +13,7 @@
 #define SRC_IO_EDGE_IO_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "src/graph/edge_list.h"
@@ -40,6 +41,18 @@ EdgeList ReadBinaryEdges(const std::string& path);
 
 // Reads just the header (for streaming loaders).
 EdgeFileHeader ReadEdgeFileHeader(const std::string& path);
+
+// Throws std::runtime_error if any endpoint in `edges` is >= num_vertices.
+// Parallel scan; the loaders call this per streamed chunk so a corrupt file
+// cannot drive an out-of-bounds scatter in the builders.
+void ValidateEdgeChunk(std::span<const Edge> edges, VertexId num_vertices,
+                       const std::string& path);
+
+// Throws std::runtime_error if a file of `file_bytes` bytes cannot contain
+// the sections `header` declares (overflow-safe). Loaders call this before
+// sizing buffers so a corrupt edge count fails cleanly instead of OOMing.
+void ValidateEdgeFileSize(const EdgeFileHeader& header, uint64_t file_bytes,
+                          const std::string& path);
 
 // Text interchange: one "src dst [weight]" line per edge; '#' comments
 // allowed. Vertex count is the max endpoint + 1 unless a "# vertices N"

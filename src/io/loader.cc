@@ -1,8 +1,11 @@
 #include "src/io/loader.h"
 
+#include <functional>
+#include <memory>
 #include <stdexcept>
 
 #include "src/io/edge_io.h"
+#include "src/io/parallel_loader.h"
 #include "src/obs/metrics.h"
 #include "src/obs/phase.h"
 #include "src/util/timer.h"
@@ -12,16 +15,16 @@ namespace {
 
 // Streams the edge section of `path` chunk by chunk into `graph`, invoking
 // `on_chunk(first_edge_index, count)` after each chunk lands in the edge
-// array. Returns the header.
+// array. Endpoints are validated per chunk. Returns the header.
 template <typename OnChunk>
-EdgeFileHeader StreamEdges(const std::string& path, StorageMedium medium, size_t chunk_bytes,
-                           EdgeList& graph, ThrottledFileReader& reader, OnChunk&& on_chunk) {
+EdgeFileHeader StreamEdges(const std::string& path, size_t chunk_bytes, EdgeList& graph,
+                           ThrottledFileReader& reader, OnChunk&& on_chunk) {
   EdgeFileHeader header;
   if (reader.Read(&header, sizeof(header)) != sizeof(header) ||
       header.magic != kEdgeFileMagic) {
     throw std::runtime_error("bad or truncated edge file: " + path);
   }
-  (void)medium;
+  ValidateEdgeFileSize(header, reader.file_bytes(), path);
   graph.set_num_vertices(header.num_vertices);
   graph.mutable_edges().resize(header.num_edges);
   Edge* edges = graph.mutable_edges().data();
@@ -35,6 +38,8 @@ EdgeFileHeader StreamEdges(const std::string& path, StorageMedium medium, size_t
     if (got != want * sizeof(Edge)) {
       throw std::runtime_error("truncated edge section in " + path);
     }
+    ValidateEdgeChunk({edges + cursor, static_cast<size_t>(want)}, header.num_vertices,
+                      path);
     on_chunk(cursor, want);
     cursor += want;
   }
@@ -50,12 +55,22 @@ EdgeFileHeader StreamEdges(const std::string& path, StorageMedium medium, size_t
 
 }  // namespace
 
+const char* LoaderKindName(LoaderKind kind) {
+  switch (kind) {
+    case LoaderKind::kSequential:
+      return "sequential";
+    case LoaderKind::kPipelined:
+      return "pipelined";
+  }
+  return "?";
+}
+
 EdgeList LoadEdges(const std::string& path, StorageMedium medium, double* seconds) {
   obs::ScopedPhase phase(obs::Phase::kLoad);
   Timer timer;
   EdgeList graph;
   ThrottledFileReader reader(path, medium);
-  StreamEdges(path, medium, 8u << 20, graph, reader, [](uint64_t, uint64_t) {});
+  StreamEdges(path, 8u << 20, graph, reader, [](uint64_t, uint64_t) {});
   obs::Registry::Get().GetCounter("io.edges_loaded").Add(
       static_cast<int64_t>(graph.num_edges()));
   if (seconds != nullptr) {
@@ -67,75 +82,108 @@ EdgeList LoadEdges(const std::string& path, StorageMedium medium, double* second
 LoadBuildResult LoadAndBuild(const std::string& path, const LoadBuildOptions& options) {
   LoadBuildResult result;
   Timer total;
-  ThrottledFileReader reader(path, options.medium);
 
+  // Builders need the vertex count up front; the header read is tiny and
+  // unthrottled (metadata, not payload).
+  const EdgeFileHeader header = ReadEdgeFileHeader(path);
+
+  std::unique_ptr<DynamicAdjacencyBuilder> dyn_out;
+  std::unique_ptr<DynamicAdjacencyBuilder> dyn_in;
+  std::unique_ptr<CountingAdjacencyBuilder> count_out;
+  std::unique_ptr<CountingAdjacencyBuilder> count_in;
+
+  // The per-chunk work each build method can overlap with the transfer.
+  // Chunks address disjoint, already-landed slices of result.edges, so the
+  // same callback serves both loader kinds.
+  std::function<void(uint64_t, uint64_t)> on_chunk = [](uint64_t, uint64_t) {};
   switch (options.method) {
-    case BuildMethod::kDynamic: {
-      // Peek vertex count first (builders need it up front), then stream and
-      // grow per-vertex arrays as chunks arrive.
-      const EdgeFileHeader header = ReadEdgeFileHeader(path);
-      DynamicAdjacencyBuilder out_builder(header.num_vertices, EdgeDirection::kOut,
-                                          header.has_weights());
-      DynamicAdjacencyBuilder in_builder(header.num_vertices, EdgeDirection::kIn,
-                                         header.has_weights());
-      StreamEdges(path, options.medium, options.chunk_bytes, result.edges, reader,
-                  [&](uint64_t first, uint64_t count) {
-                    std::span<const Edge> chunk(result.edges.edges().data() + first, count);
-                    // Weights stream after edges in the file; dynamic chunks
-                    // use unit weights here, which only matters for weighted
-                    // graphs streamed from disk (none of the paper's Table 3
-                    // workloads are weighted).
-                    out_builder.AddChunk(chunk, {});
-                    if (options.build_in) {
-                      in_builder.AddChunk(chunk, {});
-                    }
-                  });
-      // The paper's dynamic adjacency structure is complete here.
-      result.ready_seconds = total.Seconds();
-      Timer post;
-      result.out = out_builder.Finalize();
+    case BuildMethod::kDynamic:
+      dyn_out = std::make_unique<DynamicAdjacencyBuilder>(
+          header.num_vertices, EdgeDirection::kOut, header.has_weights());
       if (options.build_in) {
-        result.in = in_builder.Finalize();
+        dyn_in = std::make_unique<DynamicAdjacencyBuilder>(
+            header.num_vertices, EdgeDirection::kIn, header.has_weights());
+      }
+      on_chunk = [&result, &dyn_out, &dyn_in](uint64_t first, uint64_t count) {
+        std::span<const Edge> chunk(result.edges.edges().data() + first, count);
+        // Weights stream after the edge section; AddChunkDeferred records
+        // file indices so FinalizeDeferred attaches the real weights (the
+        // old path silently substituted unit weights here).
+        dyn_out->AddChunkDeferred(chunk, first);
+        if (dyn_in != nullptr) {
+          dyn_in->AddChunkDeferred(chunk, first);
+        }
+      };
+      break;
+    case BuildMethod::kCountSort:
+      count_out = std::make_unique<CountingAdjacencyBuilder>(header.num_vertices,
+                                                             EdgeDirection::kOut);
+      if (options.build_in) {
+        count_in = std::make_unique<CountingAdjacencyBuilder>(header.num_vertices,
+                                                              EdgeDirection::kIn);
+      }
+      on_chunk = [&result, &count_out, &count_in](uint64_t first, uint64_t count) {
+        std::span<const Edge> chunk(result.edges.edges().data() + first, count);
+        count_out->CountChunk(chunk);
+        if (count_in != nullptr) {
+          count_in->CountChunk(chunk);
+        }
+      };
+      break;
+    case BuildMethod::kRadixSort:
+      // Radix sorting needs the complete edge array; nothing to overlap.
+      break;
+  }
+
+  if (options.loader == LoaderKind::kPipelined) {
+    ParallelLoader loader;
+    ParallelLoader::Options loader_options;
+    loader_options.medium = options.medium;
+    loader_options.chunk_bytes = options.chunk_bytes;
+    loader_options.max_chunks_in_flight = options.max_chunks_in_flight;
+    loader.Load(path, loader_options, result.edges, on_chunk);
+    result.load_stall_seconds = loader.stats().stall_seconds;
+    result.overlap_seconds = loader.stats().overlap_seconds;
+  } else {
+    ThrottledFileReader reader(path, options.medium);
+    StreamEdges(path, options.chunk_bytes, result.edges, reader, on_chunk);
+    result.load_stall_seconds = reader.stall_seconds();
+    // The pipelined loader exports these itself (with bytes/overlap detail);
+    // mirror the stall counter here so both loaders are comparable in traces.
+    obs::Registry::Get().GetCounter("io.stall_micros").Add(
+        static_cast<int64_t>(result.load_stall_seconds * 1e6));
+  }
+
+  if (options.method == BuildMethod::kDynamic) {
+    // The paper's dynamic adjacency structure is complete here.
+    result.ready_seconds = total.Seconds();
+  }
+
+  Timer post;
+  switch (options.method) {
+    case BuildMethod::kDynamic:
+      result.out = dyn_out->FinalizeDeferred(result.edges.weights());
+      if (dyn_in != nullptr) {
+        result.in = dyn_in->FinalizeDeferred(result.edges.weights());
         result.has_in = true;
       }
-      result.post_load_seconds = post.Seconds();
       break;
-    }
-    case BuildMethod::kCountSort: {
-      const EdgeFileHeader header = ReadEdgeFileHeader(path);
-      CountingAdjacencyBuilder out_builder(header.num_vertices, EdgeDirection::kOut);
-      CountingAdjacencyBuilder in_builder(header.num_vertices, EdgeDirection::kIn);
-      StreamEdges(path, options.medium, options.chunk_bytes, result.edges, reader,
-                  [&](uint64_t first, uint64_t count) {
-                    std::span<const Edge> chunk(result.edges.edges().data() + first, count);
-                    out_builder.CountChunk(chunk);
-                    if (options.build_in) {
-                      in_builder.CountChunk(chunk);
-                    }
-                  });
-      Timer post;
-      result.out = out_builder.Scatter(result.edges);
-      if (options.build_in) {
-        result.in = in_builder.Scatter(result.edges);
+    case BuildMethod::kCountSort:
+      result.out = count_out->Scatter(result.edges);
+      if (count_in != nullptr) {
+        result.in = count_in->Scatter(result.edges);
         result.has_in = true;
       }
-      result.post_load_seconds = post.Seconds();
       break;
-    }
-    case BuildMethod::kRadixSort: {
-      StreamEdges(path, options.medium, options.chunk_bytes, result.edges, reader,
-                  [](uint64_t, uint64_t) {});
-      Timer post;
+    case BuildMethod::kRadixSort:
       result.out = BuildCsr(result.edges, EdgeDirection::kOut, BuildMethod::kRadixSort);
       if (options.build_in) {
         result.in = BuildCsr(result.edges, EdgeDirection::kIn, BuildMethod::kRadixSort);
         result.has_in = true;
       }
-      result.post_load_seconds = post.Seconds();
       break;
-    }
   }
-  result.load_stall_seconds = reader.stall_seconds();
+  result.post_load_seconds = post.Seconds();
   result.total_seconds = total.Seconds();
   if (options.method != BuildMethod::kDynamic) {
     result.ready_seconds = result.total_seconds;
@@ -143,7 +191,9 @@ LoadBuildResult LoadAndBuild(const std::string& path, const LoadBuildOptions& op
   // Phase attribution follows the paper's split: streaming the file is
   // "load"; everything after the last byte (Finalize/Scatter/BuildCsr) is
   // "pre-process". For kDynamic the structure grows during the stream, so
-  // only the Finalize tail counts as pre-processing.
+  // only the Finalize tail counts as pre-processing. The pipelined loader
+  // keeps the same attribution — overlap shrinks the load wall time rather
+  // than moving work between phases.
   obs::PhaseTimers::Get().Add(obs::Phase::kLoad,
                               result.total_seconds - result.post_load_seconds);
   obs::PhaseTimers::Get().Add(obs::Phase::kPreprocess, result.post_load_seconds);

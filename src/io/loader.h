@@ -5,6 +5,14 @@
 //   dynamic     - per-vertex array growth is fully overlapped with loading
 //   count sort  - the degree-count pass overlaps; the scatter pass runs after
 //   radix sort  - only the raw load overlaps; sorting runs after
+//
+// Two loader implementations are selectable:
+//
+//   sequential - one thread alternates read / build: overlap only happens
+//                inside the medium's absolute delivery schedule
+//   pipelined  - a dedicated reader thread (parallel_loader.h) streams the
+//                next chunk while the calling thread builds the previous
+//                one, so chunk build work truly hides transfer time
 #ifndef SRC_IO_LOADER_H_
 #define SRC_IO_LOADER_H_
 
@@ -17,6 +25,10 @@
 
 namespace egraph {
 
+enum class LoaderKind { kSequential, kPipelined };
+
+const char* LoaderKindName(LoaderKind kind);
+
 struct LoadBuildResult {
   Csr out;
   Csr in;             // built only when `build_in` was requested
@@ -25,6 +37,9 @@ struct LoadBuildResult {
   double total_seconds = 0.0;      // wall time: first byte to finished CSR(s)
   double load_stall_seconds = 0.0; // time blocked on the medium
   double post_load_seconds = 0.0;  // build work after the last chunk arrived
+  // Pipelined loader only: chunk build time that ran while the reader thread
+  // was still streaming (the overlap the sequential loader cannot achieve).
+  double overlap_seconds = 0.0;
   // Wall time until the adjacency structure is queryable. For the dynamic
   // method this is the end of streaming: the paper's dynamic layout IS the
   // per-vertex arrays, ready the moment the last chunk is consumed (we then
@@ -38,10 +53,13 @@ struct LoadBuildOptions {
   bool build_in = false;  // also build the incoming adjacency list
   StorageMedium medium = kMediumMemory;
   size_t chunk_bytes = 8u << 20;  // streaming chunk size
+  LoaderKind loader = LoaderKind::kSequential;
+  int max_chunks_in_flight = 4;   // pipelined loader queue depth
 };
 
 // Loads the binary edge file at `path` and builds adjacency lists per
-// `options`. Throws std::runtime_error on malformed input.
+// `options`. Edge endpoints are validated per chunk against the header's
+// vertex count. Throws std::runtime_error on malformed input.
 LoadBuildResult LoadAndBuild(const std::string& path, const LoadBuildOptions& options);
 
 // Plain streaming load with no pre-processing (the edge-array layout's full

@@ -1,5 +1,7 @@
 #include "src/io/storage_sim.h"
 
+#include <sys/stat.h>
+
 #include <cstdio>
 #include <stdexcept>
 #include <thread>
@@ -16,6 +18,10 @@ ThrottledFileReader::ThrottledFileReader(const std::string& path, StorageMedium 
   if (impl_->file == nullptr) {
     delete impl_;
     throw std::runtime_error("cannot open " + path);
+  }
+  struct stat st {};
+  if (::fstat(::fileno(impl_->file), &st) == 0) {
+    file_bytes_ = static_cast<uint64_t>(st.st_size);
   }
 }
 

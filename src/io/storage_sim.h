@@ -45,6 +45,9 @@ class ThrottledFileReader {
 
   uint64_t bytes_delivered() const { return bytes_delivered_; }
 
+  // Size of the underlying file in bytes (from fstat at open).
+  uint64_t file_bytes() const { return file_bytes_; }
+
   // Seconds the reader spent blocked waiting for the medium.
   double stall_seconds() const { return stall_seconds_; }
 
@@ -56,6 +59,7 @@ class ThrottledFileReader {
   StorageMedium medium_;
   Timer clock_;
   uint64_t bytes_delivered_ = 0;
+  uint64_t file_bytes_ = 0;
   double stall_seconds_ = 0.0;
   bool started_ = false;
 };

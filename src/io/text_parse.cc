@@ -1,0 +1,103 @@
+#include "src/io/text_parse.h"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "src/util/parallel.h"
+
+namespace egraph {
+
+std::string ReadWholeFile(const std::string& path) {
+  struct FileCloser {
+    void operator()(std::FILE* f) const {
+      if (f != nullptr) {
+        std::fclose(f);
+      }
+    }
+  };
+  std::unique_ptr<std::FILE, FileCloser> file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  if (std::fseek(file.get(), 0, SEEK_END) != 0) {
+    throw std::runtime_error("cannot seek " + path);
+  }
+  const long size = std::ftell(file.get());
+  if (size < 0) {
+    throw std::runtime_error("cannot stat " + path);
+  }
+  std::rewind(file.get());
+  std::string content(static_cast<size_t>(size), '\0');
+  if (size != 0 &&
+      std::fread(content.data(), 1, content.size(), file.get()) != content.size()) {
+    throw std::runtime_error("truncated read from " + path);
+  }
+  return content;
+}
+
+size_t ParallelLineShards(std::string_view text, size_t min_shard_bytes,
+                          const std::function<void(size_t, std::string_view)>& parse) {
+  if (text.empty()) {
+    return 0;
+  }
+  if (min_shard_bytes == 0) {
+    min_shard_bytes = 1;
+  }
+  size_t want = static_cast<size_t>(ThreadPool::Get().num_threads());
+  const size_t by_size = (text.size() + min_shard_bytes - 1) / min_shard_bytes;
+  if (want > by_size) {
+    want = by_size;
+  }
+  if (want == 0) {
+    want = 1;
+  }
+
+  // Shard boundaries: even byte splits advanced to just past the next '\n',
+  // so every line lands wholly inside one shard.
+  std::vector<size_t> bounds;
+  bounds.reserve(want + 1);
+  bounds.push_back(0);
+  for (size_t k = 1; k < want; ++k) {
+    size_t pos = text.size() * k / want;
+    if (pos <= bounds.back()) {
+      continue;
+    }
+    const size_t newline = text.find('\n', pos);
+    if (newline == std::string_view::npos) {
+      break;  // the tail has no newline: it belongs to the previous shard
+    }
+    if (newline + 1 > bounds.back() && newline + 1 < text.size()) {
+      bounds.push_back(newline + 1);
+    }
+  }
+  bounds.push_back(text.size());
+
+  const size_t shards = bounds.size() - 1;
+  ParallelForGrain(0, static_cast<int64_t>(shards), 1, [&](int64_t s) {
+    const size_t begin = bounds[static_cast<size_t>(s)];
+    const size_t end = bounds[static_cast<size_t>(s) + 1];
+    parse(static_cast<size_t>(s), text.substr(begin, end - begin));
+  });
+  return shards;
+}
+
+namespace text {
+
+bool ParseDouble(const char*& p, const char* end, double& out) {
+  p = SkipSpace(p, end);
+  if (p == end) {
+    return false;
+  }
+  const auto [next, ec] = std::from_chars(p, end, out);
+  if (ec != std::errc() || next == p) {
+    return false;
+  }
+  p = next;
+  return true;
+}
+
+}  // namespace text
+
+}  // namespace egraph

@@ -1,0 +1,82 @@
+// Parallel text-parsing substrate for the interchange readers: the whole
+// file is read (or mapped) into memory once, split into newline-aligned
+// shards, and each shard is parsed on the thread pool with std::from_chars.
+// This replaces the fixed-buffer fgets/sscanf readers, which silently split
+// overlong lines and accepted negative ids by wrapping them to huge vertex
+// numbers.
+#ifndef SRC_IO_TEXT_PARSE_H_
+#define SRC_IO_TEXT_PARSE_H_
+
+#include <charconv>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace egraph {
+
+// Reads the entire file into a string. Throws std::runtime_error on open or
+// read failure.
+std::string ReadWholeFile(const std::string& path);
+
+// Splits `text` into newline-aligned shards (roughly one per pool worker,
+// each at least `min_shard_bytes` so small files stay single-shard) and runs
+// parse(shard_index, shard_text) for every shard on the thread pool.
+// `parse` must not throw (record errors per shard instead). Returns the
+// number of shards dispatched.
+size_t ParallelLineShards(std::string_view text, size_t min_shard_bytes,
+                          const std::function<void(size_t, std::string_view)>& parse);
+
+namespace text {
+
+// Horizontal whitespace (the separators text graph formats use).
+inline bool IsSpace(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+inline const char* SkipSpace(const char* p, const char* end) {
+  while (p != end && IsSpace(*p)) {
+    ++p;
+  }
+  return p;
+}
+
+// Pops the next line (without its '\n') off `cursor`.
+inline std::string_view NextLine(const char*& cursor, const char* end) {
+  const char* begin = cursor;
+  while (cursor != end && *cursor != '\n') {
+    ++cursor;
+  }
+  std::string_view line(begin, static_cast<size_t>(cursor - begin));
+  if (cursor != end) {
+    ++cursor;  // consume the '\n'
+  }
+  return line;
+}
+
+// Strict unsigned parse: no sign, no wraparound. Fails on '-' (sscanf %u
+// accepted "-1" and wrapped it to 4294967295) and on overflow.
+template <typename UInt>
+bool ParseUnsigned(const char*& p, const char* end, UInt& out) {
+  p = SkipSpace(p, end);
+  if (p == end || *p == '-' || *p == '+') {
+    return false;
+  }
+  const auto [next, ec] = std::from_chars(p, end, out);
+  if (ec != std::errc() || next == p) {
+    return false;
+  }
+  p = next;
+  return true;
+}
+
+bool ParseDouble(const char*& p, const char* end, double& out);
+
+// True iff only horizontal whitespace remains (no trailing junk).
+inline bool AtLineEnd(const char* p, const char* end) {
+  return SkipSpace(p, end) == end;
+}
+
+}  // namespace text
+
+}  // namespace egraph
+
+#endif  // SRC_IO_TEXT_PARSE_H_

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <mutex>
 
 #include "src/layout/radix_sort.h"
 #include "src/obs/metrics.h"
@@ -170,6 +171,13 @@ struct DynamicAdjacencyBuilder::Impl {
   // reallocation churn as edges stream in.
   std::vector<std::vector<VertexId>> adjacency;
   std::vector<std::vector<float>> weight_lists;
+  // Deferred-weight mode (AddChunkDeferred on a weighted graph): the global
+  // file index of every inserted edge, parallel to `adjacency`, so the
+  // weight section — which trails the edge section on disk — can be
+  // attached in FinalizeDeferred. Do not mix AddChunk and AddChunkDeferred
+  // on a weighted builder: the two modes track weights differently.
+  std::vector<std::vector<EdgeIndex>> weight_index_lists;
+  std::once_flag deferred_init;
   StripedLocks locks{1 << 14};
 };
 
@@ -178,7 +186,8 @@ DynamicAdjacencyBuilder::DynamicAdjacencyBuilder(VertexId num_vertices, EdgeDire
     : impl_(new Impl{num_vertices, direction, weighted,
                      std::vector<std::vector<VertexId>>(num_vertices),
                      weighted ? std::vector<std::vector<float>>(num_vertices)
-                              : std::vector<std::vector<float>>()}) {}
+                              : std::vector<std::vector<float>>(),
+                     {}}) {}
 
 DynamicAdjacencyBuilder::~DynamicAdjacencyBuilder() = default;
 
@@ -196,7 +205,32 @@ void DynamicAdjacencyBuilder::AddChunk(std::span<const Edge> edges,
                                                      : weights[static_cast<size_t>(i)]);
     }
   });
-  build_seconds_ += timer.Seconds();
+  AtomicAdd(&build_seconds_, timer.Seconds());
+}
+
+void DynamicAdjacencyBuilder::AddChunkDeferred(std::span<const Edge> edges,
+                                               EdgeIndex first_edge_index) {
+  Impl& impl = *impl_;
+  if (!impl.weighted) {
+    AddChunk(edges, {});
+    return;
+  }
+  Timer timer;
+  std::call_once(impl.deferred_init, [&impl] {
+    impl.weight_index_lists.resize(impl.num_vertices);
+  });
+  ParallelFor(0, static_cast<int64_t>(edges.size()), [&](int64_t i) {
+    const Edge& e = edges[static_cast<size_t>(i)];
+    const VertexId v = KeyOf(e, impl.direction);
+    SpinlockGuard guard(impl.locks.For(v));
+    impl.adjacency[v].push_back(ValueOf(e, impl.direction));
+    impl.weight_index_lists[v].push_back(first_edge_index + static_cast<EdgeIndex>(i));
+  });
+  AtomicAdd(&build_seconds_, timer.Seconds());
+}
+
+double DynamicAdjacencyBuilder::build_seconds() const {
+  return AtomicLoad(&build_seconds_);
 }
 
 Csr DynamicAdjacencyBuilder::Finalize(double* flatten_seconds) {
@@ -230,6 +264,30 @@ Csr DynamicAdjacencyBuilder::Finalize(double* flatten_seconds) {
   return csr;
 }
 
+Csr DynamicAdjacencyBuilder::FinalizeDeferred(std::span<const float> file_weights,
+                                              double* flatten_seconds) {
+  Impl& impl = *impl_;
+  if (impl.weighted && !impl.weight_index_lists.empty()) {
+    // Resolve the recorded file indices against the now-complete weight
+    // section before the regular flatten.
+    Timer timer;
+    ParallelFor(0, static_cast<int64_t>(impl.num_vertices), [&](int64_t v) {
+      const auto& indices = impl.weight_index_lists[static_cast<size_t>(v)];
+      auto& weights = impl.weight_lists[static_cast<size_t>(v)];
+      weights.resize(indices.size());
+      for (size_t j = 0; j < indices.size(); ++j) {
+        weights[j] = indices[j] < file_weights.size()
+                         ? file_weights[static_cast<size_t>(indices[j])]
+                         : 1.0f;
+      }
+    });
+    impl.weight_index_lists.clear();
+    impl.weight_index_lists.shrink_to_fit();
+    AtomicAdd(&build_seconds_, timer.Seconds());
+  }
+  return Finalize(flatten_seconds);
+}
+
 // ---------------------------------------------------------------------------
 // CountingAdjacencyBuilder
 
@@ -242,7 +300,11 @@ void CountingAdjacencyBuilder::CountChunk(std::span<const Edge> edges) {
   ParallelFor(0, static_cast<int64_t>(edges.size()), [&](int64_t i) {
     AtomicAdd(&degrees_[KeyOf(edges[static_cast<size_t>(i)], direction_)], 1u);
   });
-  count_seconds_ += timer.Seconds();
+  AtomicAdd(&count_seconds_, timer.Seconds());
+}
+
+double CountingAdjacencyBuilder::count_seconds() const {
+  return AtomicLoad(&count_seconds_);
 }
 
 Csr CountingAdjacencyBuilder::Scatter(const EdgeList& graph, double* scatter_seconds) {

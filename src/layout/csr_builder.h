@@ -45,8 +45,9 @@ AdjacencyPair BuildCsrPair(const EdgeList& graph, BuildMethod method, int digit_
 // Incremental dynamic builder: consumes edge chunks as they arrive from
 // storage so that construction fully overlaps loading (paper section 3.4:
 // "the dynamic approach ... can be fully overlapped with loading").
-// Thread-compatible: AddChunk parallelizes internally; callers invoke it from
-// one thread at a time.
+// Chunk entry points are thread-safe: per-vertex striped locks serialize
+// list growth, so the pipelined loader (or several consumers) may call
+// AddChunk/AddChunkDeferred concurrently on disjoint chunks.
 class DynamicAdjacencyBuilder {
  public:
   DynamicAdjacencyBuilder(VertexId num_vertices, EdgeDirection direction, bool weighted);
@@ -56,29 +57,42 @@ class DynamicAdjacencyBuilder {
   // `weights` may be empty for unweighted graphs.
   void AddChunk(std::span<const Edge> edges, std::span<const float> weights);
 
+  // Like AddChunk, but for weighted graphs whose weight section has not
+  // arrived yet (the binary format stores all weights after all edges):
+  // records each edge's global index `first_edge_index + i` so
+  // FinalizeDeferred can attach the real weights once they land.
+  void AddChunkDeferred(std::span<const Edge> edges, EdgeIndex first_edge_index);
+
   // Seconds spent inside AddChunk calls so far (the overlappable work).
-  double build_seconds() const { return build_seconds_; }
+  double build_seconds() const;
 
   // Flattens the per-vertex arrays into a CSR. The flatten cost is reported
   // separately because the paper's dynamic layout is used as-is; we convert
   // so that all computation runs over one adjacency type.
   Csr Finalize(double* flatten_seconds = nullptr);
 
+  // Finalize for chunks added via AddChunkDeferred: `file_weights` is the
+  // complete weight section in file order (empty for unweighted graphs).
+  Csr FinalizeDeferred(std::span<const float> file_weights,
+                       double* flatten_seconds = nullptr);
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
-  double build_seconds_ = 0.0;
+  double build_seconds_ = 0.0;  // guarded by AtomicAdd (concurrent chunks)
 };
 
 // Incremental count-sort front half: counts degrees chunk by chunk (the only
 // phase of count sort that can overlap loading), then scatters in one pass
-// over the fully loaded edge array.
+// over the fully loaded edge array. CountChunk is thread-safe (the degree
+// array is updated with atomic adds), so pipelined consumers may overlap
+// chunks.
 class CountingAdjacencyBuilder {
  public:
   CountingAdjacencyBuilder(VertexId num_vertices, EdgeDirection direction);
 
   void CountChunk(std::span<const Edge> edges);
-  double count_seconds() const { return count_seconds_; }
+  double count_seconds() const;
 
   // Scatter pass over the complete edge array (must contain exactly the
   // edges previously counted). Returns the finished CSR.

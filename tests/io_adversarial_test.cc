@@ -1,0 +1,381 @@
+// Adversarial I/O suite: hostile binary inputs (truncated sections, bad
+// magic, absurd edge counts, out-of-range endpoints), hostile text inputs
+// (overlong lines, negative/overflowing ids, trailing junk), the weighted
+// kDynamic regression (weights must survive the overlapped pipeline), and a
+// sequential-vs-pipelined loader differential across all build methods.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/gen/rmat.h"
+#include "src/io/edge_io.h"
+#include "src/io/loader.h"
+#include "src/io/parallel_loader.h"
+#include "src/io/storage_sim.h"
+#include "src/layout/csr.h"
+#include "src/layout/csr_builder.h"
+
+namespace egraph {
+namespace {
+
+class IoAdversarialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("egraph_io_adv_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+
+  std::string WriteText(const std::string& name, const std::string& body) {
+    const std::string path = Path(name);
+    std::ofstream out(path, std::ios::binary);
+    out << body;
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+EdgeList SampleGraph(bool weighted) {
+  RmatOptions options;
+  options.scale = 9;
+  EdgeList graph = GenerateRmat(options);
+  if (weighted) {
+    graph.AssignRandomWeights(0.1f, 2.0f, 7);
+  }
+  return graph;
+}
+
+void TruncateFile(const std::string& path, uint64_t bytes) {
+  std::filesystem::resize_file(path, bytes);
+}
+
+void CorruptAt(const std::string& path, uint64_t offset, const void* data,
+               size_t size) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+}
+
+std::vector<LoadBuildOptions> AllLoaderVariants(BuildMethod method) {
+  std::vector<LoadBuildOptions> variants;
+  for (const LoaderKind loader : {LoaderKind::kSequential, LoaderKind::kPipelined}) {
+    LoadBuildOptions options;
+    options.method = method;
+    options.loader = loader;
+    options.chunk_bytes = 1u << 14;  // many chunks, so per-chunk checks fire
+    variants.push_back(options);
+  }
+  return variants;
+}
+
+// ---------------------------------------------------------------------------
+// Hostile binary files
+// ---------------------------------------------------------------------------
+
+TEST_F(IoAdversarialTest, TruncatedHeaderRejectedByBothLoaders) {
+  const std::string path = Path("g.bin");
+  WriteBinaryEdges(path, SampleGraph(false));
+  TruncateFile(path, 10);  // mid-header
+  for (auto& options : AllLoaderVariants(BuildMethod::kDynamic)) {
+    EXPECT_THROW(LoadAndBuild(path, options), std::runtime_error);
+  }
+  EXPECT_THROW(ReadBinaryEdges(path), std::runtime_error);
+}
+
+TEST_F(IoAdversarialTest, TruncatedEdgeSectionRejectedByBothLoaders) {
+  const std::string path = Path("g.bin");
+  WriteBinaryEdges(path, SampleGraph(false));
+  const uint64_t full = std::filesystem::file_size(path);
+  TruncateFile(path, sizeof(EdgeFileHeader) + (full - sizeof(EdgeFileHeader)) / 2);
+  for (const BuildMethod method :
+       {BuildMethod::kDynamic, BuildMethod::kCountSort, BuildMethod::kRadixSort}) {
+    for (auto& options : AllLoaderVariants(method)) {
+      EXPECT_THROW(LoadAndBuild(path, options), std::runtime_error);
+    }
+  }
+}
+
+TEST_F(IoAdversarialTest, TruncatedWeightSectionRejectedByBothLoaders) {
+  const std::string path = Path("g.bin");
+  WriteBinaryEdges(path, SampleGraph(true));
+  TruncateFile(path, std::filesystem::file_size(path) - 64);  // inside weights
+  for (auto& options : AllLoaderVariants(BuildMethod::kDynamic)) {
+    EXPECT_THROW(LoadAndBuild(path, options), std::runtime_error);
+  }
+  EXPECT_THROW(ReadBinaryEdges(path), std::runtime_error);
+}
+
+TEST_F(IoAdversarialTest, BadMagicRejectedByBothLoaders) {
+  const std::string path = Path("g.bin");
+  WriteBinaryEdges(path, SampleGraph(false));
+  const uint64_t bogus = 0xDEADBEEFDEADBEEFULL;
+  CorruptAt(path, 0, &bogus, sizeof(bogus));
+  for (auto& options : AllLoaderVariants(BuildMethod::kRadixSort)) {
+    EXPECT_THROW(LoadAndBuild(path, options), std::runtime_error);
+  }
+}
+
+// A corrupt edge count far larger than the file must fail the size check
+// up front, before any buffer is sized from the header.
+TEST_F(IoAdversarialTest, AbsurdEdgeCountRejectedWithoutAllocation) {
+  const std::string path = Path("g.bin");
+  WriteBinaryEdges(path, SampleGraph(false));
+  const uint64_t absurd = 1ULL << 60;
+  CorruptAt(path, 16, &absurd, sizeof(absurd));  // num_edges field
+  for (auto& options : AllLoaderVariants(BuildMethod::kDynamic)) {
+    EXPECT_THROW(LoadAndBuild(path, options), std::runtime_error);
+  }
+  EXPECT_THROW(ReadBinaryEdges(path), std::runtime_error);
+
+  // Overflow bait: num_edges * 12 wraps around uint64 if computed naively.
+  const uint64_t wrap = UINT64_MAX / 6;
+  CorruptAt(path, 16, &wrap, sizeof(wrap));
+  uint32_t weighted_flags = 1;
+  CorruptAt(path, 12, &weighted_flags, sizeof(weighted_flags));
+  for (auto& options : AllLoaderVariants(BuildMethod::kDynamic)) {
+    EXPECT_THROW(LoadAndBuild(path, options), std::runtime_error);
+  }
+}
+
+// An endpoint >= num_vertices must be caught by per-chunk validation in both
+// loaders — otherwise it drives an out-of-bounds scatter inside the builders.
+TEST_F(IoAdversarialTest, OutOfRangeEndpointRejectedPerChunk) {
+  const EdgeList graph = SampleGraph(false);
+  const std::string path = Path("g.bin");
+  WriteBinaryEdges(path, graph);
+  // Corrupt an edge near the end of the edge section (a late chunk).
+  const uint64_t last_edge_offset =
+      sizeof(EdgeFileHeader) + (graph.num_edges() - 2) * sizeof(Edge);
+  const uint32_t out_of_range = graph.num_vertices() + 1000;
+  CorruptAt(path, last_edge_offset, &out_of_range, sizeof(out_of_range));
+  for (const BuildMethod method :
+       {BuildMethod::kDynamic, BuildMethod::kCountSort, BuildMethod::kRadixSort}) {
+    for (auto& options : AllLoaderVariants(method)) {
+      EXPECT_THROW(LoadAndBuild(path, options), std::runtime_error);
+    }
+  }
+  EXPECT_THROW(ReadBinaryEdges(path), std::runtime_error);
+}
+
+TEST_F(IoAdversarialTest, EmptyFileRejected) {
+  const std::string path = WriteText("empty.bin", "");
+  for (auto& options : AllLoaderVariants(BuildMethod::kDynamic)) {
+    EXPECT_THROW(LoadAndBuild(path, options), std::runtime_error);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hostile text files
+// ---------------------------------------------------------------------------
+
+// Lines longer than any fixed buffer must parse whole. A fixed-size fgets
+// loop splits such a line and either errors or, worse, parses the tail as a
+// fresh edge; the shard parser must do neither.
+TEST_F(IoAdversarialTest, OverlongLinesParseWhole) {
+  std::string body;
+  body += "# " + std::string(4096, 'x') + " 5 7\n";  // comment hiding "5 7"
+  body += "0" + std::string(2048, ' ') + "1\n";      // edge with huge padding
+  body += "2 3\n";
+  const EdgeList graph = ReadTextEdges(WriteText("long.txt", body));
+  ASSERT_EQ(graph.num_edges(), 2u);
+  EXPECT_EQ(graph.edges()[0], (Edge{0, 1}));
+  EXPECT_EQ(graph.edges()[1], (Edge{2, 3}));
+}
+
+TEST_F(IoAdversarialTest, NegativeIdsRejected) {
+  EXPECT_THROW(ReadTextEdges(WriteText("neg.txt", "0 1\n-1 2\n")),
+               std::runtime_error);
+  EXPECT_THROW(ReadTextEdges(WriteText("neg2.txt", "3 -4\n")),
+               std::runtime_error);
+}
+
+TEST_F(IoAdversarialTest, OverflowingIdsRejected) {
+  // > UINT32_MAX must not silently wrap.
+  EXPECT_THROW(ReadTextEdges(WriteText("ovf.txt", "99999999999 3\n")),
+               std::runtime_error);
+  EXPECT_THROW(ReadTextEdges(WriteText("ovf2.txt", "1 4294967296\n")),
+               std::runtime_error);
+}
+
+TEST_F(IoAdversarialTest, TrailingJunkRejected) {
+  EXPECT_THROW(ReadTextEdges(WriteText("junk.txt", "1 2 extra\n")),
+               std::runtime_error);
+  EXPECT_THROW(ReadTextEdges(WriteText("junk2.txt", "1 2 3.5 junk\n")),
+               std::runtime_error);
+  EXPECT_THROW(ReadTextEdges(WriteText("junk3.txt", "1x 2\n")),
+               std::runtime_error);
+}
+
+TEST_F(IoAdversarialTest, MissingFinalNewlineParses) {
+  const EdgeList graph = ReadTextEdges(WriteText("nonl.txt", "0 1\n2 3"));
+  ASSERT_EQ(graph.num_edges(), 2u);
+  EXPECT_EQ(graph.edges()[1], (Edge{2, 3}));
+}
+
+TEST_F(IoAdversarialTest, MixedWeightedUnweightedRejected) {
+  EXPECT_THROW(ReadTextEdges(WriteText("mixed.txt", "0 1 2.5\n2 3\n")),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Weighted kDynamic regression: before the deferred-weight fix the dynamic
+// pipeline silently attached unit weights (the weight section trails all
+// edges on disk, so weights were unknown at insertion time).
+// ---------------------------------------------------------------------------
+
+using NeighborWeights = std::multimap<VertexId, float>;
+
+NeighborWeights VertexPairs(const Csr& csr, VertexId v) {
+  NeighborWeights pairs;
+  const auto neighbors = csr.Neighbors(v);
+  const auto weights = csr.Weights(v);
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    pairs.emplace(neighbors[i], weights.empty() ? 1.0f : weights[i]);
+  }
+  return pairs;
+}
+
+TEST_F(IoAdversarialTest, WeightedDynamicLoadPreservesWeights) {
+  const EdgeList graph = SampleGraph(true);
+  const std::string path = Path("w.bin");
+  WriteBinaryEdges(path, graph);
+
+  // Reference CSR from the in-memory edge list (radix: deterministic, no
+  // streaming involved).
+  const Csr reference = BuildCsr(graph, EdgeDirection::kOut, BuildMethod::kRadixSort);
+
+  for (auto& options : AllLoaderVariants(BuildMethod::kDynamic)) {
+    const LoadBuildResult result = LoadAndBuild(path, options);
+    ASSERT_TRUE(result.out.has_weights());
+    ASSERT_EQ(result.out.num_edges(), reference.num_edges());
+    bool any_nonunit = false;
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      ASSERT_EQ(VertexPairs(result.out, v), VertexPairs(reference, v))
+          << "vertex " << v << " loader " << LoaderKindName(options.loader);
+      for (const float w : result.out.Weights(v)) {
+        any_nonunit |= (w != 1.0f);
+      }
+    }
+    // The old bug produced all-1.0 weights; the file's weights are random in
+    // [0.1, 2.0), so a correct load must contain non-unit values.
+    EXPECT_TRUE(any_nonunit);
+  }
+}
+
+TEST_F(IoAdversarialTest, WeightedDynamicInCsrPreservesWeights) {
+  const EdgeList graph = SampleGraph(true);
+  const std::string path = Path("w.bin");
+  WriteBinaryEdges(path, graph);
+  const Csr reference = BuildCsr(graph, EdgeDirection::kIn, BuildMethod::kRadixSort);
+  for (auto& options : AllLoaderVariants(BuildMethod::kDynamic)) {
+    options.build_in = true;
+    const LoadBuildResult result = LoadAndBuild(path, options);
+    ASSERT_TRUE(result.has_in);
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      ASSERT_EQ(VertexPairs(result.in, v), VertexPairs(reference, v)) << "vertex " << v;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sequential vs pipelined differential: same file, same method, identical
+// results. Offsets must match exactly; neighbor order within a vertex is
+// scatter-order (nondeterministic under parallel insertion), so per-vertex
+// (neighbor, weight) multisets are compared.
+// ---------------------------------------------------------------------------
+
+TEST_F(IoAdversarialTest, SequentialPipelinedDifferentialAllMethods) {
+  for (const bool weighted : {false, true}) {
+    const EdgeList graph = SampleGraph(weighted);
+    const std::string path = Path(weighted ? "dw.bin" : "d.bin");
+    WriteBinaryEdges(path, graph);
+    for (const BuildMethod method :
+         {BuildMethod::kDynamic, BuildMethod::kCountSort, BuildMethod::kRadixSort}) {
+      auto variants = AllLoaderVariants(method);
+      for (auto& options : variants) {
+        options.build_in = true;
+      }
+      const LoadBuildResult seq = LoadAndBuild(path, variants[0]);
+      const LoadBuildResult pipe = LoadAndBuild(path, variants[1]);
+      // The raw edge arrays are loaded byte-for-byte: bit-identical.
+      ASSERT_EQ(seq.edges.edges(), pipe.edges.edges());
+      ASSERT_EQ(seq.edges.weights(), pipe.edges.weights());
+      ASSERT_EQ(seq.out.offsets(), pipe.out.offsets());
+      ASSERT_EQ(seq.in.offsets(), pipe.in.offsets());
+      for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+        ASSERT_EQ(VertexPairs(seq.out, v), VertexPairs(pipe.out, v))
+            << "out vertex " << v << " method " << static_cast<int>(method);
+        ASSERT_EQ(VertexPairs(seq.in, v), VertexPairs(pipe.in, v))
+            << "in vertex " << v << " method " << static_cast<int>(method);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined loader mechanics
+// ---------------------------------------------------------------------------
+
+TEST_F(IoAdversarialTest, ParallelLoaderReportsStatsOnThrottledMedium) {
+  const EdgeList graph = SampleGraph(false);
+  const std::string path = Path("g.bin");
+  WriteBinaryEdges(path, graph);
+  const uint64_t file_bytes = std::filesystem::file_size(path);
+
+  ParallelLoader::Options options;
+  // Slow enough that the reader is still streaming while chunks build.
+  options.medium = StorageMedium{"slow", 64.0 * 1024 * 1024};
+  options.chunk_bytes = 1u << 14;
+  ParallelLoader loader;
+  EdgeList loaded;
+  uint64_t chunk_edges = 0;
+  const EdgeFileHeader header = loader.Load(
+      path, options, loaded,
+      [&](uint64_t /*first*/, uint64_t count) { chunk_edges += count; });
+  EXPECT_EQ(header.num_edges, graph.num_edges());
+  EXPECT_EQ(chunk_edges, graph.num_edges());
+  EXPECT_EQ(loaded.edges(), graph.edges());
+
+  const ParallelLoadStats& stats = loader.stats();
+  EXPECT_EQ(stats.bytes_read, file_bytes - sizeof(EdgeFileHeader));
+  EXPECT_GT(stats.chunks, 1u);
+  EXPECT_GT(stats.reader_seconds, 0.0);
+  // Queue depth bounds in-flight bytes.
+  EXPECT_LE(stats.peak_bytes_in_flight,
+            static_cast<uint64_t>(options.max_chunks_in_flight + 1) * options.chunk_bytes);
+  // On a throttled medium the reader thread spends time blocked on delivery.
+  EXPECT_GT(stats.stall_seconds, 0.0);
+}
+
+TEST_F(IoAdversarialTest, PipelinedQueueDepthOneStillCorrect) {
+  const EdgeList graph = SampleGraph(true);
+  const std::string path = Path("g.bin");
+  WriteBinaryEdges(path, graph);
+  LoadBuildOptions options;
+  options.method = BuildMethod::kDynamic;
+  options.loader = LoaderKind::kPipelined;
+  options.chunk_bytes = 1u << 13;
+  options.max_chunks_in_flight = 1;
+  const LoadBuildResult result = LoadAndBuild(path, options);
+  const Csr reference = BuildCsr(graph, EdgeDirection::kOut, BuildMethod::kRadixSort);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    ASSERT_EQ(VertexPairs(result.out, v), VertexPairs(reference, v)) << "vertex " << v;
+  }
+}
+
+}  // namespace
+}  // namespace egraph

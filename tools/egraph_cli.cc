@@ -8,6 +8,8 @@
 //             [--layout=adjacency|edge-array|grid]
 //             [--direction=push|pull|push-pull] [--sync=atomics|locks|lock-free]
 //             [--method=radix|count|dynamic] [--source=V] [--iterations=N]
+//             [--loader=sequential|pipelined] [--medium=memory|ssd|hdd]
+//             [--chunk-mb=N]
 //             [--advisor] [--numa-nodes=K] [--metrics] [--metrics-json=FILE]
 //             FILE
 //
@@ -101,6 +103,29 @@ BuildMethod ParseMethod(const std::string& name) {
     return BuildMethod::kDynamic;
   }
   throw std::runtime_error("unknown build method: " + name);
+}
+
+LoaderKind ParseLoader(const std::string& name) {
+  if (name == "sequential") {
+    return LoaderKind::kSequential;
+  }
+  if (name == "pipelined") {
+    return LoaderKind::kPipelined;
+  }
+  throw std::runtime_error("unknown loader: " + name);
+}
+
+StorageMedium ParseMedium(const std::string& name) {
+  if (name == "memory") {
+    return kMediumMemory;
+  }
+  if (name == "ssd") {
+    return kMediumSsd;
+  }
+  if (name == "hdd") {
+    return kMediumHdd;
+  }
+  throw std::runtime_error("unknown medium: " + name);
 }
 
 int CmdGenerate(const Flags& flags) {
@@ -201,19 +226,59 @@ int CmdRun(const Flags& flags) {
   }
   const std::string algo = flags.GetString("algo", "bfs");
 
-  Timer load_timer;
-  EdgeList graph;
-  {
-    obs::ScopedPhase load_phase(obs::Phase::kLoad);
-    graph = LoadAs(flags.GetString("from", "binary"), flags.positional()[0]);
-  }
-  const double load_seconds = load_timer.Seconds();
-
   RunConfig config;
   config.layout = ParseLayout(flags.GetString("layout", "adjacency"));
   config.direction = ParseDirection(flags.GetString("direction", "push"));
   config.sync = ParseSync(flags.GetString("sync", "atomics"));
   config.method = ParseMethod(flags.GetString("method", "radix"));
+
+  // --loader routes binary input through the overlapped load→build pipeline
+  // (src/io/loader.h): the CSRs are built while the file streams from the
+  // selected --medium, and installed into the handle below so Prepare()
+  // does not rebuild them. Algorithms that mutate the edge list before
+  // building (undirected symmetrization, dedup) load the plain way.
+  const std::string loader_name = flags.GetString("loader", "");
+  const std::string from = flags.GetString("from", "binary");
+  const bool mutates_input = algo == "wcc" || algo == "kcore" || algo == "triangles";
+  const bool use_load_build = !loader_name.empty() && from == "binary" &&
+                              config.layout == Layout::kAdjacency && !mutates_input;
+  if (!loader_name.empty() && !use_load_build) {
+    std::fprintf(stderr,
+                 "note: --loader applies to binary input on the adjacency layout "
+                 "with non-mutating algorithms; loading normally\n");
+  }
+
+  Timer load_timer;
+  EdgeList graph;
+  LoadBuildResult prebuilt;
+  bool has_prebuilt = false;
+  double load_seconds = 0.0;
+  if (use_load_build) {
+    LoadBuildOptions options;
+    options.loader = ParseLoader(loader_name);
+    options.method = config.method;
+    options.build_in = config.direction != Direction::kPush;
+    options.medium = ParseMedium(flags.GetString("medium", "memory"));
+    // Streaming granularity: smaller chunks expose more overlap on small
+    // files (the final chunk's build can never hide behind a transfer).
+    const int64_t chunk_mb = flags.GetInt("chunk-mb", 8);
+    if (chunk_mb <= 0 || chunk_mb > 1024) {
+      throw std::runtime_error("--chunk-mb must be in [1, 1024]");
+    }
+    options.chunk_bytes = static_cast<size_t>(chunk_mb) << 20;
+    prebuilt = LoadAndBuild(flags.positional()[0], options);
+    graph = std::move(prebuilt.edges);
+    has_prebuilt = true;
+    load_seconds = prebuilt.total_seconds - prebuilt.post_load_seconds;
+    std::printf("loader: %s (%s): total %.3fs, stall %.3fs, overlap %.3fs\n",
+                LoaderKindName(options.loader), options.medium.name,
+                prebuilt.total_seconds, prebuilt.load_stall_seconds,
+                prebuilt.overlap_seconds);
+  } else {
+    obs::ScopedPhase load_phase(obs::Phase::kLoad);
+    graph = LoadAs(from, flags.positional()[0]);
+    load_seconds = load_timer.Seconds();
+  }
 
   if (flags.GetBool("advisor", false)) {
     const GraphStats stats = ComputeStats(graph);
@@ -257,6 +322,16 @@ int CmdRun(const Flags& flags) {
     graph.RemoveDuplicateEdges();
   }
   GraphHandle handle(std::move(graph));
+  if (has_prebuilt) {
+    // The non-overlapped tail (Finalize/Scatter/BuildCsr) is the honest
+    // pre-processing cost; the overlapped chunk work already hid inside
+    // load_seconds, matching the paper's attribution.
+    handle.InstallCsr(EdgeDirection::kOut, std::move(prebuilt.out),
+                      prebuilt.post_load_seconds);
+    if (prebuilt.has_in) {
+      handle.InstallCsr(EdgeDirection::kIn, std::move(prebuilt.in), 0.0);
+    }
+  }
 
   if (algo == "bfs") {
     const BfsResult result = RunBfs(handle, source, config);
