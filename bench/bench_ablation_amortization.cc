@@ -38,6 +38,8 @@ int main() {
   for (size_t r = 0; r < sources.size(); ++r) {
     const BfsResult a = RunBfs(adjacency_handle, sources[r], adjacency_config);
     const BfsResult e = RunBfs(edge_handle, sources[r], edge_config);
+    RecordResult("bfs adjacency", a.stats.algorithm_seconds, "rmat");
+    RecordResult("bfs edge array", e.stats.algorithm_seconds, "rmat");
     adjacency_total += a.stats.algorithm_seconds;
     edge_total += e.stats.algorithm_seconds;
     const double adjacency_cumulative =

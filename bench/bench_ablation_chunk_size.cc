@@ -40,6 +40,7 @@ int main() {
       });
     }
     const double seconds = timer.Seconds() / 3.0;
+    RecordResult("grain " + std::to_string(grain), seconds, "twitter-proxy");
     table.AddRow({Table::FormatCount(grain),
                   Table::FormatCount(static_cast<int64_t>(pool.steal_count() - steals_before)),
                   Sec(seconds)});

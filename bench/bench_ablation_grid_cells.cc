@@ -27,6 +27,8 @@ int main() {
     config.direction = Direction::kPull;
     config.sync = Sync::kLockFree;
     const PagerankResult result = RunPagerank(handle, PagerankOptions{}, config);
+    RecordResult("grid blocks " + std::to_string(blocks),
+                 result.stats.algorithm_seconds, "rmat");
     table.AddRow({Table::FormatCount(blocks),
                   Table::FormatCount(static_cast<int64_t>(blocks) * blocks),
                   Sec(handle.preprocess_seconds()), Sec(result.stats.algorithm_seconds),

@@ -54,14 +54,14 @@ int main() {
   const std::vector<uint32_t> degree = OutDegrees(graph);
 
   Table table({"traversal order", "sync", "pagerank algo(s)"});
-  table.AddRow({"row-major", "atomics",
-                Sec(PagerankGridSeconds(grid, degree, 10, [&](auto body) {
-                  ScanGridRowMajor(grid, body);
-                }))});
-  table.AddRow({"hilbert", "atomics",
-                Sec(PagerankGridSeconds(grid, degree, 10, [&](auto body) {
-                  ScanGridHilbert(grid, body);
-                }))});
+  const double row_major_seconds = PagerankGridSeconds(
+      grid, degree, 10, [&](auto body) { ScanGridRowMajor(grid, body); });
+  RecordResult("row-major", row_major_seconds, "rmat");
+  table.AddRow({"row-major", "atomics", Sec(row_major_seconds)});
+  const double hilbert_seconds = PagerankGridSeconds(
+      grid, degree, 10, [&](auto body) { ScanGridHilbert(grid, body); });
+  RecordResult("hilbert", hilbert_seconds, "rmat");
+  table.AddRow({"hilbert", "atomics", Sec(hilbert_seconds)});
   // Column-owned scan needs no atomics: plain adds.
   {
     const VertexId n = grid.num_vertices();
@@ -81,7 +81,9 @@ int main() {
       });
       rank.swap(next);
     }
-    table.AddRow({"column-owned", "none", Sec(timer.Seconds())});
+    const double column_seconds = timer.Seconds();
+    RecordResult("column-owned", column_seconds, "rmat");
+    table.AddRow({"column-owned", "none", Sec(column_seconds)});
   }
   table.Print("Grid traversal-order ablation");
   return 0;

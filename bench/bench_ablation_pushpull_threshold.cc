@@ -32,6 +32,8 @@ int main() {
     }
     char den_str[32];
     std::snprintf(den_str, sizeof(den_str), "%.0f", den);
+    RecordResult(std::string("threshold ") + den_str,
+                 result.stats.algorithm_seconds, "rmat");
     table.AddRow({den_str, Sec(result.stats.algorithm_seconds), Table::FormatCount(pulls),
                   Table::FormatCount(result.stats.iterations)});
   }

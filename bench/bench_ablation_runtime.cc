@@ -69,7 +69,9 @@ int main() {
       ParallelForGrain(0, static_cast<int64_t>(n), 256,
                        [&](int64_t v) { gather(static_cast<VertexId>(v)); });
     }
-    table.AddRow({"work-stealing pool", Sec(timer.Seconds() / 5)});
+    const double seconds = timer.Seconds() / 5;
+    RecordResult("work-stealing pool", seconds, "rmat");
+    table.AddRow({"work-stealing pool", Sec(seconds)});
   }
   {
     const int threads = ThreadPool::Get().num_threads();
@@ -78,7 +80,9 @@ int main() {
       ForkJoinFor(static_cast<int64_t>(n), threads,
                   [&](int64_t v) { gather(static_cast<VertexId>(v)); });
     }
-    table.AddRow({"fork-join threads", Sec(timer.Seconds() / 5)});
+    const double seconds = timer.Seconds() / 5;
+    RecordResult("fork-join threads", seconds, "rmat");
+    table.AddRow({"fork-join threads", Sec(seconds)});
   }
   {
     Timer timer;
@@ -87,7 +91,9 @@ int main() {
         gather(v);
       }
     }
-    table.AddRow({"sequential", Sec(timer.Seconds() / 5)});
+    const double seconds = timer.Seconds() / 5;
+    RecordResult("sequential", seconds, "rmat");
+    table.AddRow({"sequential", Sec(seconds)});
   }
   table.Print("Runtime-substrate ablation");
   return 0;

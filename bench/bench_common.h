@@ -33,8 +33,19 @@ EdgeList Twitter();
 EdgeList UsRoad();
 
 // Prints the bench banner: experiment id, paper expectation, dataset line.
+// Also arms the machine-readable exits: the engine trace report (EG_TRACE),
+// the BENCH_<slug>.json result file (EG_BENCH_JSON), and — when EG_TIMELINE
+// is set — the per-worker timeline trace (<slug>.timeline.json).
 void PrintBanner(const std::string& experiment, const std::string& paper_expectation,
                  const std::string& dataset_description);
+
+// Records one timed sample for a result cell. Samples with the same
+// (cell, dataset) key accumulate as repetitions; at process exit every cell
+// is emitted to BENCH_<slug>.json (schema "egraph-bench-v1") with
+// reps/median/min/max/stddev so tools/bench_regress.py can diff runs.
+// EG_BENCH_JSON=0 disables the file; EG_BENCH_DIR redirects it.
+void RecordResult(const std::string& cell, double seconds,
+                  const std::string& dataset = "");
 
 // Formats "<preproc> + <algo> = <total>" style row cells.
 std::string Sec(double seconds);

@@ -22,6 +22,8 @@ int main() {
          {BuildMethod::kRadixSort, BuildMethod::kDynamic, BuildMethod::kCountSort}) {
       BuildStats stats;
       BuildCsr(graph, EdgeDirection::kOut, method, &stats);
+      RecordResult(BuildMethodName(method), stats.seconds,
+                   "RMAT-" + std::to_string(scale));
       row.push_back(Sec(stats.seconds));
     }
     table.AddRow(std::move(row));

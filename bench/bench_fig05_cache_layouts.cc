@@ -18,6 +18,7 @@ template <typename RunFn>
 void AddRow(Table& table, const char* algo, const char* layout_label, GraphHandle& handle,
             RunFn&& run) {
   const double algo_seconds = run(handle);
+  bench::RecordResult(std::string(algo) + " " + layout_label, algo_seconds, "rmat");
   table.AddRow({algo, layout_label, bench::Sec(handle.preprocess_seconds()),
                 bench::Sec(algo_seconds),
                 bench::Sec(handle.preprocess_seconds() + algo_seconds)});

@@ -34,6 +34,8 @@ int main() {
   pull.sync = Sync::kLockFree;
   const BfsResult push_result = RunBfs(handle, source, push);
   const BfsResult pull_result = RunBfs(handle, source, pull);
+  RecordResult("bfs push", push_result.stats.algorithm_seconds, "rmat");
+  RecordResult("bfs pull", pull_result.stats.algorithm_seconds, "rmat");
 
   Table table({"iteration", "frontier", "push(s)", "pull(s)", "winner"});
   const size_t rounds = std::max(push_result.stats.per_iteration_seconds.size(),

@@ -33,6 +33,7 @@ int main() {
     config.direction = c.direction;
     config.sync = c.sync;
     const PagerankResult result = RunPagerank(handle, PagerankOptions{}, config);
+    RecordResult(c.label, result.stats.algorithm_seconds, "rmat");
     table.AddRow({c.label, Sec(handle.preprocess_seconds()),
                   Sec(result.stats.algorithm_seconds),
                   Sec(handle.preprocess_seconds() + result.stats.algorithm_seconds)});

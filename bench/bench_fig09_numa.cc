@@ -41,12 +41,15 @@ int main() {
       GraphHandle handle(graph);
       RunConfig config;  // adjacency push atomics
       const BfsResult inter = RunBfs(handle, source, config);
+      RecordResult(std::string(topo.name) + " BFS interleaved",
+                   inter.stats.algorithm_seconds, "rmat-unscrambled");
       table.AddRow({topo.name, "BFS", "interleaved", Sec(handle.preprocess_seconds()),
                     Sec(0.0), Sec(inter.stats.algorithm_seconds),
                     Sec(handle.preprocess_seconds() + inter.stats.algorithm_seconds)});
 
       const NumaRunResult numa = RunBfsNumaPartitioned(bfs_partition, source, nullptr);
       const double modeled = ModeledFromBaseline(inter.stats.algorithm_seconds, numa, topo);
+      RecordResult(std::string(topo.name) + " BFS numa", modeled, "rmat-unscrambled");
       // NUMA-aware run does not need the plain CSR: preproc is 0; the
       // partition step plays the preprocessing role.
       table.AddRow({topo.name, "BFS", "NUMA-aware", Sec(0.0),
@@ -61,6 +64,8 @@ int main() {
       config.direction = Direction::kPull;
       config.sync = Sync::kLockFree;
       const PagerankResult inter = RunPagerank(handle, PagerankOptions{}, config);
+      RecordResult(std::string(topo.name) + " Pagerank interleaved",
+                   inter.stats.algorithm_seconds, "rmat-unscrambled");
       table.AddRow({topo.name, "Pagerank", "interleaved",
                     Sec(handle.preprocess_seconds()), Sec(0.0),
                     Sec(inter.stats.algorithm_seconds),

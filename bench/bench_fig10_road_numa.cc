@@ -24,6 +24,7 @@ int main() {
   GraphHandle handle(graph);
   RunConfig config;  // adjacency push
   const BfsResult inter = RunBfs(handle, 0, config);
+  RecordResult("BFS interleaved", inter.stats.algorithm_seconds, "us-road-proxy");
   table.AddRow({"interleaved", Sec(handle.preprocess_seconds()), Sec(0.0),
                 Sec(inter.stats.algorithm_seconds),
                 Sec(handle.preprocess_seconds() + inter.stats.algorithm_seconds), "25.0%"});
@@ -32,6 +33,7 @@ int main() {
       PartitionGraph(graph, topo.num_nodes, PartitionCsrs::kOutOnly);
   const NumaRunResult numa = RunBfsNumaPartitioned(partition, 0, nullptr);
   const double modeled = ModeledFromBaseline(inter.stats.algorithm_seconds, numa, topo);
+  RecordResult("BFS numa", modeled, "us-road-proxy");
   double weighted_share = 0.0;
   uint64_t weight = 0;
   for (const auto& sample : numa.iterations) {

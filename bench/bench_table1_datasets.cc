@@ -2,6 +2,7 @@
 // counts and the structural properties each experiment depends on.
 #include "bench/bench_common.h"
 #include "src/graph/stats.h"
+#include "src/util/timer.h"
 
 int main() {
   using namespace egraph;
@@ -13,7 +14,9 @@ int main() {
 
   Table table({"graph", "vertices", "edges", "avg deg", "max out-deg", "top1% edge share"});
   auto add = [&table](const std::string& name, const EdgeList& graph) {
+    Timer timer;
     const GraphStats stats = ComputeStats(graph);
+    RecordResult("compute stats", timer.Seconds(), name);
     char avg[32];
     std::snprintf(avg, sizeof(avg), "%.2f", stats.avg_degree);
     table.AddRow({name, Table::FormatCount(stats.num_vertices),

@@ -29,6 +29,10 @@ int main() {
     BuildStats out_stats;
     BuildCsr(graph, EdgeDirection::kOut, method, &out_stats);
     const AdjacencyPair pair = BuildCsrPair(graph, method);
+    RecordResult(std::string(BuildMethodName(method)) + " out", out_stats.seconds,
+                 "twitter-proxy");
+    RecordResult(std::string(BuildMethodName(method)) + " in+out", pair.seconds,
+                 "twitter-proxy");
 
     CacheModel cache(llc);
     switch (method) {

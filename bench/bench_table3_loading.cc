@@ -71,6 +71,8 @@ int main() {
       const LoadBuildResult out_only = LoadAndBuild(path, options);
       options.build_in = true;
       const LoadBuildResult both = LoadAndBuild(path, options);
+      RecordResult(std::string(row.label) + ", " + LoaderKindName(loader),
+                   out_only.ready_seconds, "rmat");
       table.AddRow({row.label, LoaderKindName(loader), Sec(out_only.ready_seconds),
                     Sec(both.ready_seconds), Sec(both.load_stall_seconds),
                     Sec(both.overlap_seconds)});

@@ -23,6 +23,7 @@ int main() {
                "total(s)"});
   auto add = [&table](const char* algo, const char* graph_name, const Recommendation& rec,
                       double preproc, double algo_seconds) {
+    RecordResult(std::string(algo) + " best", preproc + algo_seconds, graph_name);
     table.AddRow({algo, graph_name, LayoutName(rec.layout),
                   std::string(DirectionName(rec.direction)) +
                       (rec.sync == Sync::kLockFree ? " (no lock)" : ""),

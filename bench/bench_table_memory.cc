@@ -3,6 +3,7 @@
 // copy of the graph (CSR, grid), and push-pull needs two of them.
 #include "bench/bench_common.h"
 #include "src/layout/compressed_csr.h"
+#include "src/util/timer.h"
 #include "src/engine/graph_handle.h"
 #include "src/layout/csr_builder.h"
 #include "src/layout/grid.h"
@@ -17,7 +18,9 @@ int main() {
               DescribeDataset("rmat", graph));
 
   const size_t edge_array = graph.edges().size() * sizeof(Edge);
+  Timer build_timer;
   const Csr out = BuildCsr(graph, EdgeDirection::kOut, BuildMethod::kRadixSort);
+  RecordResult("build out csr", build_timer.Seconds(), "rmat");
   const Csr in = BuildCsr(graph, EdgeDirection::kIn, BuildMethod::kRadixSort);
   GridOptions options;
   options.num_blocks = GraphHandle::AutoGridBlocks(graph.num_vertices());

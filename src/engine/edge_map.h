@@ -28,6 +28,7 @@
 #include "src/layout/csr.h"
 #include "src/layout/grid.h"
 #include "src/obs/metrics.h"
+#include "src/obs/timeline.h"
 #include "src/util/parallel.h"
 #include "src/util/spinlock.h"
 
@@ -69,6 +70,8 @@ Frontier EdgeMapCsrPush(const Csr& out, Frontier& frontier, F& func, Sync sync,
 
   obs::EngineCounters& metrics = obs::EngineCounters::Get();
   metrics.edgemap_calls.Add(1);
+  obs::TimelineSpan timeline_span("engine", "edgemap.push",
+                                  static_cast<int64_t>(active.size()));
 
   Bitmap next(n);
   const int workers = ThreadPool::Get().num_threads();
@@ -126,6 +129,7 @@ Frontier EdgeMapCsrPull(const Csr& in, Frontier& frontier, F& func) {
 
   obs::EngineCounters& metrics = obs::EngineCounters::Get();
   metrics.edgemap_calls.Add(1);
+  obs::TimelineSpan timeline_span("engine", "edgemap.pull", frontier.Count());
 
   Bitmap next(n);
   const int workers = ThreadPool::Get().num_threads();
@@ -208,6 +212,8 @@ Frontier EdgeMapEdgeArray(const EdgeList& graph, Frontier& frontier, F& func, Sy
 
   obs::EngineCounters& metrics = obs::EngineCounters::Get();
   metrics.edgemap_calls.Add(1);
+  obs::TimelineSpan timeline_span("engine", "edgemap.edgearray",
+                                  static_cast<int64_t>(edges.size()));
 
   Bitmap next(n);
   const int workers = ThreadPool::Get().num_threads();
@@ -266,6 +272,7 @@ Frontier EdgeMapGrid(const Grid& grid, Frontier& frontier, F& func, Sync sync,
 
   obs::EngineCounters& metrics = obs::EngineCounters::Get();
   metrics.edgemap_calls.Add(1);
+  obs::TimelineSpan timeline_span("engine", "edgemap.grid", frontier.Count());
 
   Bitmap next(n);
   const int workers = ThreadPool::Get().num_threads();

@@ -1,6 +1,7 @@
 #include "src/engine/frontier.h"
 
 #include "src/obs/metrics.h"
+#include "src/obs/timeline.h"
 #include "src/util/parallel.h"
 
 namespace egraph {
@@ -55,6 +56,7 @@ void Frontier::EnsureDense() {
     return;
   }
   obs::EngineCounters::Get().frontier_to_dense.Add(1);
+  obs::TimelineSpan span("engine", "frontier.to_dense", count_);
   dense_.Resize(num_vertices_);
   ParallelFor(0, static_cast<int64_t>(sparse_.size()),
               [this](int64_t i) { dense_.Set(sparse_[static_cast<size_t>(i)]); });
@@ -66,6 +68,7 @@ void Frontier::EnsureSparse() {
     return;
   }
   obs::EngineCounters::Get().frontier_to_sparse.Add(1);
+  obs::TimelineSpan span("engine", "frontier.to_sparse", count_);
   dense_.ToVector(sparse_);
   has_sparse_ = true;
 }

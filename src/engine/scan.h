@@ -11,6 +11,7 @@
 #include "src/layout/csr.h"
 #include "src/layout/grid.h"
 #include "src/obs/metrics.h"
+#include "src/obs/timeline.h"
 #include "src/util/parallel.h"
 
 namespace egraph {
@@ -20,6 +21,8 @@ namespace egraph {
 template <typename Body>
 void ScanEdgeArray(const EdgeList& graph, Body&& body) {
   const auto& edges = graph.edges();
+  obs::TimelineSpan timeline_span("engine", "scan.edgearray",
+                                  static_cast<int64_t>(edges.size()));
   obs::Counter& scanned = obs::EngineCounters::Get().edges_scanned;
   ParallelForChunks(0, static_cast<int64_t>(edges.size()), /*grain=*/4096,
                     [&](int64_t lo, int64_t hi, int /*worker*/) {
@@ -35,6 +38,8 @@ void ScanEdgeArray(const EdgeList& graph, Body&& body) {
 // metadata naturally cached per vertex. Caller synchronizes dst writes.
 template <typename Body>
 void ScanCsrBySource(const Csr& out, Body&& body) {
+  obs::TimelineSpan timeline_span("engine", "scan.csr.src",
+                                  static_cast<int64_t>(out.num_edges()));
   obs::Counter& scanned = obs::EngineCounters::Get().edges_scanned;
   ParallelForChunks(0, static_cast<int64_t>(out.num_vertices()), /*grain=*/256,
                     [&](int64_t lo, int64_t hi, int /*worker*/) {
@@ -56,6 +61,8 @@ void ScanCsrBySource(const Csr& out, Body&& body) {
 // once per destination; dst is written by exactly one thread (lock-free).
 template <typename Body>
 void ScanCsrByDestination(const Csr& in, Body&& body) {
+  obs::TimelineSpan timeline_span("engine", "scan.csr.dst",
+                                  static_cast<int64_t>(in.num_edges()));
   obs::Counter& scanned = obs::EngineCounters::Get().edges_scanned;
   ParallelForChunks(0, static_cast<int64_t>(in.num_vertices()), /*grain=*/256,
                     [&](int64_t lo, int64_t hi, int /*worker*/) {
@@ -74,6 +81,7 @@ void ScanCsrByDestination(const Csr& in, Body&& body) {
 template <typename Body>
 void ScanGridRowMajor(const Grid& grid, Body&& body) {
   const uint32_t blocks = grid.num_blocks();
+  obs::TimelineSpan timeline_span("engine", "scan.grid.rows");
   obs::Counter& scanned = obs::EngineCounters::Get().edges_scanned;
   ParallelForChunks(0, static_cast<int64_t>(blocks) * blocks, /*grain=*/1,
                     [&](int64_t lo, int64_t hi, int /*worker*/) {
@@ -98,6 +106,7 @@ void ScanGridRowMajor(const Grid& grid, Body&& body) {
 template <typename Body>
 void ScanGridColumnOwned(const Grid& grid, Body&& body) {
   const uint32_t blocks = grid.num_blocks();
+  obs::TimelineSpan timeline_span("engine", "scan.grid.cols");
   obs::Counter& scanned = obs::EngineCounters::Get().edges_scanned;
   ParallelForChunks(0, blocks, /*grain=*/1, [&](int64_t lo, int64_t hi, int /*worker*/) {
     int64_t local = 0;

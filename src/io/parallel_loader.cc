@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "src/obs/metrics.h"
+#include "src/obs/timeline.h"
 #include "src/util/timer.h"
 
 namespace egraph {
@@ -111,13 +112,19 @@ EdgeFileHeader ParallelLoader::Load(const std::string& path, const Options& opti
   double reader_seconds = 0.0;
 
   std::thread reader_thread([&] {
+    obs::Timeline::SetThreadLabel("io.reader");
     Timer reader_timer;
     try {
       uint64_t cursor = 0;
       while (cursor < header.num_edges) {
         const uint64_t want =
             std::min<uint64_t>(edges_per_chunk, header.num_edges - cursor);
-        const size_t got = reader.Read(edges + cursor, want * sizeof(Edge));
+        size_t got = 0;
+        {
+          obs::TimelineSpan read_span("io", "read.chunk",
+                                      static_cast<int64_t>(want * sizeof(Edge)));
+          got = reader.Read(edges + cursor, want * sizeof(Edge));
+        }
         if (got != want * sizeof(Edge)) {
           throw std::runtime_error("truncated edge section in " + path);
         }
@@ -129,7 +136,14 @@ EdgeFileHeader ParallelLoader::Load(const std::string& path, const Options& opti
                !peak_in_flight.compare_exchange_weak(peak, in_flight,
                                                      std::memory_order_relaxed)) {
         }
-        if (!queue.Push({cursor, want})) {
+        bool accepted = false;
+        {
+          // Time spent in Push beyond the lock handoff is backpressure: the
+          // consumer has not drained the bounded queue yet.
+          obs::TimelineSpan push_span("io", "queue.push");
+          accepted = queue.Push({cursor, want});
+        }
+        if (!accepted) {
           break;  // consumer aborted
         }
         cursor += want;
@@ -142,7 +156,12 @@ EdgeFileHeader ParallelLoader::Load(const std::string& path, const Options& opti
         while (wcursor < header.num_edges) {
           const uint64_t want =
               std::min<uint64_t>(weights_per_chunk, header.num_edges - wcursor);
-          const size_t got = reader.Read(weights + wcursor, want * sizeof(float));
+          size_t got = 0;
+          {
+            obs::TimelineSpan read_span("io", "read.weights",
+                                        static_cast<int64_t>(want * sizeof(float)));
+            got = reader.Read(weights + wcursor, want * sizeof(float));
+          }
           if (got != want * sizeof(float)) {
             throw std::runtime_error("truncated weight section in " + path);
           }
@@ -161,8 +180,14 @@ EdgeFileHeader ParallelLoader::Load(const std::string& path, const Options& opti
 
   try {
     ChunkDesc chunk;
-    while (queue.Pop(chunk)) {
+    auto pop_next = [&queue, &chunk] {
+      obs::TimelineSpan wait_span("io", "load.wait");
+      return queue.Pop(chunk);
+    };
+    while (pop_next()) {
       Timer build_timer;
+      obs::TimelineSpan build_span("io", "build.chunk",
+                                   static_cast<int64_t>(chunk.count));
       ValidateEdgeChunk({edges + chunk.first, static_cast<size_t>(chunk.count)},
                         header.num_vertices, path);
       on_chunk(chunk.first, chunk.count);

@@ -6,6 +6,7 @@
 
 #include "src/layout/radix_sort.h"
 #include "src/obs/metrics.h"
+#include "src/obs/timeline.h"
 #include "src/util/atomics.h"
 #include "src/util/parallel.h"
 #include "src/util/spinlock.h"
@@ -55,6 +56,8 @@ std::vector<EdgeIndex> OffsetsFromSorted(const std::vector<Record>& records,
 Csr BuildRadix(const EdgeList& graph, EdgeDirection direction, int digit_bits,
                double* seconds) {
   Timer timer;
+  obs::TimelineSpan timeline_span("layout", "build.radix",
+                                  static_cast<int64_t>(graph.edges().size()));
   Csr csr;
   const VertexId n = graph.num_vertices();
   const size_t m = graph.edges().size();
@@ -110,13 +113,19 @@ Csr BuildCount(const EdgeList& graph, EdgeDirection direction, double* seconds) 
   // over the n+1 slots (last slot 0) then yields standard CSR offsets with
   // offsets[n] == m.
   std::vector<EdgeIndex> offsets(static_cast<size_t>(n) + 1, 0);
-  ParallelFor(0, static_cast<int64_t>(m), [&](int64_t i) {
-    AtomicAdd(&offsets[KeyOf(edges[static_cast<size_t>(i)], direction)],
-              static_cast<EdgeIndex>(1));
-  });
-  ParallelExclusiveScan(offsets);
+  {
+    obs::TimelineSpan count_span("layout", "build.count.count",
+                                 static_cast<int64_t>(m));
+    ParallelFor(0, static_cast<int64_t>(m), [&](int64_t i) {
+      AtomicAdd(&offsets[KeyOf(edges[static_cast<size_t>(i)], direction)],
+                static_cast<EdgeIndex>(1));
+    });
+    ParallelExclusiveScan(offsets);
+  }
 
   // Pass 2: scatter with per-vertex atomic cursors.
+  obs::TimelineSpan scatter_span("layout", "build.count.scatter",
+                                 static_cast<int64_t>(m));
   std::vector<std::atomic<EdgeIndex>> cursors(n);
   ParallelFor(0, static_cast<int64_t>(n), [&](int64_t v) {
     cursors[static_cast<size_t>(v)].store(offsets[static_cast<size_t>(v)],
@@ -194,6 +203,8 @@ DynamicAdjacencyBuilder::~DynamicAdjacencyBuilder() = default;
 void DynamicAdjacencyBuilder::AddChunk(std::span<const Edge> edges,
                                        std::span<const float> weights) {
   Timer timer;
+  obs::TimelineSpan timeline_span("layout", "build.dynamic.add",
+                                  static_cast<int64_t>(edges.size()));
   Impl& impl = *impl_;
   ParallelFor(0, static_cast<int64_t>(edges.size()), [&](int64_t i) {
     const Edge& e = edges[static_cast<size_t>(i)];
@@ -216,6 +227,8 @@ void DynamicAdjacencyBuilder::AddChunkDeferred(std::span<const Edge> edges,
     return;
   }
   Timer timer;
+  obs::TimelineSpan timeline_span("layout", "build.dynamic.add",
+                                  static_cast<int64_t>(edges.size()));
   std::call_once(impl.deferred_init, [&impl] {
     impl.weight_index_lists.resize(impl.num_vertices);
   });
@@ -235,6 +248,7 @@ double DynamicAdjacencyBuilder::build_seconds() const {
 
 Csr DynamicAdjacencyBuilder::Finalize(double* flatten_seconds) {
   Timer timer;
+  obs::TimelineSpan timeline_span("layout", "build.dynamic.flatten");
   Impl& impl = *impl_;
   const VertexId n = impl.num_vertices;
   std::vector<EdgeIndex> offsets(static_cast<size_t>(n) + 1, 0);
@@ -297,6 +311,8 @@ CountingAdjacencyBuilder::CountingAdjacencyBuilder(VertexId num_vertices,
 
 void CountingAdjacencyBuilder::CountChunk(std::span<const Edge> edges) {
   Timer timer;
+  obs::TimelineSpan timeline_span("layout", "build.count.count",
+                                  static_cast<int64_t>(edges.size()));
   ParallelFor(0, static_cast<int64_t>(edges.size()), [&](int64_t i) {
     AtomicAdd(&degrees_[KeyOf(edges[static_cast<size_t>(i)], direction_)], 1u);
   });
@@ -309,6 +325,8 @@ double CountingAdjacencyBuilder::count_seconds() const {
 
 Csr CountingAdjacencyBuilder::Scatter(const EdgeList& graph, double* scatter_seconds) {
   Timer timer;
+  obs::TimelineSpan timeline_span("layout", "build.count.scatter",
+                                  static_cast<int64_t>(graph.edges().size()));
   const VertexId n = num_vertices_;
   std::vector<EdgeIndex> offsets(static_cast<size_t>(n) + 1, 0);
   for (VertexId v = 0; v < n; ++v) {

@@ -1,0 +1,380 @@
+// Per-worker timeline tracing: what each thread was doing, when. Every
+// thread that emits gets its own fixed-capacity event buffer (single-writer,
+// so the hot path is one enabled check, two steady-clock reads and one store
+// — no locks, no allocation, no shared cache lines); a full buffer drops the
+// newest events and counts them instead of reallocating. Completed spans and
+// instant events export as Chrome-trace-event JSON (open in Perfetto or
+// chrome://tracing) plus a derived per-worker utilization / steal /
+// critical-path summary — the instruments that show load imbalance, steal
+// storms and loader stalls unfolding over time, which the aggregate counters
+// in metrics.h cannot.
+//
+// The emission core is header-inline (C++17 inline variables) so that
+// egraph_util's thread pool can emit pool spans without a link dependency on
+// the obs library; only the exporters and the summary live in timeline.cc.
+//
+// Compile gate: EGRAPH_METRICS=0 compiles every emission path to nothing
+// (TimelineSpan becomes an empty class, Enabled() a constant false). At
+// runtime the timeline is off by default; enabling costs one relaxed load
+// per span on top of the clock reads.
+//
+// Concurrency contract: emission is safe from any number of threads
+// concurrently (each writes only its own buffer) and Snapshot() may run
+// concurrently with emission (events publish via release/acquire on the
+// buffer size). Reset() and SetCapacityPerThread() are cold-path calls that
+// must not race with emission — call them outside parallel regions.
+#ifndef SRC_OBS_TIMELINE_H_
+#define SRC_OBS_TIMELINE_H_
+
+#ifndef EGRAPH_METRICS
+#define EGRAPH_METRICS 1
+#endif
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace egraph::obs {
+
+enum class TimelineEventKind : uint8_t {
+  kSpan = 0,     // start_ns..start_ns+dur_ns (Chrome "X" complete event)
+  kInstant = 1,  // point event at start_ns (Chrome "i")
+};
+
+struct TimelineEvent {
+  const char* cat;    // static-lifetime category: "pool", "engine", ...
+  const char* name;   // static-lifetime event name
+  uint64_t start_ns;  // steady-clock ticks
+  uint64_t dur_ns;    // 0 for instants
+  int64_t arg;        // event-defined payload (chunk size, bytes, iteration)
+  TimelineEventKind kind;
+};
+
+namespace timeline_internal {
+
+inline constexpr size_t kDefaultEventsPerThread = size_t{1} << 15;
+
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// One buffer per emitting thread, process lifetime (threads may come and go;
+// their buffers stay exportable). Only the owning thread writes events and
+// bumps size/dropped; size is the release/acquire publication point.
+struct ThreadBuffer {
+  explicit ThreadBuffer(size_t capacity) : events(capacity) {}
+
+  std::vector<TimelineEvent> events;  // fixed capacity; never reallocated
+  std::atomic<uint64_t> size{0};
+  std::atomic<uint64_t> dropped{0};
+  std::atomic<int> worker_id{-1};  // pool worker id, -1 for foreign threads
+  int tid = 0;                     // registration order; Chrome trace tid
+  std::string label;               // guarded by the registry mutex
+};
+
+struct BufferRegistry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  size_t capacity = kDefaultEventsPerThread;
+};
+
+inline BufferRegistry& GetBufferRegistry() {
+  static BufferRegistry* registry = new BufferRegistry();
+  return *registry;
+}
+
+inline std::atomic<bool> g_timeline_enabled{false};
+
+inline ThreadBuffer* RegisterThisThread() {
+  BufferRegistry& registry = GetBufferRegistry();
+  std::lock_guard<std::mutex> guard(registry.mutex);
+  auto buffer = std::make_unique<ThreadBuffer>(registry.capacity);
+  buffer->tid = static_cast<int>(registry.buffers.size());
+  registry.buffers.push_back(std::move(buffer));
+  return registry.buffers.back().get();
+}
+
+inline ThreadBuffer* Buffer() {
+  thread_local ThreadBuffer* buffer = nullptr;
+  if (buffer == nullptr) {
+    buffer = RegisterThisThread();
+  }
+  return buffer;
+}
+
+inline void Emit(const char* cat, const char* name, uint64_t start_ns,
+                 uint64_t dur_ns, int64_t arg, TimelineEventKind kind) {
+  ThreadBuffer* buffer = Buffer();
+  const uint64_t n = buffer->size.load(std::memory_order_relaxed);
+  if (n >= buffer->events.size()) {
+    // Bounded: count the drop, never grow (growth would be an allocation on
+    // the hot path and would skew exactly the timings being measured).
+    buffer->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer->events[n] = TimelineEvent{cat, name, start_ns, dur_ns, arg, kind};
+  buffer->size.store(n + 1, std::memory_order_release);
+}
+
+}  // namespace timeline_internal
+
+class Timeline {
+ public:
+#if EGRAPH_METRICS
+  static bool Enabled() {
+    return timeline_internal::g_timeline_enabled.load(std::memory_order_relaxed);
+  }
+#else
+  static constexpr bool Enabled() { return false; }
+#endif
+
+  static void SetEnabled(bool enabled) {
+#if EGRAPH_METRICS
+    timeline_internal::g_timeline_enabled.store(enabled, std::memory_order_relaxed);
+#else
+    (void)enabled;
+#endif
+  }
+
+  // Per-thread buffer capacity, in events. Applies to buffers registered
+  // after the call; Reset() re-sizes existing buffers to the new capacity.
+  static void SetCapacityPerThread(size_t events) {
+#if EGRAPH_METRICS
+    timeline_internal::BufferRegistry& registry = timeline_internal::GetBufferRegistry();
+    std::lock_guard<std::mutex> guard(registry.mutex);
+    registry.capacity = events == 0 ? 1 : events;
+#else
+    (void)events;
+#endif
+  }
+
+  // Names the calling thread's track in the exported trace ("io.reader").
+  static void SetThreadLabel(const std::string& label) {
+#if EGRAPH_METRICS
+    if (!Enabled()) {
+      return;
+    }
+    timeline_internal::ThreadBuffer* buffer = timeline_internal::Buffer();
+    timeline_internal::BufferRegistry& registry = timeline_internal::GetBufferRegistry();
+    std::lock_guard<std::mutex> guard(registry.mutex);
+    buffer->label = label;
+#else
+    (void)label;
+#endif
+  }
+
+  // Tags the calling thread with its pool worker id; called by the pool at
+  // region entry (cheap: one tls lookup and a compare once registered).
+  static void NoteWorker(int worker_id) {
+#if EGRAPH_METRICS
+    if (!Enabled()) {
+      return;
+    }
+    timeline_internal::ThreadBuffer* buffer = timeline_internal::Buffer();
+    if (buffer->worker_id.load(std::memory_order_relaxed) != worker_id) {
+      buffer->worker_id.store(worker_id, std::memory_order_relaxed);
+    }
+#else
+    (void)worker_id;
+#endif
+  }
+
+  // Zeroes every buffer (and applies a pending capacity change). Must not
+  // race with emission.
+  static void Reset() {
+#if EGRAPH_METRICS
+    timeline_internal::BufferRegistry& registry = timeline_internal::GetBufferRegistry();
+    std::lock_guard<std::mutex> guard(registry.mutex);
+    for (auto& buffer : registry.buffers) {
+      if (buffer->events.size() != registry.capacity) {
+        std::vector<TimelineEvent>(registry.capacity).swap(buffer->events);
+      }
+      buffer->size.store(0, std::memory_order_relaxed);
+      buffer->dropped.store(0, std::memory_order_relaxed);
+    }
+#endif
+  }
+
+  // Events dropped across all buffers since the last Reset.
+  static uint64_t TotalDropped() {
+#if EGRAPH_METRICS
+    timeline_internal::BufferRegistry& registry = timeline_internal::GetBufferRegistry();
+    std::lock_guard<std::mutex> guard(registry.mutex);
+    uint64_t total = 0;
+    for (const auto& buffer : registry.buffers) {
+      total += buffer->dropped.load(std::memory_order_relaxed);
+    }
+    return total;
+#else
+    return 0;
+#endif
+  }
+
+  struct ThreadSnapshot {
+    int tid = 0;
+    int worker_id = -1;
+    std::string label;
+    uint64_t dropped = 0;
+    size_t capacity = 0;
+    std::vector<TimelineEvent> events;
+  };
+
+  // Copies every buffer's published events. Safe concurrently with emission;
+  // an in-flight span simply isn't included yet.
+  static std::vector<ThreadSnapshot> Snapshot() {
+    std::vector<ThreadSnapshot> out;
+#if EGRAPH_METRICS
+    timeline_internal::BufferRegistry& registry = timeline_internal::GetBufferRegistry();
+    std::lock_guard<std::mutex> guard(registry.mutex);
+    out.reserve(registry.buffers.size());
+    for (const auto& buffer : registry.buffers) {
+      ThreadSnapshot snapshot;
+      snapshot.tid = buffer->tid;
+      snapshot.worker_id = buffer->worker_id.load(std::memory_order_relaxed);
+      snapshot.label = buffer->label;
+      snapshot.dropped = buffer->dropped.load(std::memory_order_relaxed);
+      snapshot.capacity = buffer->events.size();
+      const uint64_t n = buffer->size.load(std::memory_order_acquire);
+      snapshot.events.assign(buffer->events.begin(),
+                             buffer->events.begin() + static_cast<int64_t>(n));
+      out.push_back(std::move(snapshot));
+    }
+#endif
+    return out;
+  }
+};
+
+// RAII scoped span: records [construction, destruction) on the calling
+// thread's track. Costs one relaxed load when the timeline is disabled and
+// compiles to nothing under EGRAPH_METRICS=0.
+class TimelineSpan {
+ public:
+#if EGRAPH_METRICS
+  TimelineSpan(const char* cat, const char* name, int64_t arg = 0)
+      : cat_(cat),
+        name_(name),
+        arg_(arg),
+        start_ns_(Timeline::Enabled() ? timeline_internal::NowNs() : 0) {}
+
+  ~TimelineSpan() {
+    if (start_ns_ != 0) {
+      timeline_internal::Emit(cat_, name_, start_ns_,
+                              timeline_internal::NowNs() - start_ns_, arg_,
+                              TimelineEventKind::kSpan);
+    }
+  }
+
+ private:
+  const char* cat_;
+  const char* name_;
+  int64_t arg_;
+  uint64_t start_ns_;
+#else
+  TimelineSpan(const char*, const char*, int64_t = 0) {}
+#endif
+
+ public:
+  TimelineSpan(const TimelineSpan&) = delete;
+  TimelineSpan& operator=(const TimelineSpan&) = delete;
+};
+
+// Manual span plumbing for begin/end call pairs that cannot hold an RAII
+// object (TraceSession iterations). TimelineNow() returns 0 when disabled;
+// TimelineEndSpan is a no-op for a 0 start.
+inline uint64_t TimelineNow() {
+#if EGRAPH_METRICS
+  return Timeline::Enabled() ? timeline_internal::NowNs() : 0;
+#else
+  return 0;
+#endif
+}
+
+inline void TimelineEndSpan(const char* cat, const char* name, uint64_t start_ns,
+                            int64_t arg = 0) {
+#if EGRAPH_METRICS
+  if (start_ns != 0 && Timeline::Enabled()) {
+    timeline_internal::Emit(cat, name, start_ns,
+                            timeline_internal::NowNs() - start_ns, arg,
+                            TimelineEventKind::kSpan);
+  }
+#else
+  (void)cat;
+  (void)name;
+  (void)start_ns;
+  (void)arg;
+#endif
+}
+
+inline void TimelineInstant(const char* cat, const char* name, int64_t arg = 0) {
+#if EGRAPH_METRICS
+  if (Timeline::Enabled()) {
+    timeline_internal::Emit(cat, name, timeline_internal::NowNs(), 0, arg,
+                            TimelineEventKind::kInstant);
+  }
+#else
+  (void)cat;
+  (void)name;
+  (void)arg;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Exporters and derived summary (defined in timeline.cc, obs library only —
+// nothing in egraph_util references these).
+
+class JsonValue;
+
+// Applies EG_TIMELINE (enable when nonzero) and EG_TIMELINE_EVENTS (per-
+// thread capacity) from the environment; returns whether tracing is enabled.
+bool TimelineEnableFromEnv();
+
+struct TimelineWorkerSummary {
+  int tid = 0;
+  int worker_id = -1;  // -1: not a pool worker (io.reader etc.)
+  std::string label;
+  uint64_t events = 0;
+  uint64_t dropped = 0;
+  int64_t chunks = 0;        // pool run+steal spans executed
+  int64_t steals = 0;        // pool steal spans executed
+  double busy_seconds = 0.0;   // sum of pool run+steal span durations
+  double steal_seconds = 0.0;  // stolen-chunk share of busy
+  double idle_seconds = 0.0;   // sum of pool idle span durations
+};
+
+struct TimelineSummary {
+  double wall_seconds = 0.0;           // max event end - min event start
+  double critical_path_seconds = 0.0;  // max per-worker busy: a lower bound
+                                       // on any schedule of the same chunks
+  double utilization = 0.0;            // sum busy / (wall * workers)
+  double imbalance = 0.0;              // max busy / mean busy (1.0 = even)
+  std::vector<TimelineWorkerSummary> workers;
+};
+
+TimelineSummary SummarizeTimeline();
+
+// {"traceEvents": [...], "displayTimeUnit": "ms", "egraphSummary": {...}} —
+// the object form of the Chrome trace event format, with thread_name
+// metadata per track; Perfetto and chrome://tracing both accept it and
+// ignore the extra summary key.
+JsonValue TimelineToChromeJson();
+
+JsonValue TimelineSummaryToJson(const TimelineSummary& summary);
+
+// Writes TimelineToChromeJson() to `path`. Returns false (and prints to
+// stderr) when the file cannot be written.
+bool WriteTimelineTrace(const std::string& path);
+
+// Human-readable per-worker table of the summary.
+std::string TimelineSummaryTableString();
+
+}  // namespace egraph::obs
+
+#endif  // SRC_OBS_TIMELINE_H_

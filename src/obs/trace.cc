@@ -1,5 +1,7 @@
 #include "src/obs/trace.h"
 
+#include "src/obs/timeline.h"
+
 namespace egraph::obs {
 
 TraceSession::TraceSession(EngineTrace& trace, const char* algorithm, Layout layout,
@@ -33,6 +35,7 @@ void TraceSession::BeginIteration(int64_t frontier_count, bool frontier_sparse) 
   relaxed_at_begin_ = counters.edges_relaxed.Total();
   counters.frontier_size.Record(frontier_count);
   in_iteration_ = true;
+  iteration_start_ns_ = TimelineNow();
   iteration_timer_.Reset();
 }
 
@@ -42,6 +45,7 @@ void TraceSession::EndIteration(Direction direction_used) {
   pending_.edges_scanned = counters.edges_scanned.Total() - scanned_at_begin_;
   pending_.edges_relaxed = counters.edges_relaxed.Total() - relaxed_at_begin_;
   pending_.direction = direction_used;
+  TimelineEndSpan("engine", "iteration", iteration_start_ns_, pending_.iteration);
   trace_.iterations.push_back(pending_);
   in_iteration_ = false;
 }

@@ -72,6 +72,7 @@ class TraceSession {
   IterationRecord pending_;
   int64_t scanned_at_begin_ = 0;
   int64_t relaxed_at_begin_ = 0;
+  uint64_t iteration_start_ns_ = 0;  // timeline span anchor (0 = tracing off)
   bool in_iteration_ = false;
 };
 

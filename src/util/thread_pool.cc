@@ -1,5 +1,6 @@
 #include "src/util/thread_pool.h"
 
+#include "src/obs/timeline.h"
 #include "src/util/env.h"
 
 namespace egraph {
@@ -11,7 +12,9 @@ thread_local bool tls_in_region = false;
 }  // namespace
 
 ThreadPool::ThreadPool(int num_threads)
-    : num_threads_(num_threads < 1 ? 1 : num_threads), queues_(num_threads_) {
+    : num_threads_(num_threads < 1 ? 1 : num_threads),
+      queues_(num_threads_),
+      steal_counts_(num_threads_) {
   threads_.reserve(num_threads_ - 1);
   for (int i = 1; i < num_threads_; ++i) {
     threads_.emplace_back([this, i] { WorkerLoop(i); });
@@ -34,6 +37,22 @@ ThreadPool& ThreadPool::Get() {
   return pool;
 }
 
+uint64_t ThreadPool::steal_count() const {
+  uint64_t total = 0;
+  for (const StealCounter& counter : steal_counts_) {
+    total += counter.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<uint64_t> ThreadPool::StealCountsPerWorker() const {
+  std::vector<uint64_t> counts(steal_counts_.size());
+  for (size_t i = 0; i < steal_counts_.size(); ++i) {
+    counts[i] = steal_counts_[i].value.load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
 int ThreadPool::CurrentWorker() { return tls_worker_id; }
 
 bool ThreadPool::InParallelRegion() { return tls_in_region; }
@@ -46,16 +65,22 @@ void ThreadPool::ParallelForChunks(int64_t begin, int64_t end, int64_t grain,
   const int64_t count = end - begin;
   if (tls_in_region || num_threads_ == 1) {
     // Nested region or single-threaded pool: run serially in place. Chunking
-    // is preserved so that per-chunk setup in the body behaves identically.
+    // is preserved so that per-chunk setup in the body behaves identically,
+    // and chunk spans are still emitted so single-threaded traces show the
+    // same run structure as parallel ones.
+    obs::Timeline::NoteWorker(tls_worker_id);
     const int64_t g = grain > 0 ? grain : count;
     for (int64_t lo = begin; lo < end; lo += g) {
-      body(lo, lo + g < end ? lo + g : end, tls_worker_id);
+      const int64_t hi = lo + g < end ? lo + g : end;
+      obs::TimelineSpan span("pool", "run", hi - lo);
+      body(lo, hi, tls_worker_id);
     }
     return;
   }
 
   // Only one region may run at a time; concurrent external callers queue up.
   std::lock_guard<std::mutex> region_guard(region_mutex_);
+  obs::TimelineSpan region_span("pool", "region", count);
 
   int64_t g = grain;
   if (g <= 0) {
@@ -100,6 +125,7 @@ void ThreadPool::ParallelForChunks(int64_t begin, int64_t end, int64_t grain,
 void ThreadPool::RunRegion(int worker_id) {
   tls_worker_id = worker_id;
   tls_in_region = true;
+  obs::Timeline::NoteWorker(worker_id);
   const auto& body = *body_;
 
   // Drain own queue first; then steal from victims round-robin.
@@ -112,10 +138,14 @@ void ThreadPool::RunRegion(int worker_id) {
       if (index >= limit) {
         break;
       }
-      if (offset != 0) {
-        steal_count_.fetch_add(1, std::memory_order_relaxed);
+      const bool stolen = offset != 0;
+      if (stolen) {
+        steal_counts_[static_cast<size_t>(worker_id)].value.fetch_add(
+            1, std::memory_order_relaxed);
       }
       const Chunk chunk = queue.chunks[static_cast<size_t>(index)];
+      obs::TimelineSpan span("pool", stolen ? "steal" : "run",
+                             chunk.end - chunk.begin);
       body(chunk.begin, chunk.end, worker_id);
     }
   }
@@ -128,6 +158,10 @@ void ThreadPool::WorkerLoop(int worker_id) {
   uint64_t seen_epoch = 0;
   while (true) {
     {
+      // The wait for the next region is the worker's idle time: with the
+      // timeline on, gaps between a worker's run spans show up as explicit
+      // idle spans instead of blank track space.
+      obs::TimelineSpan idle("pool", "idle");
       std::unique_lock<std::mutex> lock(mutex_);
       start_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
       if (shutdown_) {

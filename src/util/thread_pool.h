@@ -51,8 +51,12 @@ class ThreadPool {
   // True while executing inside a parallel region on this thread.
   static bool InParallelRegion();
 
-  // Total number of chunks stolen since construction (telemetry for tests).
-  uint64_t steal_count() const { return steal_count_.load(std::memory_order_relaxed); }
+  // Total number of chunks stolen since construction (telemetry for tests),
+  // aggregated across the per-worker tallies.
+  uint64_t steal_count() const;
+
+  // Per-worker steal tallies (index = stealing worker's id).
+  std::vector<uint64_t> StealCountsPerWorker() const;
 
  private:
   struct Chunk {
@@ -64,6 +68,13 @@ class ThreadPool {
   struct alignas(64) WorkerQueue {
     std::vector<Chunk> chunks;
     std::atomic<int64_t> next{0};
+  };
+
+  // One cache line per worker: the steal path increments only the stealing
+  // worker's own counter (a single shared atomic here was a contention point
+  // during steal storms — every steal bounced the same line between cores).
+  struct alignas(64) StealCounter {
+    std::atomic<uint64_t> value{0};
   };
 
   void WorkerLoop(int worker_id);
@@ -81,7 +92,7 @@ class ThreadPool {
   int pending_workers_ = 0;   // workers still running the current region
   bool shutdown_ = false;
   const std::function<void(int64_t, int64_t, int)>* body_ = nullptr;
-  std::atomic<uint64_t> steal_count_{0};
+  std::vector<StealCounter> steal_counts_;  // one per worker
 };
 
 }  // namespace egraph

@@ -114,6 +114,32 @@ TEST(ThreadPool, SingleWorkerPoolRunsInline) {
   EXPECT_EQ(pool.steal_count(), 0u);
 }
 
+TEST(ThreadPool, PerWorkerStealCountsSumToAggregate) {
+  ThreadPool pool(4);
+  // Several imbalanced regions to provoke steals (not guaranteed on every
+  // schedule, which is fine — the invariant under test is the accounting).
+  for (int round = 0; round < 8; ++round) {
+    std::atomic<int64_t> sink{0};
+    pool.ParallelForChunks(0, 513, /*grain=*/1, [&](int64_t lo, int64_t hi, int) {
+      int64_t local = 0;
+      for (int64_t i = lo; i < hi; ++i) {
+        local += i % 7;
+      }
+      sink.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  const std::vector<uint64_t> per_worker = pool.StealCountsPerWorker();
+  ASSERT_EQ(per_worker.size(), 4u);
+  uint64_t sum = 0;
+  for (const uint64_t count : per_worker) {
+    sum += count;
+  }
+  EXPECT_EQ(sum, pool.steal_count());
+  ThreadPool single(1);
+  EXPECT_EQ(single.StealCountsPerWorker().size(), 1u);
+  EXPECT_EQ(single.StealCountsPerWorker()[0], 0u);
+}
+
 TEST(ParallelReduce, SumMatchesSerial) {
   const int64_t n = 123457;
   const int64_t got = ParallelReduceSum<int64_t>(0, n, [](int64_t i) { return i; });

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Diff two egraph-bench-v1 result sets and fail on regressions.
+
+Usage:
+  bench_regress.py BASELINE CURRENT [--threshold 1.3] [--metric min]
+                   [--allow-missing]
+  bench_regress.py --self-test [--golden tests/data/BENCH_golden.json]
+
+BASELINE and CURRENT are either a single BENCH_*.json file or a directory
+that is scanned for BENCH_*.json files (matched by the "experiment" field).
+A cell regresses when current_metric > baseline_metric * threshold; any
+regression makes the script exit 1.  Cells are keyed by (name, dataset).
+
+The comparison metric defaults to "min": the minimum over repetitions is
+the usual low-noise choice for wall-clock benchmarks (the fastest rep is
+the least-perturbed one).  "median" is available for noisy environments.
+
+Speedups are reported but never fail the gate: a faster run may be real or
+may be noise, and either way it should not block a merge.  Missing cells
+(present in baseline, absent in current) fail unless --allow-missing, so a
+bench silently dropping coverage is caught.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+SCHEMA = "egraph-bench-v1"
+
+
+def fail(message):
+    print("bench_regress: " + message, file=sys.stderr)
+    sys.exit(2)
+
+
+def validate(doc, path):
+    """Checks the egraph-bench-v1 shape; returns the document."""
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    if not isinstance(doc.get("experiment"), str) or not doc["experiment"]:
+        fail(f"{path}: missing experiment id")
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        fail(f"{path}: missing or empty cells array")
+    for cell in cells:
+        for key in ("name", "reps", "median", "min", "max", "stddev", "samples"):
+            if key not in cell:
+                fail(f"{path}: cell {cell.get('name')!r} missing {key!r}")
+        if cell["reps"] != len(cell["samples"]):
+            fail(f"{path}: cell {cell['name']!r} reps != len(samples)")
+        for value in (cell["median"], cell["min"], cell["max"], cell["stddev"]):
+            if not isinstance(value, (int, float)) or not math.isfinite(value):
+                fail(f"{path}: cell {cell['name']!r} has non-finite stats")
+        if not cell["min"] <= cell["median"] <= cell["max"]:
+            fail(f"{path}: cell {cell['name']!r} stats out of order")
+    return doc
+
+
+def load_file(path):
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"{path}: {error}")
+    return validate(doc, path)
+
+
+def load(path):
+    """Returns {experiment: doc} from a file or a directory of BENCH_*.json."""
+    if os.path.isdir(path):
+        docs = {}
+        for entry in sorted(os.listdir(path)):
+            if entry.startswith("BENCH_") and entry.endswith(".json"):
+                doc = load_file(os.path.join(path, entry))
+                docs[doc["experiment"]] = doc
+        if not docs:
+            fail(f"{path}: no BENCH_*.json files")
+        return docs
+    doc = load_file(path)
+    return {doc["experiment"]: doc}
+
+
+def compare(baseline, current, threshold, metric, allow_missing):
+    """Prints a report; returns the number of regressions."""
+    regressions = 0
+    missing = 0
+    for experiment, base_doc in sorted(baseline.items()):
+        cur_doc = current.get(experiment)
+        if cur_doc is None:
+            print(f"MISSING experiment {experiment}")
+            missing += 1
+            continue
+        cur_cells = {(c["name"], c.get("dataset", "")): c for c in cur_doc["cells"]}
+        for base_cell in base_doc["cells"]:
+            key = (base_cell["name"], base_cell.get("dataset", ""))
+            label = f"{experiment} :: {key[0]}" + (f" [{key[1]}]" if key[1] else "")
+            cur_cell = cur_cells.get(key)
+            if cur_cell is None:
+                print(f"MISSING {label}")
+                missing += 1
+                continue
+            base_value = base_cell[metric]
+            cur_value = cur_cell[metric]
+            if base_value <= 0:
+                # A zero-time baseline cell cannot express a ratio; only a
+                # measurable current time can regress against it.
+                status = "SKIP (zero baseline)"
+                print(f"{status:24s} {label}")
+                continue
+            ratio = cur_value / base_value
+            if ratio > threshold:
+                status = f"REGRESS {ratio:5.2f}x"
+                regressions += 1
+            elif ratio < 1.0 / threshold:
+                status = f"faster  {ratio:5.2f}x"
+            else:
+                status = f"ok      {ratio:5.2f}x"
+            print(f"{status:24s} {label}  ({base_value:.6f}s -> {cur_value:.6f}s)")
+    if missing and not allow_missing:
+        print(f"{missing} baseline cell(s)/experiment(s) missing from current run")
+        regressions += missing
+    return regressions
+
+
+def synthesize_regression(doc, factor):
+    """Returns a deep copy of `doc` with every timing scaled by `factor`."""
+    copy = json.loads(json.dumps(doc))
+    for cell in copy["cells"]:
+        for key in ("median", "min", "max"):
+            cell[key] *= factor
+        cell["samples"] = [s * factor for s in cell["samples"]]
+    return copy
+
+
+def self_test(golden_path):
+    """Exercises the gate against the checked-in golden fixture."""
+    golden = load_file(golden_path)
+    base = {golden["experiment"]: golden}
+
+    print("== self-test: identical run passes ==")
+    if compare(base, {golden["experiment"]: golden}, 1.3, "min", False) != 0:
+        fail("self-test: identical run flagged as regression")
+
+    print("== self-test: 10% noise passes at 1.3x threshold ==")
+    noisy = synthesize_regression(golden, 1.10)
+    if compare(base, {noisy["experiment"]: noisy}, 1.3, "min", False) != 0:
+        fail("self-test: within-threshold noise flagged as regression")
+
+    print("== self-test: synthetic 2x slowdown is flagged ==")
+    slow = synthesize_regression(golden, 2.0)
+    if compare(base, {slow["experiment"]: slow}, 1.3, "min", False) == 0:
+        fail("self-test: 2x slowdown not flagged")
+
+    print("== self-test: dropped cell is flagged ==")
+    dropped = json.loads(json.dumps(golden))
+    dropped["cells"] = dropped["cells"][:-1]
+    if compare(base, {dropped["experiment"]: dropped}, 1.3, "min", False) == 0:
+        fail("self-test: missing cell not flagged")
+
+    print("self-test: all checks passed")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", nargs="?", help="baseline file or directory")
+    parser.add_argument("current", nargs="?", help="current file or directory")
+    parser.add_argument("--threshold", type=float, default=1.3,
+                        help="fail when current > baseline * threshold (default 1.3)")
+    parser.add_argument("--metric", choices=("min", "median"), default="min",
+                        help="per-cell statistic to compare (default min)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="do not fail on cells absent from the current run")
+    parser.add_argument("--self-test", action="store_true",
+                        help="validate the gate against the golden fixture and exit")
+    parser.add_argument("--golden",
+                        default=os.path.join(os.path.dirname(__file__), os.pardir,
+                                             "tests", "data", "BENCH_golden.json"),
+                        help="golden fixture for --self-test")
+    args = parser.parse_args()
+
+    if args.self_test:
+        self_test(args.golden)
+        return
+
+    if args.baseline is None or args.current is None:
+        parser.error("baseline and current are required (or use --self-test)")
+    if args.threshold <= 1.0:
+        parser.error("--threshold must be > 1.0")
+
+    regressions = compare(load(args.baseline), load(args.current),
+                          args.threshold, args.metric, args.allow_missing)
+    if regressions:
+        print(f"{regressions} regression(s) beyond {args.threshold}x", file=sys.stderr)
+        sys.exit(1)
+    print("no regressions")
+
+
+if __name__ == "__main__":
+    main()

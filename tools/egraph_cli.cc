@@ -11,13 +11,16 @@
 //             [--loader=sequential|pipelined] [--medium=memory|ssd|hdd]
 //             [--chunk-mb=N]
 //             [--advisor] [--numa-nodes=K] [--metrics] [--metrics-json=FILE]
+//             [--timeline=FILE]
 //             FILE
 //
 // `run --advisor` lets the paper's section-9 roadmap pick the configuration.
 // Every run prints the end-to-end breakdown (load / preprocess / algorithm).
 // `--metrics` appends the observability tables (phase breakdown, engine
 // counters, histograms); `--metrics-json=FILE` writes the full JSON process
-// report (use `-` for stdout).
+// report (use `-` for stdout). `--timeline=FILE` (or EG_TIMELINE=1 in the
+// environment) records per-worker timeline spans across the whole run and
+// writes a Chrome-trace/Perfetto-compatible file plus a per-worker summary.
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
@@ -39,6 +42,8 @@
 #include "src/io/loader.h"
 #include "src/obs/export.h"
 #include "src/obs/phase.h"
+#include "src/obs/timeline.h"
+#include "src/util/env.h"
 #include "src/util/flags.h"
 #include "src/util/table.h"
 #include "src/util/timer.h"
@@ -226,6 +231,15 @@ int CmdRun(const Flags& flags) {
   }
   const std::string algo = flags.GetString("algo", "bfs");
 
+  // Timeline tracing covers everything from load onward, so enable it before
+  // the loader starts. The flag takes priority over EG_TIMELINE.
+  const std::string timeline_file = flags.GetString("timeline", "");
+  if (!timeline_file.empty()) {
+    obs::Timeline::SetEnabled(true);
+  } else {
+    obs::TimelineEnableFromEnv();
+  }
+
   RunConfig config;
   config.layout = ParseLayout(flags.GetString("layout", "adjacency"));
   config.direction = ParseDirection(flags.GetString("direction", "push"));
@@ -407,6 +421,18 @@ int CmdRun(const Flags& flags) {
     if (metrics_json == "-") {
       std::printf("%s\n", obs::ProcessReportToJson(report_name).Dump(2).c_str());
     } else if (!obs::WriteProcessReport(metrics_json, report_name)) {
+      return 1;
+    }
+  }
+  if (obs::Timeline::Enabled()) {
+    const std::string path = !timeline_file.empty()
+                                 ? timeline_file
+                                 : EnvString("EG_TIMELINE_FILE", "egraph_cli.timeline.json");
+    if (obs::WriteTimelineTrace(path)) {
+      std::printf("timeline: %s\n", path.c_str());
+      std::printf("%s", obs::TimelineSummaryTableString().c_str());
+    } else {
+      std::fprintf(stderr, "run: cannot write timeline %s\n", path.c_str());
       return 1;
     }
   }

@@ -23,13 +23,15 @@ build() {
 }
 
 # Prints the minimum wall-clock seconds over $RUNS runs of the benchmark.
-# EG_TRACE=0 so both builds skip report emission and the delta isolates the
-# hot-path counter writes themselves.
+# EG_TRACE=0 / EG_BENCH_JSON=0 so both builds skip report emission and the
+# delta isolates the hot-path counter and span writes themselves (the
+# timeline stays disabled — its disabled-path branch IS part of the cost
+# being measured).
 min_seconds() {
   local binary="$1" best="" t0 t1
   for _ in $(seq "$RUNS"); do
     t0=$(date +%s.%N)
-    EG_SCALE="$SCALE" EG_TRACE=0 "$binary" >/dev/null
+    EG_SCALE="$SCALE" EG_TRACE=0 EG_BENCH_JSON=0 "$binary" >/dev/null
     t1=$(date +%s.%N)
     best=$(awk -v a="$t0" -v b="$t1" -v best="${best:-1e30}" \
       'BEGIN { e = b - a; print (e < best) ? e : best }')
