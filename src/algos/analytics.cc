@@ -41,11 +41,13 @@ std::pair<uint32_t, VertexId> EccentricityAndFarthest(const Csr& out, StripedLoc
   level[source] = 0;
   LevelFunctor func{level.data(), 0};
   Frontier frontier = Frontier::Single(n, source);
+  EdgeMapOptions edge_map;
+  edge_map.locks = &locks;
   uint32_t depth = 0;
   VertexId farthest = source;
   while (!frontier.Empty()) {
     func.round = depth + 1;
-    Frontier next = EdgeMapCsrPush(out, frontier, func, Sync::kAtomics, &locks);
+    Frontier next = EdgeMapCsrPush(out, frontier, func, edge_map);
     if (next.Empty()) {
       // Any member of the last non-empty frontier is farthest.
       frontier.EnsureSparse();

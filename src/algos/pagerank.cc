@@ -76,19 +76,19 @@ PagerankResult RunPagerank(GraphHandle& handle, const PagerankOptions& options,
       case Layout::kAdjacency:
         if (config.direction == Direction::kPull) {
           // Gather from in-neighbors; each dst written by one thread.
-          ScanCsrByDestination(handle.in_csr(), [&](VertexId dst,
-                                                    std::span<const VertexId> sources,
-                                                    std::span<const float> /*weights*/) {
-            float sum = 0.0f;
-            for (const VertexId src : sources) {
-              sum += contrib[src];
-            }
-            next[dst] = sum;
-          });
+          ScanCsrByDestination(handle.in_csr(), config.balance,
+                               [&](VertexId dst, std::span<const VertexId> sources,
+                                   std::span<const float> /*weights*/) {
+                                 float sum = 0.0f;
+                                 for (const VertexId src : sources) {
+                                   sum += contrib[src];
+                                 }
+                                 next[dst] = sum;
+                               });
         } else if (config.sync == Sync::kLocks) {
-          ScanCsrBySource(handle.out_csr(), add_locked);
+          ScanCsrBySource(handle.out_csr(), config.balance, add_locked);
         } else {
-          ScanCsrBySource(handle.out_csr(), add_atomic);
+          ScanCsrBySource(handle.out_csr(), config.balance, add_atomic);
         }
         break;
       case Layout::kEdgeArray:
@@ -104,9 +104,9 @@ PagerankResult RunPagerank(GraphHandle& handle, const PagerankOptions& options,
           // one thread — plain adds, no locks (paper Fig. 8's winner).
           ScanGridColumnOwned(handle.grid(), add_plain);
         } else if (config.sync == Sync::kLocks) {
-          ScanGridRowMajor(handle.grid(), add_locked);
+          ScanGridRowMajor(handle.grid(), config.balance, add_locked);
         } else {
-          ScanGridRowMajor(handle.grid(), add_atomic);
+          ScanGridRowMajor(handle.grid(), config.balance, add_atomic);
         }
         break;
     }

@@ -51,6 +51,11 @@ SsspResult RunSssp(GraphHandle& handle, VertexId source, const RunConfig& config
   result.dist[source] = 0.0f;
   SsspFunctor func{result.dist.data()};
   Frontier frontier = Frontier::Single(n, source);
+  EdgeMapOptions edge_map;
+  edge_map.sync = config.sync;
+  edge_map.balance = config.balance;
+  edge_map.locks = &handle.locks();
+  edge_map.scratch = &handle.edge_map_scratch();
 
   while (!frontier.Empty()) {
     Timer iteration;
@@ -62,17 +67,15 @@ SsspResult RunSssp(GraphHandle& handle, VertexId source, const RunConfig& config
       case Layout::kAdjacency:
         switch (config.direction) {
           case Direction::kPush:
-            next =
-                EdgeMapCsrPush(handle.out_csr(), frontier, func, config.sync, &handle.locks());
+            next = EdgeMapCsrPush(handle.out_csr(), frontier, func, edge_map);
             break;
           case Direction::kPull:
-            next = EdgeMapCsrPull(handle.in_csr(), frontier, func);
+            next = EdgeMapCsrPull(handle.in_csr(), frontier, func, edge_map);
             break;
           case Direction::kPushPull: {
             bool used_pull = false;
             next = EdgeMapCsrPushPull(handle.out_csr(), handle.in_csr(), frontier, func,
-                                      config.sync, &handle.locks(), config.pushpull,
-                                      &used_pull);
+                                      edge_map, config.pushpull, &used_pull);
             result.stats.used_pull.push_back(used_pull);
             used = used_pull ? Direction::kPull : Direction::kPush;
             break;
@@ -80,10 +83,10 @@ SsspResult RunSssp(GraphHandle& handle, VertexId source, const RunConfig& config
         }
         break;
       case Layout::kEdgeArray:
-        next = EdgeMapEdgeArray(handle.edges(), frontier, func, config.sync, &handle.locks());
+        next = EdgeMapEdgeArray(handle.edges(), frontier, func, edge_map);
         break;
       case Layout::kGrid:
-        next = EdgeMapGrid(handle.grid(), frontier, func, config.sync, &handle.locks());
+        next = EdgeMapGrid(handle.grid(), frontier, func, edge_map);
         break;
     }
     frontier = std::move(next);

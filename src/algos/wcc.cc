@@ -49,6 +49,11 @@ WccResult RunWcc(GraphHandle& handle, const RunConfig& config) {
     // lists: only re-labeled vertices propagate next round.
     WccFunctor func{result.label.data()};
     Frontier frontier = Frontier::All(n);
+    EdgeMapOptions edge_map;
+    edge_map.sync = config.sync;
+    edge_map.balance = config.balance;
+    edge_map.locks = &handle.locks();
+    edge_map.scratch = &handle.edge_map_scratch();
     while (!frontier.Empty()) {
       Timer iteration;
       result.stats.frontier_sizes.push_back(frontier.Count());
@@ -57,16 +62,15 @@ WccResult RunWcc(GraphHandle& handle, const RunConfig& config) {
       Frontier next;
       switch (config.direction) {
         case Direction::kPush:
-          next =
-              EdgeMapCsrPush(handle.out_csr(), frontier, func, config.sync, &handle.locks());
+          next = EdgeMapCsrPush(handle.out_csr(), frontier, func, edge_map);
           break;
         case Direction::kPull:
-          next = EdgeMapCsrPull(handle.in_csr(), frontier, func);
+          next = EdgeMapCsrPull(handle.in_csr(), frontier, func, edge_map);
           break;
         case Direction::kPushPull: {
           bool used_pull = false;
           next = EdgeMapCsrPushPull(handle.out_csr(), handle.in_csr(), frontier, func,
-                                    config.sync, &handle.locks(), config.pushpull, &used_pull);
+                                    edge_map, config.pushpull, &used_pull);
           result.stats.used_pull.push_back(used_pull);
           used = used_pull ? Direction::kPull : Direction::kPush;
           break;
@@ -102,7 +106,7 @@ WccResult RunWcc(GraphHandle& handle, const RunConfig& config) {
       if (config.layout == Layout::kEdgeArray) {
         ScanEdgeArray(handle.edges(), relax);
       } else {
-        ScanGridRowMajor(handle.grid(), relax);
+        ScanGridRowMajor(handle.grid(), config.balance, relax);
       }
       trace.EndIteration(config.direction);
       result.stats.per_iteration_seconds.push_back(iteration.Seconds());

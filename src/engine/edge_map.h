@@ -17,11 +17,23 @@
 //
 // Functors must be thread-compatible; all mutation goes through shared
 // vertex-state arrays guarded per the selected Sync mode.
+//
+// Work partitioning (EdgeMapOptions::balance): every kernel can chunk its
+// iteration space either by item count (Balance::kVertex — the classic
+// fixed grain) or by edge cost (Balance::kEdge — chunk boundaries from a
+// degree prefix sum, so a power-law hub cannot serialize its chunk). Push
+// even splits a single hub's adjacency list across chunks; pull stays
+// vertex-aligned (one writer per destination) but weights boundaries by
+// in-degree. Chunks dispatch at grain 1 on the work-stealing pool, so
+// residual imbalance is stolen around.
 #ifndef SRC_ENGINE_EDGE_MAP_H_
 #define SRC_ENGINE_EDGE_MAP_H_
 
+#include <algorithm>
+#include <type_traits>
 #include <vector>
 
+#include "src/engine/edge_map_scratch.h"
 #include "src/engine/frontier.h"
 #include "src/engine/options.h"
 #include "src/graph/edge_list.h"
@@ -34,11 +46,26 @@
 
 namespace egraph {
 
+// Per-call execution knobs shared by every EdgeMap kernel.
+struct EdgeMapOptions {
+  Sync sync = Sync::kAtomics;
+  Balance balance = Balance::kEdge;
+  StripedLocks* locks = nullptr;      // required when sync == Sync::kLocks
+  EdgeMapScratch* scratch = nullptr;  // optional cross-round scratch reuse
+};
+
+// Smallest edge cost a balanced chunk is allowed to carry: keeps tiny
+// frontiers from shattering into per-vertex dispatches.
+inline constexpr int64_t kEdgeMapMinChunkCost = 1024;
+
 namespace edge_map_internal {
 
 // Gathers per-worker output buffers into one vector (order is arbitrary but
-// deterministic given identical buffer contents).
-inline std::vector<VertexId> ConcatBuffers(std::vector<std::vector<VertexId>>& buffers) {
+// deterministic given identical buffer contents). Scratch-owned buffers
+// retain capacity (they are reused next round); ad-hoc buffers release
+// their memory so a peak iteration does not pin it.
+inline std::vector<VertexId> ConcatBuffers(std::vector<std::vector<VertexId>>& buffers,
+                                           bool retain_capacity) {
   size_t total = 0;
   for (const auto& b : buffers) {
     total += b.size();
@@ -47,11 +74,65 @@ inline std::vector<VertexId> ConcatBuffers(std::vector<std::vector<VertexId>>& b
   out.reserve(total);
   for (auto& b : buffers) {
     out.insert(out.end(), b.begin(), b.end());
-    // swap-with-empty, not clear(): drained buffers must not retain their
-    // peak-iteration capacity.
-    std::vector<VertexId>().swap(b);
+    if (retain_capacity) {
+      b.clear();
+    } else {
+      std::vector<VertexId>().swap(b);
+    }
   }
   return out;
+}
+
+// Calls fn(weighted_tag, locks_tag) with compile-time bool tags, hoisting
+// the per-edge "is the graph weighted" / "which sync" branches out of the
+// hot loops into four template instantiations.
+template <typename Fn>
+void DispatchBools(bool first, bool second, Fn&& fn) {
+  if (first) {
+    if (second) {
+      fn(std::true_type{}, std::true_type{});
+    } else {
+      fn(std::true_type{}, std::false_type{});
+    }
+  } else {
+    if (second) {
+      fn(std::false_type{}, std::true_type{});
+    } else {
+      fn(std::false_type{}, std::false_type{});
+    }
+  }
+}
+
+// Push-mode inner loop over neighbors [j_lo, j_hi) of `src`. A half-open
+// sub-range, not always the full list: the edge-balanced partitioner splits
+// hub adjacency lists across chunks, and the shared round bitmap keeps the
+// output deduplicated regardless of which chunk wins a destination.
+template <bool kWeighted, bool kUseLocks, typename F>
+inline void PushSlice(const Csr& out, VertexId src, size_t j_lo, size_t j_hi, F& func,
+                      StripedLocks* locks, Bitmap& next, std::vector<VertexId>& buffer,
+                      int64_t& relaxed) {
+  const auto neighbors = out.Neighbors(src);
+  const auto weights = out.Weights(src);
+  for (size_t j = j_lo; j < j_hi; ++j) {
+    const VertexId dst = neighbors[j];
+    if (!func.Cond(dst)) {
+      continue;
+    }
+    const float w = kWeighted ? weights[j] : 1.0f;
+    bool updated;
+    if constexpr (kUseLocks) {
+      SpinlockGuard guard(locks->For(dst));
+      updated = func.Update(src, dst, w);
+    } else {
+      updated = func.UpdateAtomic(src, dst, w);
+    }
+    if (updated) {
+      ++relaxed;
+      if (next.TestAndSet(dst)) {
+        buffer.push_back(dst);
+      }
+    }
+  }
 }
 
 }  // namespace edge_map_internal
@@ -59,61 +140,115 @@ inline std::vector<VertexId> ConcatBuffers(std::vector<std::vector<VertexId>>& b
 // --- Adjacency list, push (paper: enables working on the active subset) ----
 //
 // Sync::kAtomics uses Functor::UpdateAtomic; Sync::kLocks wraps plain Update
-// in a striped spinlock keyed by dst (`locks` must outlive the call).
-// Returns a sparse next frontier (deduplicated via a round bitmap).
+// in a striped spinlock keyed by dst (`options.locks` must outlive the
+// call). Returns a sparse next frontier (deduplicated via a round bitmap).
+//
+// Balance::kEdge partitions the frontier's concatenated adjacency *edge
+// positions* [0, sum of active degrees): an exclusive prefix sum over active
+// degrees maps a position range to (vertex, neighbor sub-range) pairs, so a
+// mega-hub's list is split across as many chunks as its degree warrants.
 template <typename F>
-Frontier EdgeMapCsrPush(const Csr& out, Frontier& frontier, F& func, Sync sync,
-                        StripedLocks* locks) {
+Frontier EdgeMapCsrPush(const Csr& out, Frontier& frontier, F& func,
+                        const EdgeMapOptions& options) {
   const VertexId n = out.num_vertices();
   frontier.EnsureSparse();
   const auto& active = frontier.Vertices();
+  const int64_t m = static_cast<int64_t>(active.size());
 
   obs::EngineCounters& metrics = obs::EngineCounters::Get();
   metrics.edgemap_calls.Add(1);
-  obs::TimelineSpan timeline_span("engine", "edgemap.push",
-                                  static_cast<int64_t>(active.size()));
+  obs::TimelineSpan timeline_span("engine", "edgemap.push", m);
 
-  Bitmap next(n);
   const int workers = ThreadPool::Get().num_threads();
-  std::vector<std::vector<VertexId>> buffers(static_cast<size_t>(workers));
+  Bitmap local_next;
+  std::vector<std::vector<VertexId>> local_buffers;
+  Bitmap* next_ptr;
+  std::vector<std::vector<VertexId>>* buffers_ptr;
+  if (options.scratch != nullptr) {
+    next_ptr = &options.scratch->RoundBitmap(n);
+    buffers_ptr = &options.scratch->WorkerBuffers(workers);
+  } else {
+    local_next.Resize(static_cast<int64_t>(n));
+    local_buffers.resize(static_cast<size_t>(workers));
+    next_ptr = &local_next;
+    buffers_ptr = &local_buffers;
+  }
+  Bitmap& next = *next_ptr;
+  std::vector<std::vector<VertexId>>& buffers = *buffers_ptr;
 
-  ParallelForChunks(
-      0, static_cast<int64_t>(active.size()), /*grain=*/64,
-      [&](int64_t lo, int64_t hi, int worker) {
-        auto& buffer = buffers[static_cast<size_t>(worker)];
-        int64_t scanned = 0;
-        int64_t relaxed = 0;
-        for (int64_t i = lo; i < hi; ++i) {
-          const VertexId src = active[static_cast<size_t>(i)];
-          const auto neighbors = out.Neighbors(src);
-          const auto weights = out.Weights(src);
-          scanned += static_cast<int64_t>(neighbors.size());
-          for (size_t j = 0; j < neighbors.size(); ++j) {
-            const VertexId dst = neighbors[j];
-            if (!func.Cond(dst)) {
-              continue;
-            }
-            const float w = weights.empty() ? 1.0f : weights[j];
-            bool updated;
-            if (sync == Sync::kLocks) {
-              SpinlockGuard guard(locks->For(dst));
-              updated = func.Update(src, dst, w);
-            } else {
-              updated = func.UpdateAtomic(src, dst, w);
-            }
-            if (updated) {
-              ++relaxed;
-              if (next.TestAndSet(dst)) {
-                buffer.push_back(dst);
-              }
-            }
-          }
+  edge_map_internal::DispatchBools(
+      out.has_weights(), options.sync == Sync::kLocks, [&](auto wtag, auto ltag) {
+        constexpr bool kWeighted = decltype(wtag)::value;
+        constexpr bool kUseLocks = decltype(ltag)::value;
+        if (options.balance == Balance::kEdge) {
+          std::vector<uint64_t> local_prefix;
+          std::vector<uint64_t>& prefix =
+              options.scratch != nullptr ? options.scratch->PrefixStorage() : local_prefix;
+          prefix.resize(static_cast<size_t>(m));
+          ParallelFor(0, m, [&](int64_t i) {
+            prefix[static_cast<size_t>(i)] = out.Degree(active[static_cast<size_t>(i)]);
+          });
+          const uint64_t total = ParallelExclusiveScan(prefix);
+          const int64_t num_chunks = BalancedChunkCount(total, kEdgeMapMinChunkCost);
+          const uint64_t target =
+              (total + static_cast<uint64_t>(num_chunks) - 1) / static_cast<uint64_t>(num_chunks);
+          ParallelForChunks(
+              0, num_chunks, /*grain=*/1, [&](int64_t chunk_lo, int64_t chunk_hi, int worker) {
+                auto& buffer = buffers[static_cast<size_t>(worker)];
+                for (int64_t c = chunk_lo; c < chunk_hi; ++c) {
+                  const uint64_t p0 = static_cast<uint64_t>(c) * target;
+                  const uint64_t p1 = std::min<uint64_t>(p0 + target, total);
+                  if (p0 >= p1) {
+                    continue;
+                  }
+                  obs::TimelineSpan chunk_span("engine", "edgemap.chunk",
+                                               static_cast<int64_t>(p1 - p0));
+                  // Vertex containing position p0: last i with prefix[i] <= p0
+                  // (skips any zero-degree plateau ending at p0).
+                  int64_t i =
+                      std::upper_bound(prefix.begin(), prefix.end(), p0) - prefix.begin() - 1;
+                  uint64_t pos = p0;
+                  int64_t relaxed = 0;
+                  while (pos < p1) {
+                    const VertexId src = active[static_cast<size_t>(i)];
+                    const uint64_t base = prefix[static_cast<size_t>(i)];
+                    const uint64_t degree = out.Degree(src);
+                    const size_t j_lo = static_cast<size_t>(pos - base);
+                    const size_t j_hi = static_cast<size_t>(std::min<uint64_t>(degree, p1 - base));
+                    if (j_lo < j_hi) {
+                      edge_map_internal::PushSlice<kWeighted, kUseLocks>(
+                          out, src, j_lo, j_hi, func, options.locks, next, buffer, relaxed);
+                    }
+                    pos = base + j_hi;
+                    ++i;
+                  }
+                  metrics.edges_scanned.Add(static_cast<int64_t>(p1 - p0));
+                  metrics.edges_relaxed.Add(relaxed);
+                }
+              });
+        } else {
+          ParallelForChunks(
+              0, m, /*grain=*/64, [&](int64_t lo, int64_t hi, int worker) {
+                auto& buffer = buffers[static_cast<size_t>(worker)];
+                const uint64_t span_start = obs::TimelineNow();
+                int64_t scanned = 0;
+                int64_t relaxed = 0;
+                for (int64_t i = lo; i < hi; ++i) {
+                  const VertexId src = active[static_cast<size_t>(i)];
+                  const size_t degree = out.Degree(src);
+                  edge_map_internal::PushSlice<kWeighted, kUseLocks>(
+                      out, src, 0, degree, func, options.locks, next, buffer, relaxed);
+                  scanned += static_cast<int64_t>(degree);
+                }
+                metrics.edges_scanned.Add(scanned);
+                metrics.edges_relaxed.Add(relaxed);
+                obs::TimelineEndSpan("engine", "edgemap.chunk", span_start, scanned);
+              });
         }
-        metrics.edges_scanned.Add(scanned);
-        metrics.edges_relaxed.Add(relaxed);
       });
 
-  return Frontier::FromVector(n, edge_map_internal::ConcatBuffers(buffers));
+  return Frontier::FromVector(
+      n, edge_map_internal::ConcatBuffers(buffers, /*retain_capacity=*/options.scratch != nullptr));
 }
 
 // --- Adjacency list, pull (lock-free: each dst is written by one thread) ---
@@ -122,8 +257,16 @@ Frontier EdgeMapCsrPush(const Csr& out, Frontier& frontier, F& func, Sync sync,
 // the frontier, and stops early once Cond(dst) turns false (paper section
 // 6.1.1: "the pull approach allows stopping the computation for a vertex in
 // the middle of an iteration").
+//
+// Balance::kEdge keeps chunks vertex-aligned (each destination has exactly
+// one writer) but picks the boundaries from the in-CSR offsets array —
+// cost(v) = in-degree(v) + 1, the +1 charging the Cond probe so runs of
+// zero-degree vertices still count as work. The dense-frontier membership
+// test is word-batched: one bitmap word load covers up to 64 consecutive
+// sources (sorted adjacency makes consecutive hits the common case).
 template <typename F>
-Frontier EdgeMapCsrPull(const Csr& in, Frontier& frontier, F& func) {
+Frontier EdgeMapCsrPull(const Csr& in, Frontier& frontier, F& func,
+                        const EdgeMapOptions& options) {
   const VertexId n = in.num_vertices();
   frontier.EnsureDense();
 
@@ -131,48 +274,77 @@ Frontier EdgeMapCsrPull(const Csr& in, Frontier& frontier, F& func) {
   metrics.edgemap_calls.Add(1);
   obs::TimelineSpan timeline_span("engine", "edgemap.pull", frontier.Count());
 
-  Bitmap next(n);
+  Bitmap next(n);  // ownership moves into the result; scratch cannot serve it
   const int workers = ThreadPool::Get().num_threads();
   std::vector<int64_t> counts(static_cast<size_t>(workers), 0);
+  const Bitmap& active_bits = frontier.bitmap();
 
-  ParallelForChunks(
-      0, static_cast<int64_t>(n), /*grain=*/256,
-      [&](int64_t lo, int64_t hi, int worker) {
-        int64_t local = 0;
-        int64_t scanned = 0;
-        int64_t relaxed = 0;
-        for (int64_t v = lo; v < hi; ++v) {
-          const VertexId dst = static_cast<VertexId>(v);
-          if (!func.Cond(dst)) {
+  auto run = [&](auto wtag) {
+    constexpr bool kWeighted = decltype(wtag)::value;
+    auto chunk_body = [&](int64_t lo, int64_t hi, int worker) {
+      const uint64_t span_start = obs::TimelineNow();
+      int64_t local = 0;
+      int64_t scanned = 0;
+      int64_t relaxed = 0;
+      int64_t cached_word_index = -1;
+      uint64_t cached_word = 0;
+      for (int64_t v = lo; v < hi; ++v) {
+        const VertexId dst = static_cast<VertexId>(v);
+        if (!func.Cond(dst)) {
+          continue;
+        }
+        const auto neighbors = in.Neighbors(dst);
+        const auto weights = in.Weights(dst);
+        bool updated = false;
+        for (size_t j = 0; j < neighbors.size(); ++j) {
+          const VertexId src = neighbors[j];
+          ++scanned;
+          const int64_t word_index = static_cast<int64_t>(src >> 6);
+          if (word_index != cached_word_index) {
+            cached_word_index = word_index;
+            cached_word = active_bits.Word(word_index);
+          }
+          if (((cached_word >> (src & 63)) & 1ULL) == 0) {
             continue;
           }
-          const auto neighbors = in.Neighbors(dst);
-          const auto weights = in.Weights(dst);
-          bool updated = false;
-          for (size_t j = 0; j < neighbors.size(); ++j) {
-            const VertexId src = neighbors[j];
-            ++scanned;
-            if (!frontier.Contains(src)) {
-              continue;
-            }
-            const float w = weights.empty() ? 1.0f : weights[j];
-            if (func.Update(src, dst, w)) {
-              updated = true;
-              ++relaxed;
-            }
-            if (!func.Cond(dst)) {
-              break;  // early exit: dst is done for this round
-            }
+          const float w = kWeighted ? weights[j] : 1.0f;
+          if (func.Update(src, dst, w)) {
+            updated = true;
+            ++relaxed;
           }
-          if (updated) {
-            next.Set(v);
-            ++local;
+          if (!func.Cond(dst)) {
+            break;  // early exit: dst is done for this round
           }
         }
-        counts[static_cast<size_t>(worker)] += local;
-        metrics.edges_scanned.Add(scanned);
-        metrics.edges_relaxed.Add(relaxed);
-      });
+        if (updated) {
+          next.Set(v);
+          ++local;
+        }
+      }
+      counts[static_cast<size_t>(worker)] += local;
+      metrics.edges_scanned.Add(scanned);
+      metrics.edges_relaxed.Add(relaxed);
+      obs::TimelineEndSpan("engine", "edgemap.chunk", span_start, scanned);
+    };
+    if (options.balance == Balance::kEdge) {
+      const auto& offsets = in.offsets();
+      const uint64_t total = static_cast<uint64_t>(in.num_edges()) + static_cast<uint64_t>(n);
+      const int64_t num_chunks = BalancedChunkCount(total, kEdgeMapMinChunkCost);
+      const std::vector<int64_t> bounds = BalancedChunkBoundaries(
+          static_cast<int64_t>(n), num_chunks, [&offsets](int64_t v) {
+            return static_cast<uint64_t>(offsets[static_cast<size_t>(v)]) +
+                   static_cast<uint64_t>(v);
+          });
+      ParallelForBalancedChunks(bounds, chunk_body);
+    } else {
+      ParallelForChunks(0, static_cast<int64_t>(n), /*grain=*/256, chunk_body);
+    }
+  };
+  if (in.has_weights()) {
+    run(std::true_type{});
+  } else {
+    run(std::false_type{});
+  }
 
   int64_t total = 0;
   for (const int64_t c : counts) {
@@ -188,8 +360,8 @@ Frontier EdgeMapCsrPull(const Csr& in, Frontier& frontier, F& func) {
 // paper charges against this mode on directed graphs).
 template <typename F>
 Frontier EdgeMapCsrPushPull(const Csr& out, const Csr& in, Frontier& frontier, F& func,
-                            Sync push_sync, StripedLocks* locks,
-                            const PushPullConfig& config, bool* used_pull = nullptr) {
+                            const EdgeMapOptions& options, const PushPullConfig& config,
+                            bool* used_pull = nullptr) {
   const uint64_t work = frontier.WorkEstimate(out);
   const bool pull = static_cast<double>(work) >
                     static_cast<double>(out.num_edges()) / config.threshold_den;
@@ -197,31 +369,46 @@ Frontier EdgeMapCsrPushPull(const Csr& out, const Csr& in, Frontier& frontier, F
     *used_pull = pull;
   }
   if (pull) {
-    return EdgeMapCsrPull(in, frontier, func);
+    return EdgeMapCsrPull(in, frontier, func, options);
   }
-  return EdgeMapCsrPush(out, frontier, func, push_sync, locks);
+  return EdgeMapCsrPush(out, frontier, func, options);
 }
 
 // --- Edge array (edge-centric: always a full scan; paper section 4.1) ------
+//
+// Per-edge cost is uniform, so Balance::kEdge here means an adaptive chunk
+// size (~kBalancedChunksPerWorker chunks per worker) instead of the fixed
+// 4096 grain — equal counts already are equal cost.
 template <typename F>
-Frontier EdgeMapEdgeArray(const EdgeList& graph, Frontier& frontier, F& func, Sync sync,
-                          StripedLocks* locks) {
+Frontier EdgeMapEdgeArray(const EdgeList& graph, Frontier& frontier, F& func,
+                          const EdgeMapOptions& options) {
   const VertexId n = graph.num_vertices();
   frontier.EnsureDense();
   const auto& edges = graph.edges();
+  const int64_t num_edges = static_cast<int64_t>(edges.size());
 
   obs::EngineCounters& metrics = obs::EngineCounters::Get();
   metrics.edgemap_calls.Add(1);
-  obs::TimelineSpan timeline_span("engine", "edgemap.edgearray",
-                                  static_cast<int64_t>(edges.size()));
+  obs::TimelineSpan timeline_span("engine", "edgemap.edgearray", num_edges);
 
   Bitmap next(n);
   const int workers = ThreadPool::Get().num_threads();
   std::vector<int64_t> counts(static_cast<size_t>(workers), 0);
 
+  int64_t grain = 4096;
+  if (options.balance == Balance::kEdge) {
+    const int64_t num_chunks =
+        BalancedChunkCount(static_cast<uint64_t>(num_edges), kEdgeMapMinChunkCost);
+    grain = std::max<int64_t>(1, (num_edges + num_chunks - 1) / num_chunks);
+  }
+
+  const bool weighted = graph.has_weights();
+  const auto& weights = graph.weights();
+  const bool use_locks = options.sync == Sync::kLocks;
+
   ParallelForChunks(
-      0, static_cast<int64_t>(edges.size()), /*grain=*/4096,
-      [&](int64_t lo, int64_t hi, int worker) {
+      0, num_edges, grain, [&](int64_t lo, int64_t hi, int worker) {
+        const uint64_t span_start = obs::TimelineNow();
         int64_t local = 0;
         int64_t relaxed = 0;
         for (int64_t i = lo; i < hi; ++i) {
@@ -229,10 +416,10 @@ Frontier EdgeMapEdgeArray(const EdgeList& graph, Frontier& frontier, F& func, Sy
           if (!frontier.Contains(e.src) || !func.Cond(e.dst)) {
             continue;
           }
-          const float w = graph.EdgeWeight(static_cast<EdgeIndex>(i));
+          const float w = weighted ? weights[static_cast<size_t>(i)] : 1.0f;
           bool updated;
-          if (sync == Sync::kLocks) {
-            SpinlockGuard guard(locks->For(e.dst));
+          if (use_locks) {
+            SpinlockGuard guard(options.locks->For(e.dst));
             updated = func.Update(e.src, e.dst, w);
           } else {
             updated = func.UpdateAtomic(e.src, e.dst, w);
@@ -247,6 +434,7 @@ Frontier EdgeMapEdgeArray(const EdgeList& graph, Frontier& frontier, F& func, Sy
         counts[static_cast<size_t>(worker)] += local;
         metrics.edges_scanned.Add(hi - lo);  // edge-centric: every edge is touched
         metrics.edges_relaxed.Add(relaxed);
+        obs::TimelineEndSpan("engine", "edgemap.chunk", span_start, hi - lo);
       });
 
   int64_t total = 0;
@@ -261,11 +449,19 @@ Frontier EdgeMapEdgeArray(const EdgeList& graph, Frontier& frontier, F& func, Sy
 // Sync::kLockFree exploits the grid's natural partition (paper section
 // 6.1.2): each thread owns a set of destination blocks (columns), so all
 // writes are exclusive and plain Update suffices — regardless of push/pull
-// direction. Sync::kLocks / kAtomics iterate cells row-major (best source
-// locality) with synchronized updates.
+// direction. Columns are dispatched in descending per-column edge count:
+// the pool preloads grain-1 work items round-robin, so the sorted order is
+// a static greedy assignment (heaviest columns spread across workers first)
+// with stealing mopping up the tail. Columns cannot be split — ownership is
+// the point — so the balance knob does not apply here.
+//
+// Sync::kLocks / kAtomics iterate cells row-major (best source locality)
+// with synchronized updates; Balance::kEdge groups the row-major cell
+// sequence into chunks of roughly equal edge count using the grid's
+// cell_offsets array as a ready-made cost prefix.
 template <typename F>
-Frontier EdgeMapGrid(const Grid& grid, Frontier& frontier, F& func, Sync sync,
-                     StripedLocks* locks) {
+Frontier EdgeMapGrid(const Grid& grid, Frontier& frontier, F& func,
+                     const EdgeMapOptions& options) {
   const VertexId n = grid.num_vertices();
   frontier.EnsureDense();
   const uint32_t blocks = grid.num_blocks();
@@ -277,6 +473,8 @@ Frontier EdgeMapGrid(const Grid& grid, Frontier& frontier, F& func, Sync sync,
   Bitmap next(n);
   const int workers = ThreadPool::Get().num_threads();
   std::vector<int64_t> counts(static_cast<size_t>(workers), 0);
+  const bool weighted = grid.has_weights();
+  const auto& cell_offsets = grid.cell_offsets();
 
   auto process_cell = [&](uint32_t i, uint32_t j, int worker, bool owned) {
     const auto cell = grid.Cell(i, j);
@@ -288,12 +486,12 @@ Frontier EdgeMapGrid(const Grid& grid, Frontier& frontier, F& func, Sync sync,
       if (!frontier.Contains(e.src) || !func.Cond(e.dst)) {
         continue;
       }
-      const float w = weights.empty() ? 1.0f : weights[k];
+      const float w = weighted ? weights[k] : 1.0f;
       bool updated;
       if (owned) {
         updated = func.Update(e.src, e.dst, w);
-      } else if (sync == Sync::kLocks) {
-        SpinlockGuard guard(locks->For(e.dst));
+      } else if (options.sync == Sync::kLocks) {
+        SpinlockGuard guard(options.locks->For(e.dst));
         updated = func.Update(e.src, e.dst, w);
       } else {
         updated = func.UpdateAtomic(e.src, e.dst, w);
@@ -310,15 +508,57 @@ Frontier EdgeMapGrid(const Grid& grid, Frontier& frontier, F& func, Sync sync,
     metrics.edges_relaxed.Add(relaxed);
   };
 
-  if (sync == Sync::kLockFree) {
+  if (options.sync == Sync::kLockFree) {
     // Column ownership: thread processing column j is the only writer of
-    // destination block j.
-    ParallelForChunks(0, blocks, /*grain=*/1, [&](int64_t lo, int64_t hi, int worker) {
-      for (int64_t j = lo; j < hi; ++j) {
-        for (uint32_t i = 0; i < blocks; ++i) {
-          process_cell(i, static_cast<uint32_t>(j), worker, /*owned=*/true);
-        }
+    // destination block j. Schedule heavy columns first.
+    std::vector<uint64_t> column_edges(blocks, 0);
+    ParallelFor(0, static_cast<int64_t>(blocks), [&](int64_t j) {
+      uint64_t sum = 0;
+      for (uint32_t i = 0; i < blocks; ++i) {
+        const size_t c = grid.CellIndex(i, static_cast<uint32_t>(j));
+        sum += cell_offsets[c + 1] - cell_offsets[c];
       }
+      column_edges[static_cast<size_t>(j)] = sum;
+    });
+    std::vector<uint32_t> order(blocks);
+    for (uint32_t j = 0; j < blocks; ++j) {
+      order[j] = j;
+    }
+    std::stable_sort(order.begin(), order.end(), [&column_edges](uint32_t a, uint32_t b) {
+      return column_edges[a] > column_edges[b];
+    });
+    ParallelForChunks(0, static_cast<int64_t>(blocks), /*grain=*/1,
+                      [&](int64_t lo, int64_t hi, int worker) {
+                        for (int64_t idx = lo; idx < hi; ++idx) {
+                          const uint32_t j = order[static_cast<size_t>(idx)];
+                          const uint64_t span_start = obs::TimelineNow();
+                          for (uint32_t i = 0; i < blocks; ++i) {
+                            process_cell(i, j, worker, /*owned=*/true);
+                          }
+                          obs::TimelineEndSpan("engine", "edgemap.chunk", span_start,
+                                               static_cast<int64_t>(column_edges[j]));
+                        }
+                      });
+  } else if (options.balance == Balance::kEdge) {
+    // Row-major cell scan grouped into equal-edge chunks: cell_offsets is
+    // row-major, so it is exactly the cost prefix the partitioner needs.
+    const int64_t num_cells = static_cast<int64_t>(blocks) * blocks;
+    const int64_t num_chunks = BalancedChunkCount(grid.num_edges(), kEdgeMapMinChunkCost);
+    const std::vector<int64_t> bounds =
+        BalancedChunkBoundaries(num_cells, num_chunks, [&cell_offsets](int64_t c) {
+          return cell_offsets[static_cast<size_t>(c)];
+        });
+    ParallelForBalancedChunks(bounds, [&](int64_t lo, int64_t hi, int worker) {
+      const uint64_t span_start = obs::TimelineNow();
+      for (int64_t c = lo; c < hi; ++c) {
+        const uint32_t i = static_cast<uint32_t>(c / blocks);
+        const uint32_t j = static_cast<uint32_t>(c % blocks);
+        process_cell(i, j, worker, /*owned=*/false);
+      }
+      obs::TimelineEndSpan(
+          "engine", "edgemap.chunk", span_start,
+          static_cast<int64_t>(cell_offsets[static_cast<size_t>(hi)] -
+                               cell_offsets[static_cast<size_t>(lo)]));
     });
   } else {
     // Row-major cell scan with synchronized destination updates.
@@ -337,6 +577,50 @@ Frontier EdgeMapGrid(const Grid& grid, Frontier& frontier, F& func, Sync sync,
     total += c;
   }
   return Frontier::FromBitmap(n, std::move(next), total);
+}
+
+// --- Legacy signatures (pre-EdgeMapOptions call sites and tests) -----------
+
+template <typename F>
+Frontier EdgeMapCsrPush(const Csr& out, Frontier& frontier, F& func, Sync sync,
+                        StripedLocks* locks) {
+  EdgeMapOptions options;
+  options.sync = sync;
+  options.locks = locks;
+  return EdgeMapCsrPush(out, frontier, func, options);
+}
+
+template <typename F>
+Frontier EdgeMapCsrPull(const Csr& in, Frontier& frontier, F& func) {
+  return EdgeMapCsrPull(in, frontier, func, EdgeMapOptions{});
+}
+
+template <typename F>
+Frontier EdgeMapCsrPushPull(const Csr& out, const Csr& in, Frontier& frontier, F& func,
+                            Sync push_sync, StripedLocks* locks,
+                            const PushPullConfig& config, bool* used_pull = nullptr) {
+  EdgeMapOptions options;
+  options.sync = push_sync;
+  options.locks = locks;
+  return EdgeMapCsrPushPull(out, in, frontier, func, options, config, used_pull);
+}
+
+template <typename F>
+Frontier EdgeMapEdgeArray(const EdgeList& graph, Frontier& frontier, F& func, Sync sync,
+                          StripedLocks* locks) {
+  EdgeMapOptions options;
+  options.sync = sync;
+  options.locks = locks;
+  return EdgeMapEdgeArray(graph, frontier, func, options);
+}
+
+template <typename F>
+Frontier EdgeMapGrid(const Grid& grid, Frontier& frontier, F& func, Sync sync,
+                     StripedLocks* locks) {
+  EdgeMapOptions options;
+  options.sync = sync;
+  options.locks = locks;
+  return EdgeMapGrid(grid, frontier, func, options);
 }
 
 }  // namespace egraph

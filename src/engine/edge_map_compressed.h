@@ -48,7 +48,8 @@ Frontier EdgeMapCompressedPush(const CompressedCsr& out, Frontier& frontier, F& 
           });
         }
       });
-  return Frontier::FromVector(n, edge_map_internal::ConcatBuffers(buffers));
+  return Frontier::FromVector(
+      n, edge_map_internal::ConcatBuffers(buffers, /*retain_capacity=*/false));
 }
 
 }  // namespace egraph

@@ -74,11 +74,16 @@ void Frontier::EnsureSparse() {
 }
 
 uint64_t Frontier::WorkEstimate(const Csr& out) {
+  if (work_estimate_csr_ == &out) {
+    return work_estimate_;
+  }
   EnsureSparse();
   const uint64_t degree_sum = ParallelReduceSum<uint64_t>(
       0, static_cast<int64_t>(sparse_.size()),
       [this, &out](int64_t i) { return out.Degree(sparse_[static_cast<size_t>(i)]); });
-  return degree_sum + static_cast<uint64_t>(count_);
+  work_estimate_ = degree_sum + static_cast<uint64_t>(count_);
+  work_estimate_csr_ = &out;
+  return work_estimate_;
 }
 
 }  // namespace egraph

@@ -48,7 +48,9 @@ class Frontier {
   const Bitmap& bitmap() const { return dense_; }
 
   // |F| + sum of out-degrees of F: the quantity Ligra's push-pull heuristic
-  // compares against |E| / threshold.
+  // compares against |E| / threshold. The active set never changes after
+  // construction, so the sum is computed once per CSR and cached — push-pull
+  // and the edge-balanced partitioner may both ask within one round.
   uint64_t WorkEstimate(const Csr& out);
 
  private:
@@ -58,6 +60,8 @@ class Frontier {
   bool has_sparse_ = false;
   std::vector<VertexId> sparse_;
   Bitmap dense_;
+  const Csr* work_estimate_csr_ = nullptr;  // cache key for WorkEstimate
+  uint64_t work_estimate_ = 0;
 };
 
 }  // namespace egraph

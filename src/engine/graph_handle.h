@@ -7,6 +7,7 @@
 #include <memory>
 #include <optional>
 
+#include "src/engine/edge_map_scratch.h"
 #include "src/engine/options.h"
 #include "src/graph/edge_list.h"
 #include "src/layout/csr.h"
@@ -72,6 +73,11 @@ class GraphHandle {
   // Shared striped-lock pool for Sync::kLocks execution.
   StripedLocks& locks() { return locks_; }
 
+  // Reusable EdgeMap round scratch (dedup bitmap, per-worker buffers,
+  // partitioner prefix). One EdgeMap call at a time — see the scratch
+  // header's concurrency contract.
+  EdgeMapScratch& edge_map_scratch() { return edge_map_scratch_; }
+
   // Automatic grid dimension for a graph of `num_vertices` (the paper finds
   // 256x256 best at RMAT26/Twitter scale; smaller graphs shrink with it so
   // blocks hold >= ~1k vertices).
@@ -85,6 +91,7 @@ class GraphHandle {
   std::optional<Grid> grid_;
   double preprocess_seconds_ = 0.0;
   StripedLocks locks_{1 << 14};
+  EdgeMapScratch edge_map_scratch_;
 };
 
 }  // namespace egraph

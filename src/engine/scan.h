@@ -4,9 +4,19 @@
 //
 // All scans iterate in chunks so the edges_scanned counter is bumped once per
 // chunk, not per edge — the metrics cost stays off the inner loop.
+//
+// CSR and row-major grid scans take a Balance knob: Balance::kVertex chunks
+// by item count (fixed grain — the historical behaviour, kept as the default
+// of the two-argument overloads), Balance::kEdge chunks by degree/cell cost
+// using the layout's own offsets array as the prefix sum, so hub vertices
+// and dense cells no longer serialize their chunk.
 #ifndef SRC_ENGINE_SCAN_H_
 #define SRC_ENGINE_SCAN_H_
 
+#include <algorithm>
+#include <vector>
+
+#include "src/engine/options.h"
 #include "src/graph/edge_list.h"
 #include "src/layout/csr.h"
 #include "src/layout/grid.h"
@@ -15,6 +25,26 @@
 #include "src/util/parallel.h"
 
 namespace egraph {
+
+namespace scan_internal {
+
+// Vertex-aligned balanced boundaries over a CSR: cost(v) = degree(v) + 1
+// (the +1 keeps long runs of zero-degree vertices from collapsing into one
+// chunk). The offsets array is already the degree prefix sum.
+inline std::vector<int64_t> CsrBalancedBounds(const Csr& csr, int64_t min_chunk_cost) {
+  const int64_t n = static_cast<int64_t>(csr.num_vertices());
+  const auto& offsets = csr.offsets();
+  const uint64_t total = static_cast<uint64_t>(csr.num_edges()) + static_cast<uint64_t>(n);
+  return BalancedChunkBoundaries(n, BalancedChunkCount(total, min_chunk_cost),
+                                 [&offsets](int64_t v) {
+                                   return static_cast<uint64_t>(offsets[static_cast<size_t>(v)]) +
+                                          static_cast<uint64_t>(v);
+                                 });
+}
+
+inline constexpr int64_t kScanMinChunkCost = 2048;
+
+}  // namespace scan_internal
 
 // Edge-centric scan: body(src, dst, weight) for every edge, in parallel.
 // Caller synchronizes destination writes (atomics/locks).
@@ -37,91 +67,153 @@ void ScanEdgeArray(const EdgeList& graph, Body&& body) {
 // Vertex-centric push scan over an out-CSR: body(src, dst, weight); source
 // metadata naturally cached per vertex. Caller synchronizes dst writes.
 template <typename Body>
-void ScanCsrBySource(const Csr& out, Body&& body) {
+void ScanCsrBySource(const Csr& out, Balance balance, Body&& body) {
   obs::TimelineSpan timeline_span("engine", "scan.csr.src",
                                   static_cast<int64_t>(out.num_edges()));
   obs::Counter& scanned = obs::EngineCounters::Get().edges_scanned;
-  ParallelForChunks(0, static_cast<int64_t>(out.num_vertices()), /*grain=*/256,
-                    [&](int64_t lo, int64_t hi, int /*worker*/) {
-                      int64_t local = 0;
-                      for (int64_t v = lo; v < hi; ++v) {
-                        const VertexId src = static_cast<VertexId>(v);
-                        const auto neighbors = out.Neighbors(src);
-                        const auto weights = out.Weights(src);
-                        local += static_cast<int64_t>(neighbors.size());
-                        for (size_t j = 0; j < neighbors.size(); ++j) {
-                          body(src, neighbors[j], weights.empty() ? 1.0f : weights[j]);
-                        }
-                      }
-                      scanned.Add(local);
-                    });
+  auto chunk = [&](int64_t lo, int64_t hi, int /*worker*/) {
+    int64_t local = 0;
+    for (int64_t v = lo; v < hi; ++v) {
+      const VertexId src = static_cast<VertexId>(v);
+      const auto neighbors = out.Neighbors(src);
+      const auto weights = out.Weights(src);
+      local += static_cast<int64_t>(neighbors.size());
+      for (size_t j = 0; j < neighbors.size(); ++j) {
+        body(src, neighbors[j], weights.empty() ? 1.0f : weights[j]);
+      }
+    }
+    scanned.Add(local);
+  };
+  if (balance == Balance::kEdge) {
+    ParallelForBalancedChunks(
+        scan_internal::CsrBalancedBounds(out, scan_internal::kScanMinChunkCost), chunk);
+  } else {
+    ParallelForChunks(0, static_cast<int64_t>(out.num_vertices()), /*grain=*/256, chunk);
+  }
+}
+
+template <typename Body>
+void ScanCsrBySource(const Csr& out, Body&& body) {
+  ScanCsrBySource(out, Balance::kVertex, std::forward<Body>(body));
 }
 
 // Vertex-centric pull scan over an in-CSR: body(dst, in_neighbors, weights)
 // once per destination; dst is written by exactly one thread (lock-free).
 template <typename Body>
-void ScanCsrByDestination(const Csr& in, Body&& body) {
+void ScanCsrByDestination(const Csr& in, Balance balance, Body&& body) {
   obs::TimelineSpan timeline_span("engine", "scan.csr.dst",
                                   static_cast<int64_t>(in.num_edges()));
   obs::Counter& scanned = obs::EngineCounters::Get().edges_scanned;
-  ParallelForChunks(0, static_cast<int64_t>(in.num_vertices()), /*grain=*/256,
-                    [&](int64_t lo, int64_t hi, int /*worker*/) {
-                      int64_t local = 0;
-                      for (int64_t v = lo; v < hi; ++v) {
-                        const VertexId dst = static_cast<VertexId>(v);
-                        local += static_cast<int64_t>(in.Neighbors(dst).size());
-                        body(dst, in.Neighbors(dst), in.Weights(dst));
-                      }
-                      scanned.Add(local);
-                    });
+  auto chunk = [&](int64_t lo, int64_t hi, int /*worker*/) {
+    int64_t local = 0;
+    for (int64_t v = lo; v < hi; ++v) {
+      const VertexId dst = static_cast<VertexId>(v);
+      local += static_cast<int64_t>(in.Neighbors(dst).size());
+      body(dst, in.Neighbors(dst), in.Weights(dst));
+    }
+    scanned.Add(local);
+  };
+  if (balance == Balance::kEdge) {
+    ParallelForBalancedChunks(
+        scan_internal::CsrBalancedBounds(in, scan_internal::kScanMinChunkCost), chunk);
+  } else {
+    ParallelForChunks(0, static_cast<int64_t>(in.num_vertices()), /*grain=*/256, chunk);
+  }
+}
+
+template <typename Body>
+void ScanCsrByDestination(const Csr& in, Body&& body) {
+  ScanCsrByDestination(in, Balance::kVertex, std::forward<Body>(body));
 }
 
 // Grid scan, row-major cells: body(src, dst, weight); best source-block
 // locality; caller synchronizes destination writes.
 template <typename Body>
-void ScanGridRowMajor(const Grid& grid, Body&& body) {
+void ScanGridRowMajor(const Grid& grid, Balance balance, Body&& body) {
   const uint32_t blocks = grid.num_blocks();
   obs::TimelineSpan timeline_span("engine", "scan.grid.rows");
   obs::Counter& scanned = obs::EngineCounters::Get().edges_scanned;
-  ParallelForChunks(0, static_cast<int64_t>(blocks) * blocks, /*grain=*/1,
-                    [&](int64_t lo, int64_t hi, int /*worker*/) {
-                      int64_t local = 0;
-                      for (int64_t c = lo; c < hi; ++c) {
-                        const uint32_t i = static_cast<uint32_t>(c / blocks);
-                        const uint32_t j = static_cast<uint32_t>(c % blocks);
-                        const auto cell = grid.Cell(i, j);
-                        const auto weights = grid.CellWeights(i, j);
-                        local += static_cast<int64_t>(cell.size());
-                        for (size_t k = 0; k < cell.size(); ++k) {
-                          body(cell[k].src, cell[k].dst, weights.empty() ? 1.0f : weights[k]);
-                        }
-                      }
-                      scanned.Add(local);
-                    });
+  auto chunk = [&](int64_t lo, int64_t hi, int /*worker*/) {
+    int64_t local = 0;
+    for (int64_t c = lo; c < hi; ++c) {
+      const uint32_t i = static_cast<uint32_t>(c / blocks);
+      const uint32_t j = static_cast<uint32_t>(c % blocks);
+      const auto cell = grid.Cell(i, j);
+      const auto weights = grid.CellWeights(i, j);
+      local += static_cast<int64_t>(cell.size());
+      for (size_t k = 0; k < cell.size(); ++k) {
+        body(cell[k].src, cell[k].dst, weights.empty() ? 1.0f : weights[k]);
+      }
+    }
+    scanned.Add(local);
+  };
+  if (balance == Balance::kEdge) {
+    // cell_offsets is row-major: exactly the cost prefix the partitioner
+    // wants, no extra scan needed.
+    const auto& cell_offsets = grid.cell_offsets();
+    const int64_t num_cells = static_cast<int64_t>(blocks) * blocks;
+    ParallelForBalancedChunks(
+        BalancedChunkBoundaries(
+            num_cells, BalancedChunkCount(grid.num_edges(), scan_internal::kScanMinChunkCost),
+            [&cell_offsets](int64_t c) { return cell_offsets[static_cast<size_t>(c)]; }),
+        chunk);
+  } else {
+    ParallelForChunks(0, static_cast<int64_t>(blocks) * blocks, /*grain=*/1, chunk);
+  }
+}
+
+template <typename Body>
+void ScanGridRowMajor(const Grid& grid, Body&& body) {
+  ScanGridRowMajor(grid, Balance::kVertex, std::forward<Body>(body));
 }
 
 // Grid scan with column ownership: each thread exclusively owns the
 // destination blocks it processes, so body may write dst state without
 // synchronization (the paper's lock-removal-by-ownership, section 6.1.2).
+// Columns dispatch in descending edge-count order: the pool's round-robin
+// preload of grain-1 items turns that into a static greedy assignment, so
+// the heaviest columns land on distinct workers instead of wherever index
+// order happens to drop them (columns cannot be split — ownership is the
+// point — so this is the only balancing lever available here).
 template <typename Body>
 void ScanGridColumnOwned(const Grid& grid, Body&& body) {
   const uint32_t blocks = grid.num_blocks();
   obs::TimelineSpan timeline_span("engine", "scan.grid.cols");
   obs::Counter& scanned = obs::EngineCounters::Get().edges_scanned;
-  ParallelForChunks(0, blocks, /*grain=*/1, [&](int64_t lo, int64_t hi, int /*worker*/) {
-    int64_t local = 0;
-    for (int64_t j = lo; j < hi; ++j) {
-      for (uint32_t i = 0; i < blocks; ++i) {
-        const auto cell = grid.Cell(i, static_cast<uint32_t>(j));
-        const auto weights = grid.CellWeights(i, static_cast<uint32_t>(j));
-        local += static_cast<int64_t>(cell.size());
-        for (size_t k = 0; k < cell.size(); ++k) {
-          body(cell[k].src, cell[k].dst, weights.empty() ? 1.0f : weights[k]);
-        }
-      }
+  const auto& cell_offsets = grid.cell_offsets();
+  std::vector<uint64_t> column_edges(blocks, 0);
+  ParallelFor(0, static_cast<int64_t>(blocks), [&](int64_t j) {
+    uint64_t sum = 0;
+    for (uint32_t i = 0; i < blocks; ++i) {
+      const size_t c = grid.CellIndex(i, static_cast<uint32_t>(j));
+      sum += cell_offsets[c + 1] - cell_offsets[c];
     }
-    scanned.Add(local);
+    column_edges[static_cast<size_t>(j)] = sum;
   });
+  std::vector<uint32_t> order(blocks);
+  for (uint32_t j = 0; j < blocks; ++j) {
+    order[j] = j;
+  }
+  std::stable_sort(order.begin(), order.end(), [&column_edges](uint32_t a, uint32_t b) {
+    return column_edges[a] > column_edges[b];
+  });
+  ParallelForChunks(0, static_cast<int64_t>(blocks), /*grain=*/1,
+                    [&](int64_t lo, int64_t hi, int /*worker*/) {
+                      int64_t local = 0;
+                      for (int64_t idx = lo; idx < hi; ++idx) {
+                        const uint32_t j = order[static_cast<size_t>(idx)];
+                        for (uint32_t i = 0; i < blocks; ++i) {
+                          const auto cell = grid.Cell(i, j);
+                          const auto weights = grid.CellWeights(i, j);
+                          local += static_cast<int64_t>(cell.size());
+                          for (size_t k = 0; k < cell.size(); ++k) {
+                            body(cell[k].src, cell[k].dst,
+                                 weights.empty() ? 1.0f : weights[k]);
+                          }
+                        }
+                      }
+                      scanned.Add(local);
+                    });
 }
 
 // Parallel map over all vertices: body(v).

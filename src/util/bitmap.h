@@ -27,6 +27,16 @@ class Bitmap {
            1ULL;
   }
 
+  // Raw 64-bit word (bits [word_index*64, word_index*64+64)). Lets read-only
+  // scans batch membership tests: load the word once, test bits with plain
+  // shifts while consecutive queries stay inside it (sorted adjacency lists
+  // make that the common case in pull mode).
+  uint64_t Word(int64_t word_index) const {
+    return words_[static_cast<size_t>(word_index)].load(std::memory_order_relaxed);
+  }
+
+  int64_t num_words() const { return static_cast<int64_t>(words_.size()); }
+
   // Non-atomic set; safe when each bit is written by at most one thread or
   // races are benign (idempotent sets use SetAtomic instead).
   void Set(int64_t index) {

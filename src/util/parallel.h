@@ -1,9 +1,11 @@
 // Parallel primitives built on the work-stealing pool: element-wise loops,
-// reductions and prefix sums. These are the building blocks of every layout
-// builder (count sort needs a parallel exclusive scan) and of the engine.
+// reductions, prefix sums, and cost-balanced chunking. These are the building
+// blocks of every layout builder (count sort needs a parallel exclusive scan)
+// and of the engine.
 #ifndef SRC_UTIL_PARALLEL_H_
 #define SRC_UTIL_PARALLEL_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -87,6 +89,115 @@ T ParallelReduceMax(int64_t begin, int64_t end, T init, Body&& body) {
     }
   }
   return best;
+}
+
+template <typename T>
+T ParallelExclusiveScan(std::vector<T>& values);
+
+// --- Cost-balanced chunking -------------------------------------------------
+//
+// Fixed-grain chunking splits an index range into equal *counts* of items;
+// on skewed per-item costs (power-law degrees) one chunk can hold almost all
+// of the work and serialize the loop. The helpers below split by equal
+// *cost* instead: a parallel prefix sum over per-item costs turns balancing
+// into binary searches for the chunk boundaries, and the chunks then ride
+// the work-stealing pool as single work items (grain=1) so a straggler can
+// still be stolen around.
+
+// Chunks per worker for a balanced dispatch: enough granularity for the
+// stealing to smooth residual imbalance without drowning in dispatch cost.
+inline constexpr int64_t kBalancedChunksPerWorker = 8;
+
+// Number of chunks for `total_cost` units of work: aims at
+// kBalancedChunksPerWorker chunks per pool worker but never lets a chunk
+// fall under `min_chunk_cost` (tiny frontiers should not shatter into
+// per-item dispatches). Always >= 1.
+inline int64_t BalancedChunkCount(uint64_t total_cost, int64_t min_chunk_cost) {
+  const int64_t max_chunks =
+      static_cast<int64_t>(ThreadPool::Get().num_threads()) * kBalancedChunksPerWorker;
+  if (min_chunk_cost < 1) {
+    min_chunk_cost = 1;
+  }
+  const int64_t by_cost =
+      static_cast<int64_t>(total_cost / static_cast<uint64_t>(min_chunk_cost));
+  return std::max<int64_t>(1, std::min(max_chunks, by_cost));
+}
+
+// Item-aligned balanced chunk boundaries. `pos(i)` must be the monotonically
+// non-decreasing cumulative cost before item i, with pos(0) == 0 and
+// pos(n) == total cost (an exclusive prefix sum with a total sentinel — a
+// CSR offsets array is exactly this shape). Returns num_chunks + 1
+// boundaries b with b[0] == 0 and b[num_chunks] == n; chunk c covers items
+// [b[c], b[c+1]) and carries ~total/num_chunks cost (exactly, up to the
+// granularity of a single item: an item is never split). Boundary c is the
+// first item whose cumulative cost reaches c * ceil(total/num_chunks),
+// found by binary search.
+template <typename Pos>
+std::vector<int64_t> BalancedChunkBoundaries(int64_t n, int64_t num_chunks, Pos&& pos) {
+  if (num_chunks < 1) {
+    num_chunks = 1;
+  }
+  std::vector<int64_t> bounds(static_cast<size_t>(num_chunks) + 1, 0);
+  bounds[static_cast<size_t>(num_chunks)] = n;
+  const uint64_t total = static_cast<uint64_t>(pos(n));
+  const uint64_t target =
+      (total + static_cast<uint64_t>(num_chunks) - 1) / static_cast<uint64_t>(num_chunks);
+  for (int64_t c = 1; c < num_chunks; ++c) {
+    const uint64_t want = static_cast<uint64_t>(c) * target;
+    // First i with pos(i) >= want; starts at the previous boundary so the
+    // boundaries are non-decreasing even on plateaus of zero-cost items.
+    int64_t lo = bounds[static_cast<size_t>(c) - 1];
+    int64_t hi = n;
+    while (lo < hi) {
+      const int64_t mid = lo + (hi - lo) / 2;
+      if (static_cast<uint64_t>(pos(mid)) < want) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    bounds[static_cast<size_t>(c)] = lo;
+  }
+  return bounds;
+}
+
+// Dispatches pre-computed chunk boundaries on the pool, one chunk per work
+// item. body(chunk_begin, chunk_end, worker_id); empty chunks are skipped.
+template <typename Body>
+void ParallelForBalancedChunks(const std::vector<int64_t>& bounds, Body&& body) {
+  const int64_t num_chunks = static_cast<int64_t>(bounds.size()) - 1;
+  ThreadPool::Get().ParallelForChunks(
+      0, num_chunks, /*grain=*/1, [&bounds, &body](int64_t lo, int64_t hi, int worker) {
+        for (int64_t c = lo; c < hi; ++c) {
+          const int64_t begin = bounds[static_cast<size_t>(c)];
+          const int64_t end = bounds[static_cast<size_t>(c) + 1];
+          if (begin < end) {
+            body(begin, end, worker);
+          }
+        }
+      });
+}
+
+// Cost-balanced parallel loop: calls body(chunk_begin, chunk_end, worker_id)
+// over [0, n) with chunk boundaries chosen so every chunk carries roughly
+// equal total cost(i) (item-aligned; single items are never split). Builds
+// the cost prefix with the parallel exclusive scan, finds boundaries by
+// binary search, and dispatches chunks as stealable grain-1 work items.
+// `min_chunk_cost` bounds the dispatch overhead on small inputs.
+template <typename Cost, typename Body>
+void ParallelForEdgeBalanced(int64_t n, int64_t min_chunk_cost, Cost&& cost, Body&& body) {
+  if (n <= 0) {
+    return;
+  }
+  std::vector<uint64_t> prefix(static_cast<size_t>(n));
+  ParallelFor(0, n, [&prefix, &cost](int64_t i) {
+    prefix[static_cast<size_t>(i)] = static_cast<uint64_t>(cost(i));
+  });
+  const uint64_t total = ParallelExclusiveScan(prefix);
+  const std::vector<int64_t> bounds = BalancedChunkBoundaries(
+      n, BalancedChunkCount(total, min_chunk_cost),
+      [&prefix, n, total](int64_t i) { return i < n ? prefix[static_cast<size_t>(i)] : total; });
+  ParallelForBalancedChunks(bounds, body);
 }
 
 // In-place parallel exclusive prefix sum over `values`; returns the grand

@@ -2,9 +2,12 @@
 //   layout {adjacency, edge-array, grid}
 //     x direction {push, pull, push-pull}
 //     x sync {atomics, locks}
-// = 18 cells, each run for BFS, WCC, SSSP and Pagerank on three seeded graph
+//     x balance {vertex, edge}
+// = 36 cells, each run for BFS, WCC, SSSP and Pagerank on four seeded graph
 // families (power-law R-MAT, high-diameter road lattice, uniform
-// Erdős–Rényi) and checked against the sequential references.
+// Erdős–Rényi, and a mega-hub star that forces the edge-balanced
+// partitioner to split one adjacency list across chunks) and checked
+// against the sequential references.
 //
 // Every cell executes — none of the 18 combinations is rejected by the
 // engine. Two parameters are no-ops by design and are exercised anyway:
@@ -92,6 +95,22 @@ std::vector<TestGraph>* BuildGraphs() {
   er.num_edges = 1 << 13;
   er.seed = 13;
   graphs->push_back(MakeTestGraph("uniform", GenerateErdosRenyi(er)));
+
+  // Star with a mega hub: one vertex holds ~all edges, so any fixed vertex
+  // grain puts the whole graph into one chunk. A short chain off the first
+  // leaves keeps BFS multi-round.
+  {
+    const VertexId leaves = (1 << 12) + 3;
+    EdgeList star(leaves + 1, {});
+    star.Reserve(static_cast<EdgeIndex>(leaves) + 64);
+    for (VertexId v = 1; v <= leaves; ++v) {
+      star.AddEdge(0, v);
+    }
+    for (VertexId v = 1; v <= 64; ++v) {
+      star.AddEdge(v, v + 1);
+    }
+    graphs->push_back(MakeTestGraph("star", std::move(star)));
+  }
   return graphs;
 }
 
@@ -123,7 +142,7 @@ void ExpectBfsAgreesWithReference(const TestGraph& g, const std::vector<VertexId
   }
 }
 
-using Cell = std::tuple<Layout, Direction, Sync>;
+using Cell = std::tuple<Layout, Direction, Sync, Balance>;
 
 class DifferentialTest : public ::testing::TestWithParam<Cell> {
  protected:
@@ -132,20 +151,20 @@ class DifferentialTest : public ::testing::TestWithParam<Cell> {
       graphs_ = BuildGraphs();
     }
   }
-  // Graphs (and their reference solutions) are shared across all 18 cells;
+  // Graphs (and their reference solutions) are shared across all 36 cells;
   // intentionally leaked so TearDown order doesn't matter.
   static std::vector<TestGraph>* graphs_;
 
   static RunConfig Config() {
     RunConfig config;
-    std::tie(config.layout, config.direction, config.sync) = GetParam();
+    std::tie(config.layout, config.direction, config.sync, config.balance) = GetParam();
     return config;
   }
 
   static std::string CellName() {
     const RunConfig c = Config();
     return std::string(LayoutName(c.layout)) + "/" + DirectionName(c.direction) + "/" +
-           SyncName(c.sync);
+           SyncName(c.sync) + "/" + BalanceName(c.balance);
   }
 };
 
@@ -214,11 +233,13 @@ INSTANTIATE_TEST_SUITE_P(
                                          Layout::kGrid),
                        ::testing::Values(Direction::kPush, Direction::kPull,
                                          Direction::kPushPull),
-                       ::testing::Values(Sync::kAtomics, Sync::kLocks)),
+                       ::testing::Values(Sync::kAtomics, Sync::kLocks),
+                       ::testing::Values(Balance::kVertex, Balance::kEdge)),
     [](const ::testing::TestParamInfo<Cell>& info) {
       std::string name = std::string(LayoutName(std::get<0>(info.param))) + "_" +
                          DirectionName(std::get<1>(info.param)) + "_" +
-                         SyncName(std::get<2>(info.param));
+                         SyncName(std::get<2>(info.param)) + "_" +
+                         BalanceName(std::get<3>(info.param));
       for (char& c : name) {
         if (c == '-') {
           c = '_';

@@ -2,6 +2,7 @@
 // primitives, bitmap, RNG, spinlocks and atomics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 #include <set>
@@ -181,6 +182,94 @@ TEST(ParallelScan, MatchesSerialExclusiveScan) {
     EXPECT_EQ(total, running) << "n=" << n;
     EXPECT_EQ(got, expected) << "n=" << n;
   }
+}
+
+TEST(BalancedChunks, BoundariesMatchSerialReference) {
+  for (const int64_t n : {1, 7, 100, 4096}) {
+    std::vector<uint64_t> cost(static_cast<size_t>(n));
+    uint64_t seed = 42 + static_cast<uint64_t>(n);
+    for (auto& c : cost) {
+      c = SplitMix64(seed) % 50;  // zeros included: plateau coverage
+    }
+    std::vector<uint64_t> prefix(static_cast<size_t>(n) + 1, 0);
+    for (int64_t i = 0; i < n; ++i) {
+      prefix[static_cast<size_t>(i) + 1] = prefix[static_cast<size_t>(i)] + cost[static_cast<size_t>(i)];
+    }
+    const uint64_t total = prefix[static_cast<size_t>(n)];
+    for (const int64_t chunks : {1, 2, 3, 8, 64}) {
+      const std::vector<int64_t> bounds = BalancedChunkBoundaries(
+          n, chunks, [&prefix](int64_t i) { return prefix[static_cast<size_t>(i)]; });
+      ASSERT_EQ(static_cast<int64_t>(bounds.size()), chunks + 1);
+      EXPECT_EQ(bounds.front(), 0);
+      EXPECT_EQ(bounds.back(), n);
+      const uint64_t target = (total + static_cast<uint64_t>(chunks) - 1) /
+                              static_cast<uint64_t>(chunks);
+      for (int64_t c = 1; c < chunks; ++c) {
+        EXPECT_LE(bounds[static_cast<size_t>(c) - 1], bounds[static_cast<size_t>(c)]);
+        // Serial reference: first index at or past the previous boundary
+        // whose cumulative cost reaches the chunk's start target.
+        int64_t expected = bounds[static_cast<size_t>(c) - 1];
+        while (expected < n &&
+               prefix[static_cast<size_t>(expected)] < static_cast<uint64_t>(c) * target) {
+          ++expected;
+        }
+        EXPECT_EQ(bounds[static_cast<size_t>(c)], expected)
+            << "n=" << n << " chunks=" << chunks << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(BalancedChunks, ChunkCountClampedToWorkersAndMinCost) {
+  EXPECT_EQ(BalancedChunkCount(0, 1024), 1);
+  EXPECT_EQ(BalancedChunkCount(100, 1024), 1);
+  EXPECT_EQ(BalancedChunkCount(4096, 1024), std::min<int64_t>(
+      4, ThreadPool::Get().num_threads() * kBalancedChunksPerWorker));
+  EXPECT_LE(BalancedChunkCount(uint64_t{1} << 40, 1),
+            ThreadPool::Get().num_threads() * kBalancedChunksPerWorker);
+}
+
+TEST(BalancedChunks, EdgeBalancedLoopCoversRangeExactlyOnce) {
+  const int64_t n = 5000;
+  std::vector<uint64_t> cost(static_cast<size_t>(n));
+  uint64_t seed = 7;
+  for (auto& c : cost) {
+    c = SplitMix64(seed) % 8;  // mostly tiny, many zeros
+  }
+  cost[1234] = uint64_t{1} << 20;  // mega item dwarfing everything else
+  std::vector<std::atomic<int>> hits(static_cast<size_t>(n));
+  ParallelForEdgeBalanced(
+      n, /*min_chunk_cost=*/1024,
+      [&cost](int64_t i) { return cost[static_cast<size_t>(i)]; },
+      [&hits](int64_t lo, int64_t hi, int /*worker*/) {
+        for (int64_t i = lo; i < hi; ++i) {
+          hits[static_cast<size_t>(i)].fetch_add(1);
+        }
+      });
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "i=" << i;
+  }
+}
+
+TEST(BalancedChunks, AllZeroCostsStillCoverEveryItem) {
+  const int64_t n = 300;
+  std::vector<std::atomic<int>> hits(static_cast<size_t>(n));
+  ParallelForEdgeBalanced(n, 1024, [](int64_t) { return 0; },
+                          [&hits](int64_t lo, int64_t hi, int /*worker*/) {
+                            for (int64_t i = lo; i < hi; ++i) {
+                              hits[static_cast<size_t>(i)].fetch_add(1);
+                            }
+                          });
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "i=" << i;
+  }
+}
+
+TEST(BalancedChunks, EmptyRangeIsNoop) {
+  std::atomic<int> calls{0};
+  ParallelForEdgeBalanced(0, 1024, [](int64_t) { return 1; },
+                          [&calls](int64_t, int64_t, int) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
 }
 
 TEST(Bitmap, SetGetCount) {

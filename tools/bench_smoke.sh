@@ -10,6 +10,10 @@
 # Usage: tools/bench_smoke.sh [bench_binary] [scale]
 #   bench_binary  path to a bench executable (default build/bench/bench_fig08_pagerank_sync)
 #   scale         EG_SCALE for the run (default 10)
+#
+# ctest registers this twice: bench_json_smoke (pagerank sync sweep) and
+# bench_balance_smoke (vertex- vs edge-balanced ablation, which also proves
+# the per-chunk timeline spans and imbalance summary survive the pipeline).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"

@@ -7,6 +7,7 @@
 //   run       --algo=bfs|wcc|sssp|pagerank|spmv|kcore|triangles
 //             [--layout=adjacency|edge-array|grid]
 //             [--direction=push|pull|push-pull] [--sync=atomics|locks|lock-free]
+//             [--balance=vertex|edge]
 //             [--method=radix|count|dynamic] [--source=V] [--iterations=N]
 //             [--loader=sequential|pipelined] [--medium=memory|ssd|hdd]
 //             [--chunk-mb=N]
@@ -95,6 +96,16 @@ Sync ParseSync(const std::string& name) {
     return Sync::kLockFree;
   }
   throw std::runtime_error("unknown sync: " + name);
+}
+
+Balance ParseBalance(const std::string& name) {
+  if (name == "vertex") {
+    return Balance::kVertex;
+  }
+  if (name == "edge") {
+    return Balance::kEdge;
+  }
+  throw std::runtime_error("unknown balance: " + name);
 }
 
 BuildMethod ParseMethod(const std::string& name) {
@@ -244,6 +255,7 @@ int CmdRun(const Flags& flags) {
   config.layout = ParseLayout(flags.GetString("layout", "adjacency"));
   config.direction = ParseDirection(flags.GetString("direction", "push"));
   config.sync = ParseSync(flags.GetString("sync", "atomics"));
+  config.balance = ParseBalance(flags.GetString("balance", "edge"));
   config.method = ParseMethod(flags.GetString("method", "radix"));
 
   // --loader routes binary input through the overlapped load→build pipeline
