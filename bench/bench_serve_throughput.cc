@@ -1,0 +1,134 @@
+// Serving throughput: queries/second of a QuerySession over one frozen
+// Twitter-proxy R-MAT handle, as session concurrency grows 1 -> 2 -> 4.
+// Each worker owns a private ExecutionContext (its own 1-thread pool, trace
+// sink and scratch), so concurrent queries never touch the process-wide
+// pool's region lock and never share mutable state; with >= 4 hardware
+// threads, throughput should rise monotonically with concurrency. On
+// smaller machines the cells are still recorded (the regression gate tracks
+// per-batch wall time), but the monotonicity check is skipped — a 1-core
+// box time-slices the workers and the ordering is noise.
+//
+// The bench double-checks correctness while it measures: every concurrency
+// level must reproduce the checksums of the concurrency-1 run (BFS reached
+// sets and SSSP distances are deterministic; see query_session.cc).
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/engine/graph_handle.h"
+#include "src/serve/query_session.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace egraph;
+  using namespace egraph::bench;
+  PrintBanner("Serve throughput: concurrent QuerySessions on one frozen handle",
+              "qps rises with session concurrency 1 -> 4 (needs >= 4 hardware "
+              "threads); checksums identical at every concurrency",
+              "twitter-proxy rmat at EG_SCALE");
+
+  EdgeList graph = Twitter();
+  graph.AssignRandomWeights(0.1f, 1.0f, 1234);
+  const std::string dataset = "twitter-" + std::to_string(Scale());
+  const VertexId good = GoodSource(graph);
+  const VertexId n = graph.num_vertices();
+  GraphHandle handle(std::move(graph));
+
+  // The query mix: BFS and SSSP from a spread of sources (the good source
+  // plus deterministic pseudo-random others). Sources, counts and configs
+  // are identical across concurrency levels so the batches are comparable.
+  RunConfig config;
+  config.layout = Layout::kAdjacency;
+  config.direction = Direction::kPush;
+  std::vector<serve::ServeQuery> queries;
+  uint64_t state = 42;
+  for (int i = 0; i < 24; ++i) {
+    serve::ServeQuery query;
+    query.id = i;
+    query.kind = (i % 3 == 2) ? serve::QueryKind::kSssp : serve::QueryKind::kBfs;
+    query.source = (i % 4 == 0) ? good : static_cast<VertexId>(SplitMix64(state) % n);
+    query.config = config;
+    queries.push_back(query);
+  }
+
+  // Build the out-CSR before the measured batches so every cell times pure
+  // query execution.
+  PrepareForRun(handle, config);
+  handle.Freeze();
+
+  constexpr int kReps = 3;
+  const int kConcurrency[] = {1, 2, 4};
+  std::vector<serve::ServeResult> reference;
+  std::vector<double> qps_by_level;
+  bool checksums_match = true;
+
+  Table table({"concurrency", "dataset", "batch wall", "queries/s", "checksums"});
+  for (const int concurrency : kConcurrency) {
+    double last_wall = 0.0;
+    double last_qps = 0.0;
+    bool level_match = true;
+    for (int rep = 0; rep < kReps; ++rep) {
+      serve::QuerySessionOptions options;
+      options.concurrency = concurrency;
+      options.threads_per_query = 1;
+      options.queue_capacity = queries.size();
+      serve::QuerySession session(handle, options);
+      for (const serve::ServeQuery& query : queries) {
+        if (!session.Submit(query)) {
+          std::fprintf(stderr, "serve bench: submission rejected unexpectedly\n");
+          return 1;
+        }
+      }
+      const std::vector<serve::ServeResult> results = session.Drain();
+      if (results.size() != queries.size()) {
+        std::fprintf(stderr, "serve bench: %zu/%zu queries completed\n",
+                     results.size(), queries.size());
+        return 1;
+      }
+      if (reference.empty()) {
+        reference = results;
+      } else {
+        for (size_t i = 0; i < results.size(); ++i) {
+          level_match &= results[i].checksum == reference[i].checksum;
+        }
+      }
+      last_wall = session.stats().wall_seconds;
+      last_qps = session.stats().qps;
+      RecordResult("serve batch c" + std::to_string(concurrency), last_wall, dataset);
+    }
+    checksums_match &= level_match;
+    qps_by_level.push_back(last_qps);
+    char wall[32], qps[32];
+    std::snprintf(wall, sizeof(wall), "%.4fs", last_wall);
+    std::snprintf(qps, sizeof(qps), "%.1f", last_qps);
+    table.AddRow({std::to_string(concurrency), dataset, wall, qps,
+                  level_match ? "match" : "MISMATCH"});
+  }
+  table.Print("serve throughput (24-query batch: 16 bfs + 8 sssp)");
+
+  if (!checksums_match) {
+    std::fprintf(stderr,
+                 "serve bench: FAIL - concurrent results diverge from the "
+                 "concurrency-1 reference\n");
+    return 1;
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw >= 4) {
+    if (qps_by_level.back() <= qps_by_level.front()) {
+      std::fprintf(stderr,
+                   "serve bench: FAIL - qps did not rise with concurrency "
+                   "(c1 %.1f -> c4 %.1f) on %u hardware threads\n",
+                   qps_by_level.front(), qps_by_level.back(), hw);
+      return 1;
+    }
+    std::printf("scaling: qps %.1f (c1) -> %.1f (c4), %u hardware threads\n",
+                qps_by_level.front(), qps_by_level.back(), hw);
+  } else {
+    std::printf("scaling check skipped: %u hardware thread(s) < 4\n", hw);
+  }
+  return 0;
+}

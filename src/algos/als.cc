@@ -51,7 +51,8 @@ void SolveVertex(std::span<const VertexId> neighbors, std::span<const float> rat
 }  // namespace
 
 AlsResult RunAls(GraphHandle& handle, uint32_t num_users, const AlsOptions& options,
-                 const RunConfig& config) {
+                 const RunConfig& config, ExecutionContext& ctx) {
+  ExecutionContext::Scope exec_scope(ctx);
   // ALS alternates over both sides: it always needs both CSR directions.
   RunConfig als_config = config;
   als_config.layout = Layout::kAdjacency;

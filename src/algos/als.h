@@ -37,7 +37,8 @@ struct AlsResult {
 // pre-processing regardless of config.layout (kept for API uniformity;
 // sync/direction fields are ignored — each factor solve owns its vertex).
 AlsResult RunAls(GraphHandle& handle, uint32_t num_users, const AlsOptions& options,
-                 const RunConfig& config);
+                 const RunConfig& config,
+                 ExecutionContext& ctx = ExecutionContext::Default());
 
 }  // namespace egraph
 

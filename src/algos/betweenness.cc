@@ -13,7 +13,8 @@
 namespace egraph {
 
 BcResult RunBetweenness(GraphHandle& handle, std::span<const VertexId> sources,
-                        const RunConfig& config) {
+                        const RunConfig& config, ExecutionContext& ctx) {
+  ExecutionContext::Scope exec_scope(ctx);
   RunConfig bc_config = config;
   bc_config.layout = Layout::kAdjacency;
   bc_config.direction = Direction::kPush;
@@ -26,7 +27,7 @@ BcResult RunBetweenness(GraphHandle& handle, std::span<const VertexId> sources,
     return result;
   }
   const Csr& out = handle.out_csr();
-  const int workers = ThreadPool::Get().num_threads();
+  const int workers = ThreadPool::Current().num_threads();
 
   Timer total;
   std::vector<uint32_t> level(n);

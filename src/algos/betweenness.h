@@ -23,7 +23,8 @@ struct BcResult {
 // Runs Brandes from each source in turn (each source's BFS and back-sweep
 // are internally parallel). Uses the out-CSR.
 BcResult RunBetweenness(GraphHandle& handle, std::span<const VertexId> sources,
-                        const RunConfig& config);
+                        const RunConfig& config,
+                        ExecutionContext& ctx = ExecutionContext::Default());
 
 // Sequential reference (textbook Brandes) for tests.
 std::vector<double> RefBetweenness(const EdgeList& graph,

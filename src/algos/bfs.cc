@@ -32,7 +32,9 @@ struct BfsFunctor {
 
 }  // namespace
 
-BfsResult RunBfs(GraphHandle& handle, VertexId source, const RunConfig& config) {
+BfsResult RunBfs(GraphHandle& handle, VertexId source, const RunConfig& config,
+                 ExecutionContext& ctx) {
+  ExecutionContext::Scope exec_scope(ctx);
   PrepareForRun(handle, config);
   BfsResult result;
   const VertexId n = handle.num_vertices();
@@ -52,7 +54,7 @@ BfsResult RunBfs(GraphHandle& handle, VertexId source, const RunConfig& config) 
   edge_map.sync = config.sync;
   edge_map.balance = config.balance;
   edge_map.locks = &handle.locks();
-  edge_map.scratch = &handle.edge_map_scratch();
+  edge_map.scratch = &ctx.edge_map_scratch();
 
   while (!frontier.Empty()) {
     Timer iteration;

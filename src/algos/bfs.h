@@ -21,7 +21,8 @@ struct BfsResult {
 // Runs BFS under the configuration's layout / direction / sync. Supported
 // combinations: adjacency x {push, pull, push-pull}, edge array (full scans),
 // grid x {locks, atomics, lock-free ownership}.
-BfsResult RunBfs(GraphHandle& handle, VertexId source, const RunConfig& config);
+BfsResult RunBfs(GraphHandle& handle, VertexId source, const RunConfig& config,
+                 ExecutionContext& ctx = ExecutionContext::Default());
 
 }  // namespace egraph
 

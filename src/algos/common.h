@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/engine/execution_context.h"
 #include "src/engine/graph_handle.h"
 #include "src/engine/options.h"
 #include "src/obs/trace.h"
@@ -44,7 +45,15 @@ struct AlgoStats {
 // Builds the layouts `config` needs on `handle` (cost lands in
 // handle.preprocess_seconds()). Called by every Run* entry point so that a
 // bare handle works out of the box; benches typically Prepare explicitly
-// first to control and measure the method.
+// first to control and measure the method. Thread-safe against a frozen
+// handle: concurrent callers needing the same layout pay one build between
+// them (GraphHandle's per-layout call_once).
+//
+// Every Run* entry point additionally takes an ExecutionContext& (defaulted
+// to ExecutionContext::Default(), so existing call sites are unchanged) and
+// opens a context Scope for its duration: the run's parallel loops execute
+// on the context's pool, its trace lands in the context's sink, and its
+// EdgeMap rounds reuse the context's scratch.
 void PrepareForRun(GraphHandle& handle, const RunConfig& config);
 
 }  // namespace egraph

@@ -12,7 +12,8 @@ namespace egraph {
 
 SsspResult RunSsspDeltaStepping(GraphHandle& handle, VertexId source,
                                 const DeltaSteppingOptions& options,
-                                const RunConfig& config) {
+                                const RunConfig& config, ExecutionContext& ctx) {
+  ExecutionContext::Scope exec_scope(ctx);
   RunConfig ds_config = config;
   ds_config.layout = Layout::kAdjacency;
   ds_config.direction = Direction::kPush;
@@ -45,7 +46,7 @@ SsspResult RunSsspDeltaStepping(GraphHandle& handle, VertexId source,
 
   float* dist = result.dist.data();
   dist[source] = 0.0f;
-  const int workers = ThreadPool::Get().num_threads();
+  const int workers = ThreadPool::Current().num_threads();
 
   // Relaxes `frontier`'s edges selected by `take_edge`; returns vertices
   // whose distance improved (deduplicated per round).

@@ -19,7 +19,8 @@ struct DeltaSteppingOptions {
 // Runs delta-stepping over the out-CSR (built on demand). Returns the same
 // result type as RunSssp; stats.iterations counts processed buckets.
 SsspResult RunSsspDeltaStepping(GraphHandle& handle, VertexId source,
-                                const DeltaSteppingOptions& options, const RunConfig& config);
+                                const DeltaSteppingOptions& options, const RunConfig& config,
+                                ExecutionContext& ctx = ExecutionContext::Default());
 
 }  // namespace egraph
 

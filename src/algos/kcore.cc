@@ -8,7 +8,8 @@
 
 namespace egraph {
 
-KcoreResult RunKcore(GraphHandle& handle, const RunConfig& config) {
+KcoreResult RunKcore(GraphHandle& handle, const RunConfig& config, ExecutionContext& ctx) {
+  ExecutionContext::Scope exec_scope(ctx);
   RunConfig kcore_config = config;
   kcore_config.layout = Layout::kAdjacency;
   kcore_config.direction = Direction::kPush;  // needs the out-CSR
@@ -32,7 +33,7 @@ KcoreResult RunKcore(GraphHandle& handle, const RunConfig& config) {
     bool peeled_any = false;
     do {
       Timer iteration;
-      const int workers = ThreadPool::Get().num_threads();
+      const int workers = ThreadPool::Current().num_threads();
       std::vector<std::vector<VertexId>> buffers(static_cast<size_t>(workers));
       ParallelForChunks(0, static_cast<int64_t>(n), /*grain=*/512,
                         [&](int64_t lo, int64_t hi, int worker) {

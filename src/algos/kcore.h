@@ -21,7 +21,8 @@ struct KcoreResult {
 // Computes core numbers over the *undirected* view of the handle's graph:
 // the handle must hold a symmetrized edge list (EdgeList::MakeUndirected),
 // like WCC on adjacency lists. Runs on the out-CSR.
-KcoreResult RunKcore(GraphHandle& handle, const RunConfig& config);
+KcoreResult RunKcore(GraphHandle& handle, const RunConfig& config,
+                     ExecutionContext& ctx = ExecutionContext::Default());
 
 // Sequential reference (bucket peeling) for tests. Expects the same
 // symmetrized input.

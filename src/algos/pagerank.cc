@@ -12,7 +12,8 @@
 namespace egraph {
 
 PagerankResult RunPagerank(GraphHandle& handle, const PagerankOptions& options,
-                           const RunConfig& config) {
+                           const RunConfig& config, ExecutionContext& ctx) {
+  ExecutionContext::Scope exec_scope(ctx);
   PrepareForRun(handle, config);
   PagerankResult result;
   const VertexId n = handle.num_vertices();

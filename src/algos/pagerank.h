@@ -26,7 +26,8 @@ struct PagerankResult {
 // (lock-free), edge array (locks/atomics), grid row-major (locks/atomics),
 // grid column-owned (lock-free).
 PagerankResult RunPagerank(GraphHandle& handle, const PagerankOptions& options,
-                           const RunConfig& config);
+                           const RunConfig& config,
+                           ExecutionContext& ctx = ExecutionContext::Default());
 
 }  // namespace egraph
 

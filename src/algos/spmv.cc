@@ -7,7 +7,9 @@
 
 namespace egraph {
 
-SpmvResult RunSpmv(GraphHandle& handle, const std::vector<float>& x, const RunConfig& config) {
+SpmvResult RunSpmv(GraphHandle& handle, const std::vector<float>& x, const RunConfig& config,
+                   ExecutionContext& ctx) {
+  ExecutionContext::Scope exec_scope(ctx);
   PrepareForRun(handle, config);
   SpmvResult result;
   const VertexId n = handle.num_vertices();

@@ -18,7 +18,8 @@ struct SpmvResult {
 
 // Computes y[dst] = sum over edges (src -> dst) of weight * x[src].
 // `x` must have num_vertices entries.
-SpmvResult RunSpmv(GraphHandle& handle, const std::vector<float>& x, const RunConfig& config);
+SpmvResult RunSpmv(GraphHandle& handle, const std::vector<float>& x, const RunConfig& config,
+                   ExecutionContext& ctx = ExecutionContext::Default());
 
 }  // namespace egraph
 

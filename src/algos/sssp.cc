@@ -35,7 +35,9 @@ struct SsspFunctor {
 
 }  // namespace
 
-SsspResult RunSssp(GraphHandle& handle, VertexId source, const RunConfig& config) {
+SsspResult RunSssp(GraphHandle& handle, VertexId source, const RunConfig& config,
+                   ExecutionContext& ctx) {
+  ExecutionContext::Scope exec_scope(ctx);
   PrepareForRun(handle, config);
   SsspResult result;
   const VertexId n = handle.num_vertices();
@@ -55,7 +57,7 @@ SsspResult RunSssp(GraphHandle& handle, VertexId source, const RunConfig& config
   edge_map.sync = config.sync;
   edge_map.balance = config.balance;
   edge_map.locks = &handle.locks();
-  edge_map.scratch = &handle.edge_map_scratch();
+  edge_map.scratch = &ctx.edge_map_scratch();
 
   while (!frontier.Empty()) {
     Timer iteration;

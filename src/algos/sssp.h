@@ -18,7 +18,8 @@ struct SsspResult {
   AlgoStats stats;
 };
 
-SsspResult RunSssp(GraphHandle& handle, VertexId source, const RunConfig& config);
+SsspResult RunSssp(GraphHandle& handle, VertexId source, const RunConfig& config,
+                   ExecutionContext& ctx = ExecutionContext::Default());
 
 }  // namespace egraph
 

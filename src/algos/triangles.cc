@@ -10,7 +10,9 @@
 
 namespace egraph {
 
-TriangleResult RunTriangleCount(GraphHandle& handle, const RunConfig& config) {
+TriangleResult RunTriangleCount(GraphHandle& handle, const RunConfig& config,
+                                ExecutionContext& ctx) {
+  ExecutionContext::Scope exec_scope(ctx);
   RunConfig tc_config = config;
   tc_config.layout = Layout::kAdjacency;
   tc_config.direction = Direction::kPush;

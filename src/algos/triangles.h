@@ -21,7 +21,8 @@ struct TriangleResult {
 // Counts triangles in the *undirected simple* view of the handle's graph:
 // the handle must hold a symmetrized, deduplicated, loop-free edge list
 // (MakeUndirected + RemoveSelfLoops + RemoveDuplicateEdges).
-TriangleResult RunTriangleCount(GraphHandle& handle, const RunConfig& config);
+TriangleResult RunTriangleCount(GraphHandle& handle, const RunConfig& config,
+                                ExecutionContext& ctx = ExecutionContext::Default());
 
 // Brute-force reference for tests, O(V^3) — small graphs only.
 uint64_t RefTriangleCount(const EdgeList& undirected_simple);

@@ -33,7 +33,8 @@ struct WccFunctor {
 
 }  // namespace
 
-WccResult RunWcc(GraphHandle& handle, const RunConfig& config) {
+WccResult RunWcc(GraphHandle& handle, const RunConfig& config, ExecutionContext& ctx) {
+  ExecutionContext::Scope exec_scope(ctx);
   PrepareForRun(handle, config);
   WccResult result;
   const VertexId n = handle.num_vertices();
@@ -53,7 +54,7 @@ WccResult RunWcc(GraphHandle& handle, const RunConfig& config) {
     edge_map.sync = config.sync;
     edge_map.balance = config.balance;
     edge_map.locks = &handle.locks();
-    edge_map.scratch = &handle.edge_map_scratch();
+    edge_map.scratch = &ctx.edge_map_scratch();
     while (!frontier.Empty()) {
       Timer iteration;
       result.stats.frontier_sizes.push_back(frontier.Count());

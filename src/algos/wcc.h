@@ -21,7 +21,8 @@ struct WccResult {
 };
 
 // For Layout::kAdjacency the handle's edge list must already be undirected.
-WccResult RunWcc(GraphHandle& handle, const RunConfig& config);
+WccResult RunWcc(GraphHandle& handle, const RunConfig& config,
+                 ExecutionContext& ctx = ExecutionContext::Default());
 
 }  // namespace egraph
 

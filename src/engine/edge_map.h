@@ -159,7 +159,7 @@ Frontier EdgeMapCsrPush(const Csr& out, Frontier& frontier, F& func,
   metrics.edgemap_calls.Add(1);
   obs::TimelineSpan timeline_span("engine", "edgemap.push", m);
 
-  const int workers = ThreadPool::Get().num_threads();
+  const int workers = ThreadPool::Current().num_threads();
   Bitmap local_next;
   std::vector<std::vector<VertexId>> local_buffers;
   Bitmap* next_ptr;
@@ -275,7 +275,7 @@ Frontier EdgeMapCsrPull(const Csr& in, Frontier& frontier, F& func,
   obs::TimelineSpan timeline_span("engine", "edgemap.pull", frontier.Count());
 
   Bitmap next(n);  // ownership moves into the result; scratch cannot serve it
-  const int workers = ThreadPool::Get().num_threads();
+  const int workers = ThreadPool::Current().num_threads();
   std::vector<int64_t> counts(static_cast<size_t>(workers), 0);
   const Bitmap& active_bits = frontier.bitmap();
 
@@ -392,7 +392,7 @@ Frontier EdgeMapEdgeArray(const EdgeList& graph, Frontier& frontier, F& func,
   obs::TimelineSpan timeline_span("engine", "edgemap.edgearray", num_edges);
 
   Bitmap next(n);
-  const int workers = ThreadPool::Get().num_threads();
+  const int workers = ThreadPool::Current().num_threads();
   std::vector<int64_t> counts(static_cast<size_t>(workers), 0);
 
   int64_t grain = 4096;
@@ -471,7 +471,7 @@ Frontier EdgeMapGrid(const Grid& grid, Frontier& frontier, F& func,
   obs::TimelineSpan timeline_span("engine", "edgemap.grid", frontier.Count());
 
   Bitmap next(n);
-  const int workers = ThreadPool::Get().num_threads();
+  const int workers = ThreadPool::Current().num_threads();
   std::vector<int64_t> counts(static_cast<size_t>(workers), 0);
   const bool weighted = grid.has_weights();
   const auto& cell_offsets = grid.cell_offsets();

@@ -22,7 +22,7 @@ Frontier EdgeMapCompressedPush(const CompressedCsr& out, Frontier& frontier, F& 
   const auto& active = frontier.Vertices();
 
   Bitmap next(n);
-  const int workers = ThreadPool::Get().num_threads();
+  const int workers = ThreadPool::Current().num_threads();
   std::vector<std::vector<VertexId>> buffers(static_cast<size_t>(workers));
 
   ParallelForChunks(

@@ -2,13 +2,15 @@
 // Frontier-driven algorithms call EdgeMap once per iteration; without reuse
 // every call pays a fresh Bitmap(n) allocation (page faults included) for
 // round deduplication, a per-worker output-buffer vector, and the
-// partitioner's degree-prefix array. A GraphHandle owns one scratch object
-// so those allocations happen once per run and stay warm across rounds.
+// partitioner's degree-prefix array. An ExecutionContext owns one scratch
+// object so those allocations happen once per run and stay warm across
+// rounds — and so concurrent queries (each in its own context) never share
+// scratch even when they share one frozen GraphHandle.
 //
 // Concurrency contract: a scratch object serves ONE EdgeMap call at a time.
-// The engine runs EdgeMaps sequentially (one per iteration), so the handle's
+// The engine runs EdgeMaps sequentially (one per iteration), so a context's
 // scratch is safe for every Run* entry point; code running concurrent
-// EdgeMaps against the same handle must pass per-call scratch (or none —
+// EdgeMaps within one context must pass per-call scratch (or none —
 // kernels fall back to local temporaries when no scratch is supplied).
 #ifndef SRC_ENGINE_EDGE_MAP_SCRATCH_H_
 #define SRC_ENGINE_EDGE_MAP_SCRATCH_H_

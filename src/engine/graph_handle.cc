@@ -1,5 +1,8 @@
 #include "src/engine/graph_handle.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "src/obs/phase.h"
 
 namespace egraph {
@@ -18,6 +21,32 @@ uint32_t GraphHandle::AutoGridBlocks(VertexId num_vertices) {
   return blocks;
 }
 
+void GraphHandle::CheckBuildPhase(const char* operation) const {
+  if (frozen()) {
+    std::fprintf(stderr,
+                 "GraphHandle::%s called on a frozen handle; mutation is only "
+                 "legal during the build phase (before Freeze()).\n",
+                 operation);
+    std::abort();
+  }
+}
+
+void GraphHandle::AddPreprocessSeconds(double seconds) {
+  std::lock_guard<std::mutex> guard(stats_mutex_);
+  preprocess_seconds_ += seconds;
+}
+
+double GraphHandle::preprocess_seconds() const {
+  std::lock_guard<std::mutex> guard(stats_mutex_);
+  return preprocess_seconds_;
+}
+
+void GraphHandle::ResetPreprocessClock() {
+  CheckBuildPhase("ResetPreprocessClock");
+  std::lock_guard<std::mutex> guard(stats_mutex_);
+  preprocess_seconds_ = 0.0;
+}
+
 void GraphHandle::Prepare(const PrepareConfig& config) {
   obs::ScopedPhase phase(obs::Phase::kPreprocess);
   switch (config.layout) {
@@ -27,59 +56,78 @@ void GraphHandle::Prepare(const PrepareConfig& config) {
     case Layout::kAdjacency: {
       if (config.symmetric_input && config.need_in) {
         // Undirected input: the incoming lists are the outgoing lists.
-        in_aliases_out_ = true;
+        in_aliases_out_.store(true, std::memory_order_release);
       }
       const bool build_out =
           config.need_out || (config.symmetric_input && config.need_in);
-      if (build_out && !out_csr_.has_value()) {
-        BuildStats stats;
-        out_csr_ = BuildCsr(graph_, EdgeDirection::kOut, config.method, &stats,
-                            config.radix_digit_bits);
-        preprocess_seconds_ += stats.seconds;
-        if (config.sort_neighbors) {
-          preprocess_seconds_ += out_csr_->SortNeighborLists();
-        }
+      if (build_out) {
+        std::call_once(once_->out, [&] {
+          if (out_csr_.has_value()) {
+            return;  // installed by InstallCsr; nothing to build
+          }
+          BuildStats stats;
+          out_csr_ = BuildCsr(graph_, EdgeDirection::kOut, config.method, &stats,
+                              config.radix_digit_bits);
+          double seconds = stats.seconds;
+          if (config.sort_neighbors) {
+            seconds += out_csr_->SortNeighborLists();
+          }
+          AddPreprocessSeconds(seconds);
+        });
       }
-      if (config.need_in && !config.symmetric_input && !in_csr_.has_value()) {
-        BuildStats stats;
-        in_csr_ = BuildCsr(graph_, EdgeDirection::kIn, config.method, &stats,
-                           config.radix_digit_bits);
-        preprocess_seconds_ += stats.seconds;
-        if (config.sort_neighbors) {
-          preprocess_seconds_ += in_csr_->SortNeighborLists();
-        }
+      if (config.need_in && !config.symmetric_input) {
+        std::call_once(once_->in, [&] {
+          if (in_csr_.has_value()) {
+            return;
+          }
+          BuildStats stats;
+          in_csr_ = BuildCsr(graph_, EdgeDirection::kIn, config.method, &stats,
+                             config.radix_digit_bits);
+          double seconds = stats.seconds;
+          if (config.sort_neighbors) {
+            seconds += in_csr_->SortNeighborLists();
+          }
+          AddPreprocessSeconds(seconds);
+        });
       }
       break;
     }
     case Layout::kGrid: {
-      if (!grid_.has_value()) {
+      std::call_once(once_->grid, [&] {
+        if (grid_.has_value()) {
+          return;
+        }
         GridOptions options;
         options.num_blocks =
             config.grid_blocks != 0 ? config.grid_blocks : AutoGridBlocks(num_vertices());
         options.method = config.method;
         BuildStats stats;
         grid_ = BuildGrid(graph_, options, &stats);
-        preprocess_seconds_ += stats.seconds;
-      }
+        AddPreprocessSeconds(stats.seconds);
+      });
       break;
     }
   }
 }
 
 void GraphHandle::InstallCsr(EdgeDirection direction, Csr csr, double build_seconds) {
+  CheckBuildPhase("InstallCsr");
   if (direction == EdgeDirection::kOut) {
     out_csr_ = std::move(csr);
   } else {
     in_csr_ = std::move(csr);
   }
-  preprocess_seconds_ += build_seconds;
+  AddPreprocessSeconds(build_seconds);
 }
 
 void GraphHandle::DropLayouts() {
+  CheckBuildPhase("DropLayouts");
   out_csr_.reset();
   in_csr_.reset();
   grid_.reset();
-  in_aliases_out_ = false;
+  in_aliases_out_.store(false, std::memory_order_release);
+  // Re-arm the call_once guards so the next Prepare builds again.
+  once_ = std::make_unique<LayoutOnce>();
 }
 
 }  // namespace egraph

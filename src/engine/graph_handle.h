@@ -1,13 +1,25 @@
 // GraphHandle: owns a graph plus whatever layouts have been prepared for it,
 // and accounts every second of pre-processing — the quantity the paper shows
 // frequently dominates end-to-end time.
+//
+// Lifecycle: a handle starts in the BUILD phase — single-owner, mutable —
+// where the loader installs CSRs, benches drop and rebuild layouts, and
+// Prepare() adds whatever a run needs. Calling Freeze() ends the build
+// phase: the handle becomes an immutable, shareable snapshot that any
+// number of ExecutionContexts may query concurrently. After Freeze(),
+// mutating entry points (InstallCsr, DropLayouts, ResetPreprocessClock)
+// abort, while Prepare() stays callable from any thread: each layout is
+// built exactly once under a std::call_once, so concurrent callers
+// requesting the same layout block until the single build finishes and the
+// pre-processing cost is paid once, not once per caller.
 #ifndef SRC_ENGINE_GRAPH_HANDLE_H_
 #define SRC_ENGINE_GRAPH_HANDLE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 
-#include "src/engine/edge_map_scratch.h"
 #include "src/engine/options.h"
 #include "src/graph/edge_list.h"
 #include "src/layout/csr.h"
@@ -47,36 +59,51 @@ class GraphHandle {
 
   // Builds the structures `config` requests (skipping ones already built
   // with a compatible method) and adds their cost to preprocess_seconds().
+  // Thread-safe and idempotent: each layout is guarded by a call_once, so
+  // any number of threads may Prepare concurrently (against a frozen
+  // handle) and the first caller per layout does the build while the rest
+  // wait — the build cost is paid exactly once.
   void Prepare(const PrepareConfig& config);
+
+  // Ends the build phase. The handle becomes an immutable snapshot safe to
+  // share across ExecutionContexts; further InstallCsr / DropLayouts /
+  // ResetPreprocessClock calls abort. Idempotent.
+  void Freeze() { frozen_.store(true, std::memory_order_release); }
+  bool frozen() const { return frozen_.load(std::memory_order_acquire); }
 
   // Installs a CSR built elsewhere (e.g. by the overlapped load→build
   // pipeline in src/io/loader.h) so Prepare() will not rebuild it.
   // `build_seconds` is the non-overlapped build cost, added to
   // preprocess_seconds() to keep the paper's accounting honest.
+  // Build phase only.
   void InstallCsr(EdgeDirection direction, Csr csr, double build_seconds);
 
   bool has_out_csr() const { return out_csr_.has_value(); }
-  bool has_in_csr() const { return in_csr_.has_value() || (in_aliases_out_ && has_out_csr()); }
+  bool has_in_csr() const {
+    return in_csr_.has_value() ||
+           (in_aliases_out_.load(std::memory_order_acquire) && has_out_csr());
+  }
   bool has_grid() const { return grid_.has_value(); }
 
   const Csr& out_csr() const { return *out_csr_; }
-  const Csr& in_csr() const { return in_aliases_out_ ? *out_csr_ : *in_csr_; }
+  const Csr& in_csr() const {
+    return in_aliases_out_.load(std::memory_order_acquire) ? *out_csr_ : *in_csr_;
+  }
   const Grid& grid() const { return *grid_; }
 
   // Cumulative pre-processing time across all Prepare calls.
-  double preprocess_seconds() const { return preprocess_seconds_; }
-  void ResetPreprocessClock() { preprocess_seconds_ = 0.0; }
+  double preprocess_seconds() const;
+  // Build phase only.
+  void ResetPreprocessClock();
 
-  // Drops built layouts (for re-measuring with a different method).
+  // Drops built layouts (for re-measuring with a different method) and
+  // re-arms their call_once guards. Build phase only.
   void DropLayouts();
 
-  // Shared striped-lock pool for Sync::kLocks execution.
+  // Shared striped-lock pool for Sync::kLocks execution. Safe to use from
+  // concurrent queries: stripes are plain spinlocks, and sharing them
+  // across queries costs contention, never correctness.
   StripedLocks& locks() { return locks_; }
-
-  // Reusable EdgeMap round scratch (dedup bitmap, per-worker buffers,
-  // partitioner prefix). One EdgeMap call at a time — see the scratch
-  // header's concurrency contract.
-  EdgeMapScratch& edge_map_scratch() { return edge_map_scratch_; }
 
   // Automatic grid dimension for a graph of `num_vertices` (the paper finds
   // 256x256 best at RMAT26/Twitter scale; smaller graphs shrink with it so
@@ -84,14 +111,29 @@ class GraphHandle {
   static uint32_t AutoGridBlocks(VertexId num_vertices);
 
  private:
+  // One flag per buildable layout. Held behind a unique_ptr so DropLayouts
+  // can re-arm them (std::once_flag itself is not resettable): dropping
+  // swaps in a fresh set, and the next Prepare builds again.
+  struct LayoutOnce {
+    std::once_flag out;
+    std::once_flag in;
+    std::once_flag grid;
+  };
+
+  void CheckBuildPhase(const char* operation) const;
+  void AddPreprocessSeconds(double seconds);
+
   EdgeList graph_;
-  bool in_aliases_out_ = false;  // symmetric input: in-CSR == out-CSR
+  std::atomic<bool> frozen_{false};
+  // Symmetric input: in-CSR == out-CSR.
+  std::atomic<bool> in_aliases_out_{false};
+  std::unique_ptr<LayoutOnce> once_ = std::make_unique<LayoutOnce>();
   std::optional<Csr> out_csr_;
   std::optional<Csr> in_csr_;
   std::optional<Grid> grid_;
+  mutable std::mutex stats_mutex_;  // guards preprocess_seconds_
   double preprocess_seconds_ = 0.0;
   StripedLocks locks_{1 << 14};
-  EdgeMapScratch edge_map_scratch_;
 };
 
 }  // namespace egraph

@@ -201,7 +201,7 @@ void ParseTextShard(std::string_view shard, const std::string& path, TextShard& 
 
 EdgeList ReadTextEdges(const std::string& path) {
   const std::string content = ReadWholeFile(path);
-  std::vector<TextShard> shards(static_cast<size_t>(ThreadPool::Get().num_threads()));
+  std::vector<TextShard> shards(static_cast<size_t>(ThreadPool::Current().num_threads()));
   const size_t used = ParallelLineShards(
       content, /*min_shard_bytes=*/64u << 10,
       [&](size_t index, std::string_view text) { ParseTextShard(text, path, shards[index]); });

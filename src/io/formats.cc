@@ -115,7 +115,7 @@ void ParseMmShard(std::string_view shard, const MmHeader& mm, const std::string&
 template <typename ParseFn>
 uint64_t ParseShardsInto(std::string_view body, EdgeList& graph, bool weighted,
                          const ParseFn& parse) {
-  std::vector<ParsedShard> shards(static_cast<size_t>(ThreadPool::Get().num_threads()));
+  std::vector<ParsedShard> shards(static_cast<size_t>(ThreadPool::Current().num_threads()));
   const size_t used =
       ParallelLineShards(body, /*min_shard_bytes=*/64u << 10,
                          [&](size_t index, std::string_view text) {

@@ -45,7 +45,7 @@ size_t ParallelLineShards(std::string_view text, size_t min_shard_bytes,
   if (min_shard_bytes == 0) {
     min_shard_bytes = 1;
   }
-  size_t want = static_cast<size_t>(ThreadPool::Get().num_threads());
+  size_t want = static_cast<size_t>(ThreadPool::Current().num_threads());
   const size_t by_size = (text.size() + min_shard_bytes - 1) / min_shard_bytes;
   if (want > by_size) {
     want = by_size;

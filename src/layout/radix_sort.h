@@ -76,7 +76,7 @@ void ParallelRadixSort(std::vector<Record>& records, uint64_t num_keys, const Ke
   }
 
   // --- Top-level parallel counting pass over the most significant digit ---
-  const int num_chunks = ThreadPool::Get().num_threads() * 4;
+  const int num_chunks = ThreadPool::Current().num_threads() * 4;
   const size_t chunk_size = (n + num_chunks - 1) / num_chunks;
   std::vector<std::vector<uint64_t>> histograms(
       static_cast<size_t>(num_chunks), std::vector<uint64_t>(radix, 0));

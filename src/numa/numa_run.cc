@@ -66,7 +66,7 @@ NumaRunResult RunBfsNumaPartitioned(const NumaPartition& partition, VertexId sou
   NumaRunResult result;
   const VertexId n = partition.num_vertices();
   const int num_nodes = partition.num_nodes();
-  const int workers = ThreadPool::Get().num_threads();
+  const int workers = ThreadPool::Current().num_threads();
   Accountant accountant(&partition, workers);
 
   std::vector<VertexId> parent(n, kInvalidVertex);
@@ -124,7 +124,7 @@ NumaRunResult RunPagerankNumaPartitioned(const NumaPartition& partition, int ite
   NumaRunResult result;
   const VertexId n = partition.num_vertices();
   const int num_nodes = partition.num_nodes();
-  const int workers = ThreadPool::Get().num_threads();
+  const int workers = ThreadPool::Current().num_threads();
   Accountant accountant(&partition, workers);
   if (n == 0) {
     return result;

@@ -115,12 +115,12 @@ JsonValue ProcessReportToJson(const std::string& name) {
   report.Set("name", name);
   report.Set("schema", "egraph-trace-v1");
   report.Set("metrics_compiled", kMetricsCompiled);
-  report.Set("threads", ThreadPool::Get().num_threads());
+  report.Set("threads", ThreadPool::Current().num_threads());
   report.Set("phases", PhasesToJson());
   report.Set("metrics", MetricsToJson());
 
   JsonValue traces = JsonValue::Array();
-  for (const EngineTrace& trace : TraceSink::Get().Snapshot()) {
+  for (const EngineTrace& trace : TraceSink::Current().Snapshot()) {
     traces.Append(TraceToJson(trace));
   }
   report.Set("traces", std::move(traces));

@@ -47,7 +47,10 @@ extern std::atomic<bool> g_enabled;
 
 // Monotonic counter, sharded per pool worker. Adds from outside a parallel
 // region (or from foreign threads) land on shard 0, which is why shards use
-// fetch_add rather than plain stores.
+// fetch_add rather than plain stores. Shards are sized for the process-wide
+// default pool; workers of larger context-private pools wrap around with a
+// modulo, which costs contention on the shared shard but never correctness
+// (registries and counters are process-lifetime, context pools are not).
 class Counter {
  public:
   explicit Counter(std::string name);
@@ -62,8 +65,8 @@ class Counter {
     if (!internal::g_enabled.load(std::memory_order_relaxed)) {
       return;
     }
-    shards_[static_cast<size_t>(ThreadPool::CurrentWorker())].value.fetch_add(
-        delta, std::memory_order_relaxed);
+    shards_[static_cast<size_t>(ThreadPool::CurrentWorkerSlot()) % shards_.size()]
+        .value.fetch_add(delta, std::memory_order_relaxed);
 #else
     (void)delta;
 #endif
@@ -103,7 +106,8 @@ class Histogram {
     if (!internal::g_enabled.load(std::memory_order_relaxed)) {
       return;
     }
-    Shard& shard = shards_[static_cast<size_t>(ThreadPool::CurrentWorker())];
+    Shard& shard =
+        shards_[static_cast<size_t>(ThreadPool::CurrentWorkerSlot()) % shards_.size()];
     shard.buckets[static_cast<size_t>(BucketOf(sample))].fetch_add(
         1, std::memory_order_relaxed);
     shard.count.fetch_add(1, std::memory_order_relaxed);

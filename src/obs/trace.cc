@@ -22,7 +22,7 @@ TraceSession::~TraceSession() {
     EndIteration(trace_.direction);
   }
   trace_.total_seconds = total_timer_.Seconds();
-  TraceSink::Get().Record(trace_);
+  TraceSink::Current().Record(trace_);
 }
 
 void TraceSession::BeginIteration(int64_t frontier_count, bool frontier_sparse) {
@@ -50,33 +50,75 @@ void TraceSession::EndIteration(Direction direction_used) {
   in_iteration_ = false;
 }
 
+namespace {
+
+thread_local TraceSink* tls_current_sink = nullptr;
+
+}  // namespace
+
+TraceSink::TraceSink(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
 TraceSink& TraceSink::Get() {
   static TraceSink* sink = new TraceSink();
   return *sink;
 }
 
+TraceSink& TraceSink::Current() {
+  return tls_current_sink != nullptr ? *tls_current_sink : Get();
+}
+
+ScopedTraceSink::ScopedTraceSink(TraceSink& sink) : previous_(tls_current_sink) {
+  tls_current_sink = &sink;
+}
+
+ScopedTraceSink::~ScopedTraceSink() { tls_current_sink = previous_; }
+
 void TraceSink::Record(const EngineTrace& trace) {
   std::lock_guard<std::mutex> guard(mutex_);
   ++recorded_;
-  if (traces_.size() >= static_cast<size_t>(kMaxTraces)) {
-    traces_.erase(traces_.begin());
+  if (traces_.size() < capacity_) {
+    traces_.push_back(trace);
+    return;
   }
-  traces_.push_back(trace);
+  // Ring is full: overwrite the oldest slot in place (no O(capacity) shift,
+  // no allocation churn across long-lived serving processes).
+  traces_[head_] = trace;
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
 }
 
 std::vector<EngineTrace> TraceSink::Snapshot() const {
   std::lock_guard<std::mutex> guard(mutex_);
-  return traces_;
+  std::vector<EngineTrace> out;
+  out.reserve(traces_.size());
+  for (size_t i = 0; i < traces_.size(); ++i) {
+    out.push_back(traces_[(head_ + i) % traces_.size()]);
+  }
+  return out;
 }
 
 void TraceSink::Clear() {
   std::lock_guard<std::mutex> guard(mutex_);
   traces_.clear();
+  head_ = 0;
+}
+
+void TraceSink::Reset() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  traces_.clear();
+  head_ = 0;
+  recorded_ = 0;
+  dropped_ = 0;
 }
 
 int64_t TraceSink::recorded() const {
   std::lock_guard<std::mutex> guard(mutex_);
   return recorded_;
+}
+
+int64_t TraceSink::dropped() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return dropped_;
 }
 
 }  // namespace egraph::obs

@@ -4,9 +4,12 @@
 // per algorithm run; a TraceSession drives it from the run loop by
 // snapshotting the engine counters around each iteration.
 //
-// Completed traces are also deposited in the process-wide TraceSink so that
-// harness code (bench binaries, the CLI) can export every run's trace
-// without threading objects through each call site.
+// Completed traces are also deposited in a TraceSink so that harness code
+// (bench binaries, the CLI) can export every run's trace without threading
+// objects through each call site. Which sink receives them is a thread-local
+// decision: the process-wide TraceSink::Get() by default, or the sink bound
+// by the innermost ScopedTraceSink — which is how each ExecutionContext
+// keeps its queries' traces separate from every other context's.
 #ifndef SRC_OBS_TRACE_H_
 #define SRC_OBS_TRACE_H_
 
@@ -76,27 +79,73 @@ class TraceSession {
   bool in_iteration_ = false;
 };
 
-// Bounded process-wide collection of completed traces (newest kept; the
-// oldest are dropped past the cap so long-lived processes stay small).
+// Bounded collection of completed traces: a ring buffer holding the newest
+// `capacity` traces, with drop accounting for the overwritten ones
+// (mirroring the timeline buffers' bounded-with-drop-count contract, except
+// the ring keeps the newest rather than the oldest — the trace a user asks
+// about is almost always the most recent run). Instantiable so an
+// ExecutionContext can own a private sink; Get() is the process-wide
+// default that existing benches and the CLI keep using unchanged.
 class TraceSink {
  public:
   static constexpr int kMaxTraces = 256;
 
+  explicit TraceSink(size_t capacity = kMaxTraces);
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  // Process-wide default sink (the default context's sink).
   static TraceSink& Get();
 
+  // The sink TraceSession deposits into on this thread: the innermost
+  // ScopedTraceSink binding, falling back to Get().
+  static TraceSink& Current();
+
   void Record(const EngineTrace& trace);
+
+  // Retained traces, oldest to newest.
   std::vector<EngineTrace> Snapshot() const;
+
+  // Drops retained traces; recorded()/dropped() keep counting.
   void Clear();
 
-  // Traces recorded since process start (including dropped ones).
+  // Clears retained traces AND zeroes the recorded/dropped accounting —
+  // what benches call between measured sections so long repetitions do not
+  // accumulate state.
+  void Reset();
+
+  size_t capacity() const { return capacity_; }
+
+  // Traces recorded since construction (or the last Reset), including ones
+  // since overwritten.
   int64_t recorded() const;
 
- private:
-  TraceSink() = default;
+  // Traces overwritten by newer ones since construction (or the last Reset).
+  int64_t dropped() const;
 
+ private:
+  const size_t capacity_;
   mutable std::mutex mutex_;
-  std::vector<EngineTrace> traces_;
+  std::vector<EngineTrace> traces_;  // ring storage, at most capacity_ entries
+  size_t head_ = 0;                  // index of the oldest retained trace
   int64_t recorded_ = 0;
+  int64_t dropped_ = 0;
+};
+
+// RAII thread-local binding of TraceSink::Current(). Bindings nest; each
+// thread sees only its own binding (an ExecutionContext binds its sink on
+// the thread running the query, leaving other queries' threads alone).
+class ScopedTraceSink {
+ public:
+  explicit ScopedTraceSink(TraceSink& sink);
+  ~ScopedTraceSink();
+
+  ScopedTraceSink(const ScopedTraceSink&) = delete;
+  ScopedTraceSink& operator=(const ScopedTraceSink&) = delete;
+
+ private:
+  TraceSink* previous_;
 };
 
 }  // namespace egraph::obs

@@ -1,0 +1,264 @@
+#include "src/serve/query_session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/algos/bfs.h"
+#include "src/algos/pagerank.h"
+#include "src/algos/sssp.h"
+#include "src/algos/wcc.h"
+
+namespace egraph::serve {
+namespace {
+
+// Stateless SplitMix64 finalizer: the per-element mixer behind the
+// order-independent (commutative-sum) checksums below.
+uint64_t Mix(uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t ChecksumBfs(const std::vector<VertexId>& parent) {
+  // Parent choices are execution-order dependent (any tree edge is a valid
+  // parent), but the REACHED SET is deterministic — fingerprint that.
+  uint64_t sum = 0;
+  for (VertexId v = 0; v < static_cast<VertexId>(parent.size()); ++v) {
+    if (parent[v] != kInvalidVertex) {
+      sum += Mix(v);
+    }
+  }
+  return sum;
+}
+
+uint64_t ChecksumSssp(const std::vector<float>& dist) {
+  // Converged distances are the min over paths of left-to-right float sums:
+  // deterministic. Quantize to 1e-4 to be safe against FMA contraction
+  // differences between build configurations.
+  uint64_t sum = 0;
+  for (VertexId v = 0; v < static_cast<VertexId>(dist.size()); ++v) {
+    if (std::isfinite(dist[v])) {
+      sum += Mix(v ^ (static_cast<uint64_t>(std::llround(dist[v] * 1e4)) << 20));
+    }
+  }
+  return sum;
+}
+
+uint64_t ChecksumWcc(const std::vector<VertexId>& label) {
+  // Label propagation converges to the minimum vertex id per component:
+  // deterministic regardless of execution interleaving.
+  uint64_t sum = 0;
+  for (VertexId v = 0; v < static_cast<VertexId>(label.size()); ++v) {
+    sum += Mix(v ^ (static_cast<uint64_t>(label[v]) << 32));
+  }
+  return sum;
+}
+
+uint64_t ChecksumPagerank(const std::vector<float>& rank) {
+  // Atomic float accumulation makes final ulps order-dependent; quantize
+  // each rank coarsely (1e-6 of total mass) before mixing.
+  uint64_t sum = 0;
+  for (VertexId v = 0; v < static_cast<VertexId>(rank.size()); ++v) {
+    sum += Mix(v ^ (static_cast<uint64_t>(std::llround(
+                        static_cast<double>(rank[v]) * 1e6))
+                    << 20));
+  }
+  return sum;
+}
+
+}  // namespace
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kBfs:
+      return "bfs";
+    case QueryKind::kSssp:
+      return "sssp";
+    case QueryKind::kPagerank:
+      return "pagerank";
+    case QueryKind::kWcc:
+      return "wcc";
+  }
+  return "?";
+}
+
+bool ParseQueryKind(const std::string& name, QueryKind* kind) {
+  if (name == "bfs") {
+    *kind = QueryKind::kBfs;
+  } else if (name == "sssp") {
+    *kind = QueryKind::kSssp;
+  } else if (name == "pagerank") {
+    *kind = QueryKind::kPagerank;
+  } else if (name == "wcc") {
+    *kind = QueryKind::kWcc;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<ServeQuery> ReadQueryFile(const std::string& path,
+                                      const RunConfig& base_config) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("serve: cannot read query file " + path);
+  }
+  std::vector<ServeQuery> queries;
+  std::string line;
+  int64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream tokens(line);
+    std::string algo;
+    if (!(tokens >> algo)) {
+      continue;  // blank / comment-only line
+    }
+    ServeQuery query;
+    query.id = static_cast<int64_t>(queries.size());
+    query.config = base_config;
+    if (!ParseQueryKind(algo, &query.kind)) {
+      throw std::runtime_error("serve: unknown algorithm '" + algo + "' at " +
+                               path + ":" + std::to_string(line_number));
+    }
+    int64_t source = 0;
+    if (tokens >> source) {
+      query.source = static_cast<VertexId>(source);
+    }
+    queries.push_back(query);
+  }
+  return queries;
+}
+
+QuerySession::QuerySession(GraphHandle& handle, QuerySessionOptions options)
+    : handle_(handle), options_(std::move(options)) {
+  handle_.Freeze();
+  const int concurrency = options_.concurrency < 1 ? 1 : options_.concurrency;
+  worker_results_.resize(static_cast<size_t>(concurrency));
+  workers_.reserve(static_cast<size_t>(concurrency));
+  for (int i = 0; i < concurrency; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+QuerySession::~QuerySession() { Drain(); }
+
+bool QuerySession::Submit(const ServeQuery& query) {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (closed_ || queue_.size() >= options_.queue_capacity) {
+      ++rejected_;
+      return false;
+    }
+    queue_.push_back(query);
+    ++submitted_;
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::vector<ServeResult> QuerySession::Drain() {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (drained_) {
+      return results_;
+    }
+    closed_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+  for (const std::vector<ServeResult>& partial : worker_results_) {
+    results_.insert(results_.end(), partial.begin(), partial.end());
+  }
+  std::sort(results_.begin(), results_.end(),
+            [](const ServeResult& a, const ServeResult& b) { return a.id < b.id; });
+  stats_.submitted = submitted_;
+  stats_.rejected = rejected_;
+  stats_.completed = static_cast<int64_t>(results_.size());
+  stats_.wall_seconds = wall_timer_.Seconds();
+  stats_.qps = stats_.wall_seconds > 0.0
+                   ? static_cast<double>(stats_.completed) / stats_.wall_seconds
+                   : 0.0;
+  drained_ = true;
+  return results_;
+}
+
+void QuerySession::WorkerLoop(int worker_index) {
+  ExecutionContextOptions ctx_options;
+  ctx_options.name = "serve.w" + std::to_string(worker_index);
+  ctx_options.num_threads = options_.threads_per_query;
+  ctx_options.seed = options_.seed + static_cast<uint64_t>(worker_index);
+  ExecutionContext ctx(ctx_options);
+
+  while (true) {
+    ServeQuery query;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // closed and drained
+      }
+      query = queue_.front();
+      queue_.pop_front();
+    }
+    worker_results_[static_cast<size_t>(worker_index)].push_back(
+        Execute(query, ctx, worker_index));
+  }
+}
+
+ServeResult QuerySession::Execute(const ServeQuery& query, ExecutionContext& ctx,
+                                  int worker_index) {
+  ServeResult result;
+  result.id = query.id;
+  result.kind = query.kind;
+  result.worker = worker_index;
+  Timer timer;
+  switch (query.kind) {
+    case QueryKind::kBfs: {
+      const BfsResult run = RunBfs(handle_, query.source, query.config, ctx);
+      result.iterations = run.stats.iterations;
+      result.checksum = ChecksumBfs(run.parent);
+      result.ok = true;
+      break;
+    }
+    case QueryKind::kSssp: {
+      const SsspResult run = RunSssp(handle_, query.source, query.config, ctx);
+      result.iterations = run.stats.iterations;
+      result.checksum = ChecksumSssp(run.dist);
+      result.ok = true;
+      break;
+    }
+    case QueryKind::kPagerank: {
+      PagerankOptions options;
+      options.iterations = query.iterations;
+      const PagerankResult run = RunPagerank(handle_, options, query.config, ctx);
+      result.iterations = run.stats.iterations;
+      result.checksum = ChecksumPagerank(run.rank);
+      result.ok = true;
+      break;
+    }
+    case QueryKind::kWcc: {
+      const WccResult run = RunWcc(handle_, query.config, ctx);
+      result.iterations = run.stats.iterations;
+      result.checksum = ChecksumWcc(run.label);
+      result.ok = true;
+      break;
+    }
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace egraph::serve

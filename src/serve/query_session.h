@@ -1,0 +1,144 @@
+// QuerySession: a bounded multi-query executor over one frozen GraphHandle —
+// the serving-side counterpart of the paper's one-algorithm-at-a-time
+// benchmarks. N worker threads each own a private ExecutionContext (pool,
+// trace sink, scratch), pull queries from a bounded queue, and run the
+// requested algorithm against the shared snapshot. Because the handle is
+// frozen and every per-query mutable state lives in the worker's context,
+// queries are data-race free by construction; because each context owns a
+// private pool, they scale with concurrency instead of serializing on the
+// process-wide pool's region lock.
+//
+// Admission control is explicit: Submit() rejects (returns false) when the
+// queue is at capacity, so a producer that outruns the workers sees
+// backpressure instead of unbounded memory growth.
+#ifndef SRC_SERVE_QUERY_SESSION_H_
+#define SRC_SERVE_QUERY_SESSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/algos/common.h"
+#include "src/engine/execution_context.h"
+#include "src/engine/graph_handle.h"
+#include "src/util/timer.h"
+
+namespace egraph::serve {
+
+enum class QueryKind {
+  kBfs = 0,
+  kSssp = 1,
+  kPagerank = 2,
+  kWcc = 3,
+};
+
+const char* QueryKindName(QueryKind kind);
+
+// Parses "bfs" / "sssp" / "pagerank" / "wcc"; returns false on anything else.
+bool ParseQueryKind(const std::string& name, QueryKind* kind);
+
+struct ServeQuery {
+  int64_t id = 0;  // caller-assigned; results report it back
+  QueryKind kind = QueryKind::kBfs;
+  VertexId source = 0;   // bfs / sssp start vertex (ignored otherwise)
+  int iterations = 10;   // pagerank iteration count (ignored otherwise)
+  RunConfig config;      // layout / direction / sync for the run
+};
+
+struct ServeResult {
+  int64_t id = 0;
+  QueryKind kind = QueryKind::kBfs;
+  bool ok = false;
+  int worker = -1;         // session worker that executed the query
+  double seconds = 0.0;    // wall time of the Run* call
+  int iterations = 0;      // rounds the algorithm took
+  // Order-independent fingerprint of the query's output (reached set for
+  // BFS, quantized distances for SSSP, component labels for WCC, quantized
+  // rank mass for PageRank). Equal inputs on equal graphs produce equal
+  // checksums for the deterministic algorithms (BFS reachability, SSSP,
+  // WCC); PageRank under push/atomics may differ in final float ulps, so
+  // its checksum quantizes coarsely.
+  uint64_t checksum = 0;
+};
+
+struct QuerySessionOptions {
+  // Worker threads; each owns an ExecutionContext. At least 1.
+  int concurrency = 1;
+  // Threads of each worker's private pool. 1 keeps a query on its worker's
+  // thread (intra-query parallelism off — the throughput configuration);
+  // larger values trade per-query latency for throughput.
+  int threads_per_query = 1;
+  // Submit() rejects once this many queries are waiting.
+  size_t queue_capacity = 1024;
+  uint64_t seed = 0;  // seed base for the workers' contexts
+};
+
+struct QuerySessionStats {
+  int64_t submitted = 0;  // accepted by Submit
+  int64_t rejected = 0;   // bounced by admission control
+  int64_t completed = 0;
+  double wall_seconds = 0.0;  // construction to Drain completion
+  double qps = 0.0;           // completed / wall_seconds
+};
+
+// Read a query file: one query per line, `<algo> [source]` (source defaults
+// to 0; '#' starts a comment). Every query inherits `base_config`. Throws
+// std::runtime_error on unreadable files or unknown algorithms.
+std::vector<ServeQuery> ReadQueryFile(const std::string& path,
+                                      const RunConfig& base_config);
+
+class QuerySession {
+ public:
+  // Freezes `handle` (if the caller has not already) and starts the
+  // workers. The handle must outlive the session; layouts the queries need
+  // are built on first use, once, under the handle's call_once guards.
+  QuerySession(GraphHandle& handle, QuerySessionOptions options);
+
+  // Drains and joins if the caller did not.
+  ~QuerySession();
+
+  QuerySession(const QuerySession&) = delete;
+  QuerySession& operator=(const QuerySession&) = delete;
+
+  // Enqueues a query. Returns false — without blocking — when the queue is
+  // at capacity or the session is already draining.
+  bool Submit(const ServeQuery& query);
+
+  // Closes admission, waits for every accepted query to finish, joins the
+  // workers, and returns all results ordered by query id. Idempotent
+  // (subsequent calls return the same results).
+  std::vector<ServeResult> Drain();
+
+  // Valid after Drain().
+  const QuerySessionStats& stats() const { return stats_; }
+
+ private:
+  void WorkerLoop(int worker_index);
+  ServeResult Execute(const ServeQuery& query, ExecutionContext& ctx, int worker_index);
+
+  GraphHandle& handle_;
+  const QuerySessionOptions options_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<ServeQuery> queue_;
+  bool closed_ = false;
+
+  std::vector<std::thread> workers_;
+  std::vector<std::vector<ServeResult>> worker_results_;  // one slot per worker
+
+  Timer wall_timer_;
+  int64_t submitted_ = 0;  // guarded by mutex_
+  int64_t rejected_ = 0;   // guarded by mutex_
+  bool drained_ = false;
+  std::vector<ServeResult> results_;
+  QuerySessionStats stats_;
+};
+
+}  // namespace egraph::serve
+
+#endif  // SRC_SERVE_QUERY_SESSION_H_

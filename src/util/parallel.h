@@ -2,6 +2,14 @@
 // reductions, prefix sums, and cost-balanced chunking. These are the building
 // blocks of every layout builder (count sort needs a parallel exclusive scan)
 // and of the engine.
+//
+// Every primitive has two forms: an explicit-pool form taking the pool to
+// dispatch on as its first argument, and a convenience form that resolves
+// ThreadPool::Current() — the pool bound by the innermost execution context,
+// falling back to the process-wide default. Library code never calls
+// ThreadPool::Get() directly anymore; the default context is the only place
+// the process-wide pool enters the picture, which is what lets concurrent
+// query contexts run on disjoint worker sets.
 #ifndef SRC_UTIL_PARALLEL_H_
 #define SRC_UTIL_PARALLEL_H_
 
@@ -13,42 +21,58 @@
 
 namespace egraph {
 
-// Calls body(i) for every i in [begin, end), in parallel.
+// Calls body(i) for every i in [begin, end), in parallel on `pool`.
+template <typename Body>
+void ParallelFor(ThreadPool& pool, int64_t begin, int64_t end, Body&& body) {
+  pool.ParallelForChunks(begin, end, /*grain=*/0,
+                         [&body](int64_t lo, int64_t hi, int /*worker*/) {
+                           for (int64_t i = lo; i < hi; ++i) {
+                             body(i);
+                           }
+                         });
+}
+
 template <typename Body>
 void ParallelFor(int64_t begin, int64_t end, Body&& body) {
-  ThreadPool::Get().ParallelForChunks(begin, end, /*grain=*/0,
-                                      [&body](int64_t lo, int64_t hi, int /*worker*/) {
-                                        for (int64_t i = lo; i < hi; ++i) {
-                                          body(i);
-                                        }
-                                      });
+  ParallelFor(ThreadPool::Current(), begin, end, std::forward<Body>(body));
 }
 
 // Calls body(i) with an explicit chunk grain (work-distribution knob).
 template <typename Body>
+void ParallelForGrain(ThreadPool& pool, int64_t begin, int64_t end, int64_t grain,
+                      Body&& body) {
+  pool.ParallelForChunks(begin, end, grain,
+                         [&body](int64_t lo, int64_t hi, int /*worker*/) {
+                           for (int64_t i = lo; i < hi; ++i) {
+                             body(i);
+                           }
+                         });
+}
+
+template <typename Body>
 void ParallelForGrain(int64_t begin, int64_t end, int64_t grain, Body&& body) {
-  ThreadPool::Get().ParallelForChunks(begin, end, grain,
-                                      [&body](int64_t lo, int64_t hi, int /*worker*/) {
-                                        for (int64_t i = lo; i < hi; ++i) {
-                                          body(i);
-                                        }
-                                      });
+  ParallelForGrain(ThreadPool::Current(), begin, end, grain, std::forward<Body>(body));
 }
 
 // Calls body(chunk_begin, chunk_end, worker_id). Useful when the body keeps
 // per-chunk scratch state (e.g. per-thread histograms in radix sort).
 template <typename Body>
+void ParallelForChunks(ThreadPool& pool, int64_t begin, int64_t end, int64_t grain,
+                       Body&& body) {
+  pool.ParallelForChunks(begin, end, grain,
+                         [&body](int64_t lo, int64_t hi, int worker) {
+                           body(lo, hi, worker);
+                         });
+}
+
+template <typename Body>
 void ParallelForChunks(int64_t begin, int64_t end, int64_t grain, Body&& body) {
-  ThreadPool::Get().ParallelForChunks(begin, end, grain,
-                                      [&body](int64_t lo, int64_t hi, int worker) {
-                                        body(lo, hi, worker);
-                                      });
+  ParallelForChunks(ThreadPool::Current(), begin, end, grain, std::forward<Body>(body));
 }
 
 // Parallel sum-reduction of body(i) over [begin, end).
 template <typename T, typename Body>
-T ParallelReduceSum(int64_t begin, int64_t end, Body&& body) {
-  ThreadPool& pool = ThreadPool::Get();
+T ParallelReduceSum(ThreadPool& pool, int64_t begin, int64_t end, Body&& body) {
   std::vector<T> partial(static_cast<size_t>(pool.num_threads()), T{});
   pool.ParallelForChunks(begin, end, /*grain=*/0,
                          [&body, &partial](int64_t lo, int64_t hi, int worker) {
@@ -65,11 +89,15 @@ T ParallelReduceSum(int64_t begin, int64_t end, Body&& body) {
   return total;
 }
 
+template <typename T, typename Body>
+T ParallelReduceSum(int64_t begin, int64_t end, Body&& body) {
+  return ParallelReduceSum<T>(ThreadPool::Current(), begin, end, std::forward<Body>(body));
+}
+
 // Parallel max-reduction of body(i) over [begin, end); returns `init` when
 // the range is empty.
 template <typename T, typename Body>
-T ParallelReduceMax(int64_t begin, int64_t end, T init, Body&& body) {
-  ThreadPool& pool = ThreadPool::Get();
+T ParallelReduceMax(ThreadPool& pool, int64_t begin, int64_t end, T init, Body&& body) {
   std::vector<T> partial(static_cast<size_t>(pool.num_threads()), init);
   pool.ParallelForChunks(begin, end, /*grain=*/0,
                          [&body, &partial](int64_t lo, int64_t hi, int worker) {
@@ -91,8 +119,19 @@ T ParallelReduceMax(int64_t begin, int64_t end, T init, Body&& body) {
   return best;
 }
 
+template <typename T, typename Body>
+T ParallelReduceMax(int64_t begin, int64_t end, T init, Body&& body) {
+  return ParallelReduceMax<T>(ThreadPool::Current(), begin, end, init,
+                              std::forward<Body>(body));
+}
+
 template <typename T>
-T ParallelExclusiveScan(std::vector<T>& values);
+T ParallelExclusiveScan(ThreadPool& pool, std::vector<T>& values);
+
+template <typename T>
+T ParallelExclusiveScan(std::vector<T>& values) {
+  return ParallelExclusiveScan(ThreadPool::Current(), values);
+}
 
 // --- Cost-balanced chunking -------------------------------------------------
 //
@@ -112,15 +151,20 @@ inline constexpr int64_t kBalancedChunksPerWorker = 8;
 // kBalancedChunksPerWorker chunks per pool worker but never lets a chunk
 // fall under `min_chunk_cost` (tiny frontiers should not shatter into
 // per-item dispatches). Always >= 1.
-inline int64_t BalancedChunkCount(uint64_t total_cost, int64_t min_chunk_cost) {
+inline int64_t BalancedChunkCount(const ThreadPool& pool, uint64_t total_cost,
+                                  int64_t min_chunk_cost) {
   const int64_t max_chunks =
-      static_cast<int64_t>(ThreadPool::Get().num_threads()) * kBalancedChunksPerWorker;
+      static_cast<int64_t>(pool.num_threads()) * kBalancedChunksPerWorker;
   if (min_chunk_cost < 1) {
     min_chunk_cost = 1;
   }
   const int64_t by_cost =
       static_cast<int64_t>(total_cost / static_cast<uint64_t>(min_chunk_cost));
   return std::max<int64_t>(1, std::min(max_chunks, by_cost));
+}
+
+inline int64_t BalancedChunkCount(uint64_t total_cost, int64_t min_chunk_cost) {
+  return BalancedChunkCount(ThreadPool::Current(), total_cost, min_chunk_cost);
 }
 
 // Item-aligned balanced chunk boundaries. `pos(i)` must be the monotonically
@@ -164,9 +208,10 @@ std::vector<int64_t> BalancedChunkBoundaries(int64_t n, int64_t num_chunks, Pos&
 // Dispatches pre-computed chunk boundaries on the pool, one chunk per work
 // item. body(chunk_begin, chunk_end, worker_id); empty chunks are skipped.
 template <typename Body>
-void ParallelForBalancedChunks(const std::vector<int64_t>& bounds, Body&& body) {
+void ParallelForBalancedChunks(ThreadPool& pool, const std::vector<int64_t>& bounds,
+                               Body&& body) {
   const int64_t num_chunks = static_cast<int64_t>(bounds.size()) - 1;
-  ThreadPool::Get().ParallelForChunks(
+  pool.ParallelForChunks(
       0, num_chunks, /*grain=*/1, [&bounds, &body](int64_t lo, int64_t hi, int worker) {
         for (int64_t c = lo; c < hi; ++c) {
           const int64_t begin = bounds[static_cast<size_t>(c)];
@@ -178,6 +223,11 @@ void ParallelForBalancedChunks(const std::vector<int64_t>& bounds, Body&& body) 
       });
 }
 
+template <typename Body>
+void ParallelForBalancedChunks(const std::vector<int64_t>& bounds, Body&& body) {
+  ParallelForBalancedChunks(ThreadPool::Current(), bounds, std::forward<Body>(body));
+}
+
 // Cost-balanced parallel loop: calls body(chunk_begin, chunk_end, worker_id)
 // over [0, n) with chunk boundaries chosen so every chunk carries roughly
 // equal total cost(i) (item-aligned; single items are never split). Builds
@@ -185,36 +235,42 @@ void ParallelForBalancedChunks(const std::vector<int64_t>& bounds, Body&& body) 
 // binary search, and dispatches chunks as stealable grain-1 work items.
 // `min_chunk_cost` bounds the dispatch overhead on small inputs.
 template <typename Cost, typename Body>
-void ParallelForEdgeBalanced(int64_t n, int64_t min_chunk_cost, Cost&& cost, Body&& body) {
+void ParallelForEdgeBalanced(ThreadPool& pool, int64_t n, int64_t min_chunk_cost,
+                             Cost&& cost, Body&& body) {
   if (n <= 0) {
     return;
   }
   std::vector<uint64_t> prefix(static_cast<size_t>(n));
-  ParallelFor(0, n, [&prefix, &cost](int64_t i) {
+  ParallelFor(pool, 0, n, [&prefix, &cost](int64_t i) {
     prefix[static_cast<size_t>(i)] = static_cast<uint64_t>(cost(i));
   });
-  const uint64_t total = ParallelExclusiveScan(prefix);
+  const uint64_t total = ParallelExclusiveScan(pool, prefix);
   const std::vector<int64_t> bounds = BalancedChunkBoundaries(
-      n, BalancedChunkCount(total, min_chunk_cost),
+      n, BalancedChunkCount(pool, total, min_chunk_cost),
       [&prefix, n, total](int64_t i) { return i < n ? prefix[static_cast<size_t>(i)] : total; });
-  ParallelForBalancedChunks(bounds, body);
+  ParallelForBalancedChunks(pool, bounds, body);
+}
+
+template <typename Cost, typename Body>
+void ParallelForEdgeBalanced(int64_t n, int64_t min_chunk_cost, Cost&& cost, Body&& body) {
+  ParallelForEdgeBalanced(ThreadPool::Current(), n, min_chunk_cost,
+                          std::forward<Cost>(cost), std::forward<Body>(body));
 }
 
 // In-place parallel exclusive prefix sum over `values`; returns the grand
 // total. Two-pass blocked scan: per-block sums, serial scan of block sums,
 // then per-block local scans.
 template <typename T>
-T ParallelExclusiveScan(std::vector<T>& values) {
+T ParallelExclusiveScan(ThreadPool& pool, std::vector<T>& values) {
   const int64_t n = static_cast<int64_t>(values.size());
   if (n == 0) {
     return T{};
   }
-  ThreadPool& pool = ThreadPool::Get();
   const int64_t blocks = pool.num_threads() * 4;
   const int64_t block_size = (n + blocks - 1) / blocks;
 
   std::vector<T> block_sums(static_cast<size_t>(blocks), T{});
-  ParallelFor(0, blocks, [&](int64_t b) {
+  ParallelFor(pool, 0, blocks, [&](int64_t b) {
     const int64_t lo = b * block_size;
     const int64_t hi = lo + block_size < n ? lo + block_size : n;
     T sum{};
@@ -231,7 +287,7 @@ T ParallelExclusiveScan(std::vector<T>& values) {
     running += sum;
   }
 
-  ParallelFor(0, blocks, [&](int64_t b) {
+  ParallelFor(pool, 0, blocks, [&](int64_t b) {
     const int64_t lo = b * block_size;
     const int64_t hi = lo + block_size < n ? lo + block_size : n;
     T prefix = block_sums[static_cast<size_t>(b)];

@@ -6,8 +6,9 @@
 namespace egraph {
 namespace {
 
-thread_local int tls_worker_id = 0;
+thread_local int tls_worker_id = ThreadPool::kNoWorker;
 thread_local bool tls_in_region = false;
+thread_local ThreadPool* tls_current_pool = nullptr;
 
 }  // namespace
 
@@ -36,6 +37,16 @@ ThreadPool& ThreadPool::Get() {
   static ThreadPool pool(EnvThreadCount());
   return pool;
 }
+
+ThreadPool& ThreadPool::Current() {
+  return tls_current_pool != nullptr ? *tls_current_pool : Get();
+}
+
+ScopedPoolBinding::ScopedPoolBinding(ThreadPool& pool) : previous_(tls_current_pool) {
+  tls_current_pool = &pool;
+}
+
+ScopedPoolBinding::~ScopedPoolBinding() { tls_current_pool = previous_; }
 
 uint64_t ThreadPool::steal_count() const {
   uint64_t total = 0;
@@ -67,7 +78,15 @@ void ThreadPool::ParallelForChunks(int64_t begin, int64_t end, int64_t grain,
     // Nested region or single-threaded pool: run serially in place. Chunking
     // is preserved so that per-chunk setup in the body behaves identically,
     // and chunk spans are still emitted so single-threaded traces show the
-    // same run structure as parallel ones.
+    // same run structure as parallel ones. An external caller (not inside
+    // any region) runs as worker 0 of this pool for the duration, so the
+    // worker id handed to the body is always valid for per-worker buffers.
+    const int saved_worker = tls_worker_id;
+    const bool saved_in_region = tls_in_region;
+    if (!saved_in_region) {
+      tls_worker_id = 0;
+      tls_in_region = true;
+    }
     obs::Timeline::NoteWorker(tls_worker_id);
     const int64_t g = grain > 0 ? grain : count;
     for (int64_t lo = begin; lo < end; lo += g) {
@@ -75,6 +94,8 @@ void ThreadPool::ParallelForChunks(int64_t begin, int64_t end, int64_t grain,
       obs::TimelineSpan span("pool", "run", hi - lo);
       body(lo, hi, tls_worker_id);
     }
+    tls_worker_id = saved_worker;
+    tls_in_region = saved_in_region;
     return;
   }
 
@@ -151,7 +172,7 @@ void ThreadPool::RunRegion(int worker_id) {
   }
 
   tls_in_region = false;
-  tls_worker_id = 0;
+  tls_worker_id = kNoWorker;
 }
 
 void ThreadPool::WorkerLoop(int worker_id) {

@@ -31,8 +31,17 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Global pool, sized by EG_THREADS (default: hardware concurrency).
+  // Process-wide default pool, sized by EG_THREADS (default: hardware
+  // concurrency). Library code should prefer Current(), which resolves to
+  // this pool unless an execution context has bound its own.
   static ThreadPool& Get();
+
+  // The pool parallel work on this thread should run on: the pool bound by
+  // the innermost ScopedPoolBinding (an ExecutionContext with a private
+  // pool), falling back to Get(). This is how the default context keeps the
+  // old process-wide behaviour while concurrent query contexts get isolated
+  // worker sets.
+  static ThreadPool& Current();
 
   int num_threads() const { return num_threads_; }
 
@@ -44,9 +53,26 @@ class ThreadPool {
   void ParallelForChunks(int64_t begin, int64_t end, int64_t grain,
                          const std::function<void(int64_t, int64_t, int)>& body);
 
-  // worker id of the current thread while inside a parallel region
-  // (0..num_threads-1); 0 outside.
+  // Sentinel returned by CurrentWorker() outside a parallel region. Callers
+  // that index per-worker buffers must use CurrentWorkerSlot() (or the
+  // worker id passed to their chunk body) instead of assuming a valid id.
+  static constexpr int kNoWorker = -1;
+
+  // Worker id of the current thread while inside a parallel region
+  // (0..num_threads-1 of the pool running the region); kNoWorker outside.
+  // Historically this returned 0 outside a region, silently aliasing worker
+  // 0's slot in per-worker-indexed state; the sentinel makes that misuse
+  // detectable (see util_test CurrentWorkerSentinel).
   static int CurrentWorker();
+
+  // Shard index for per-worker-striped state (metrics shards): the worker id
+  // inside a region, slot 0 outside. Foreign threads sharing slot 0 is the
+  // documented contract of the metrics shards — they use fetch_add, so
+  // aliasing costs contention, never correctness.
+  static int CurrentWorkerSlot() {
+    const int worker = CurrentWorker();
+    return worker >= 0 ? worker : 0;
+  }
 
   // True while executing inside a parallel region on this thread.
   static bool InParallelRegion();
@@ -93,6 +119,23 @@ class ThreadPool {
   bool shutdown_ = false;
   const std::function<void(int64_t, int64_t, int)>* body_ = nullptr;
   std::vector<StealCounter> steal_counts_;  // one per worker
+};
+
+// RAII binding of ThreadPool::Current() for the calling thread: parallel
+// loops issued while the binding is alive dispatch on `pool` instead of the
+// process-wide default. Bindings nest (the previous binding is restored on
+// destruction) and are thread-local — binding a pool on a serving thread
+// does not redirect any other thread's loops.
+class ScopedPoolBinding {
+ public:
+  explicit ScopedPoolBinding(ThreadPool& pool);
+  ~ScopedPoolBinding();
+
+  ScopedPoolBinding(const ScopedPoolBinding&) = delete;
+  ScopedPoolBinding& operator=(const ScopedPoolBinding&) = delete;
+
+ private:
+  ThreadPool* previous_;
 };
 
 }  // namespace egraph

@@ -14,6 +14,7 @@
 #include "src/algos/bfs.h"
 #include "src/algos/reference.h"
 #include "src/engine/edge_map.h"
+#include "src/engine/execution_context.h"
 #include "src/engine/graph_handle.h"
 #include "src/gen/rmat.h"
 #include "src/util/atomics.h"
@@ -106,7 +107,7 @@ void ExpectBalanceEquivalence(const EdgeList& graph, const BalanceCell& cell,
   vertex_options.locks = &handle.locks();
   EdgeMapOptions edge_options = vertex_options;
   edge_options.balance = Balance::kEdge;
-  edge_options.scratch = &handle.edge_map_scratch();
+  edge_options.scratch = &ExecutionContext::Default().edge_map_scratch();
 
   int round = 0;
   while (!frontier_vertex.Empty() || !frontier_edge.Empty()) {
@@ -174,7 +175,7 @@ TEST(BalanceEquivalence, HubSplittingDeduplicates) {
   ReachFunctor func{visited.data()};
   Frontier frontier = Frontier::Single(handle.num_vertices(), 0);
   EdgeMapOptions options;
-  options.scratch = &handle.edge_map_scratch();
+  options.scratch = &ExecutionContext::Default().edge_map_scratch();
   Frontier next = EdgeMapCsrPush(handle.out_csr(), frontier, func, options);
 
   EXPECT_EQ(next.Count(), static_cast<int64_t>(leaves));
@@ -221,7 +222,7 @@ TEST(BalanceEquivalence, EmptyFrontierYieldsEmptyResult) {
     EdgeMapOptions options;
     options.balance = balance;
     options.locks = &handle.locks();
-    options.scratch = &handle.edge_map_scratch();
+    options.scratch = &ExecutionContext::Default().edge_map_scratch();
     Frontier empty_push = Frontier::None(handle.num_vertices());
     EXPECT_TRUE(EdgeMapCsrPush(handle.out_csr(), empty_push, func, options).Empty());
     Frontier empty_pull = Frontier::None(handle.num_vertices());

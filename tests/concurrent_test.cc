@@ -1,0 +1,297 @@
+// Concurrent-execution correctness: the ExecutionContext / frozen-
+// GraphHandle contract under real concurrency. These tests run under the
+// `concurrent` ctest label and in the TSan CI job — they are the evidence
+// that N contexts can share one frozen handle with no data races and no
+// result divergence.
+//
+//   1. Differential: >= 4 threads, each with a private ExecutionContext,
+//      run BFS / SSSP / WCC / PageRank simultaneously against one frozen
+//      handle; every concurrent result must match the serial reference
+//      computed beforehand with the default context.
+//   2. Prepare hammer: 8 threads race PrepareForRun on a frozen handle;
+//      the layout must be built exactly once (identical CSR to a serial
+//      build, build cost far below 8 independent builds).
+//   3. QuerySession admission control and drain semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "src/algos/bfs.h"
+#include "src/algos/pagerank.h"
+#include "src/algos/sssp.h"
+#include "src/algos/wcc.h"
+#include "src/engine/execution_context.h"
+#include "src/engine/graph_handle.h"
+#include "src/gen/rmat.h"
+#include "src/serve/query_session.h"
+
+namespace egraph {
+namespace {
+
+EdgeList TestGraph() {
+  RmatOptions options;
+  options.scale = 12;
+  options.edge_factor = 8;
+  options.seed = 99;
+  EdgeList graph = GenerateRmat(options);
+  graph.AssignRandomWeights(0.1f, 1.0f, 7);
+  // Undirected so the WCC adjacency path is legal; BFS/SSSP/PageRank are
+  // agnostic to symmetry.
+  return graph.MakeUndirected();
+}
+
+RunConfig PushConfig() {
+  RunConfig config;
+  config.layout = Layout::kAdjacency;
+  config.direction = Direction::kPush;
+  config.sync = Sync::kAtomics;
+  return config;
+}
+
+std::vector<bool> ReachedSet(const std::vector<VertexId>& parent) {
+  std::vector<bool> reached(parent.size());
+  for (size_t v = 0; v < parent.size(); ++v) {
+    reached[v] = parent[v] != kInvalidVertex;
+  }
+  return reached;
+}
+
+// Four algorithm kinds x two threads each = 8 simultaneous runs, all
+// against one frozen handle, each from its own context with a private
+// pool. Every result must equal the serial reference: BFS by reached set
+// (parent choice is schedule-dependent, reachability is not), SSSP and WCC
+// exactly (their fixpoints are schedule-independent), PageRank to float
+// accumulation tolerance.
+TEST(ConcurrentTest, FourAlgorithmsShareOneFrozenHandle) {
+  EdgeList graph = TestGraph();
+  const VertexId n = graph.num_vertices();
+  GraphHandle handle(std::move(graph));
+  const RunConfig config = PushConfig();
+  const VertexId source = 1;
+
+  // Serial references through the default context, before freezing.
+  const BfsResult ref_bfs = RunBfs(handle, source, config);
+  const SsspResult ref_sssp = RunSssp(handle, source, config);
+  const WccResult ref_wcc = RunWcc(handle, config);
+  PagerankOptions pr_options;
+  pr_options.iterations = 8;
+  const PagerankResult ref_pr = RunPagerank(handle, pr_options, config);
+  const std::vector<bool> ref_reached = ReachedSet(ref_bfs.parent);
+
+  handle.Freeze();
+  ASSERT_TRUE(handle.frozen());
+
+  constexpr int kThreads = 8;
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ExecutionContextOptions ctx_options;
+      ctx_options.name = "concurrent.t" + std::to_string(t);
+      ctx_options.num_threads = 2;  // private pool: real intra-run parallelism
+      ctx_options.seed = static_cast<uint64_t>(t);
+      ExecutionContext ctx(ctx_options);
+      switch (t % 4) {
+        case 0: {
+          const BfsResult run = RunBfs(handle, source, config, ctx);
+          if (ReachedSet(run.parent) != ref_reached) {
+            failures[t] = "bfs reached set diverged";
+          }
+          break;
+        }
+        case 1: {
+          const SsspResult run = RunSssp(handle, source, config, ctx);
+          for (VertexId v = 0; v < n; ++v) {
+            const bool ref_finite = std::isfinite(ref_sssp.dist[v]);
+            if (ref_finite != std::isfinite(run.dist[v]) ||
+                (ref_finite &&
+                 std::abs(run.dist[v] - ref_sssp.dist[v]) > 1e-4f)) {
+              failures[t] = "sssp distances diverged";
+              break;
+            }
+          }
+          break;
+        }
+        case 2: {
+          const WccResult run = RunWcc(handle, config, ctx);
+          if (run.label != ref_wcc.label) {
+            failures[t] = "wcc labels diverged";
+          }
+          break;
+        }
+        case 3: {
+          const PagerankResult run = RunPagerank(handle, pr_options, config, ctx);
+          for (VertexId v = 0; v < n; ++v) {
+            if (std::abs(run.rank[v] - ref_pr.rank[v]) > 1e-4f) {
+              failures[t] = "pagerank ranks diverged";
+              break;
+            }
+          }
+          break;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], "") << "thread " << t;
+  }
+}
+
+// Eight threads race PrepareForRun against a frozen handle with no layouts
+// built. The per-layout call_once must admit exactly one builder: the CSR
+// equals a serial build bit for bit, and the accounted pre-processing cost
+// is far below what eight independent builds would have accumulated.
+TEST(ConcurrentTest, PrepareHammerBuildsLayoutOnce) {
+  EdgeList graph = TestGraph();
+  const RunConfig config = PushConfig();
+
+  GraphHandle serial(graph);
+  PrepareForRun(serial, config);
+  const double serial_seconds = serial.preprocess_seconds();
+
+  GraphHandle hammered(std::move(graph));
+  hammered.Freeze();
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] { PrepareForRun(hammered, config); });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  ASSERT_TRUE(hammered.has_out_csr());
+  EXPECT_EQ(hammered.out_csr().offsets(), serial.out_csr().offsets());
+  EXPECT_EQ(hammered.out_csr().neighbors(), serial.out_csr().neighbors());
+  // One build's cost, not eight: generous 3x + scheduling cushion, far
+  // under the 8x an unguarded race would account.
+  EXPECT_LT(hammered.preprocess_seconds(), 3.0 * serial_seconds + 0.25);
+}
+
+// Freezing makes mutation illegal but Prepare (idempotent) legal.
+TEST(ConcurrentTest, FrozenHandleAllowsIdempotentPrepare) {
+  GraphHandle handle(TestGraph());
+  const RunConfig config = PushConfig();
+  PrepareForRun(handle, config);
+  handle.Freeze();
+  PrepareForRun(handle, config);  // no-op, no abort
+  EXPECT_TRUE(handle.has_out_csr());
+  EXPECT_TRUE(handle.frozen());
+}
+
+TEST(ConcurrentTest, QuerySessionRunsMixedQueries) {
+  GraphHandle handle(TestGraph());
+  const RunConfig config = PushConfig();
+  PrepareForRun(handle, config);
+
+  serve::QuerySessionOptions options;
+  options.concurrency = 4;
+  options.threads_per_query = 1;
+  serve::QuerySession session(handle, options);
+  EXPECT_TRUE(handle.frozen()) << "session must freeze the handle";
+
+  std::vector<serve::ServeQuery> queries;
+  for (int i = 0; i < 12; ++i) {
+    serve::ServeQuery query;
+    query.id = i;
+    query.kind = i % 2 == 0 ? serve::QueryKind::kBfs : serve::QueryKind::kSssp;
+    query.source = static_cast<VertexId>(i);
+    query.config = config;
+    EXPECT_TRUE(session.Submit(query));
+    queries.push_back(query);
+  }
+  const std::vector<serve::ServeResult> results = session.Drain();
+  ASSERT_EQ(results.size(), queries.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].id, static_cast<int64_t>(i)) << "sorted by id";
+    EXPECT_TRUE(results[i].ok);
+  }
+  EXPECT_EQ(session.stats().completed, static_cast<int64_t>(queries.size()));
+  EXPECT_EQ(session.stats().rejected, 0);
+  EXPECT_GT(session.stats().qps, 0.0);
+
+  // Identical queries at different concurrency must reproduce checksums.
+  serve::QuerySessionOptions serial_options;
+  serial_options.concurrency = 1;
+  serve::QuerySession serial_session(handle, serial_options);
+  for (const serve::ServeQuery& query : queries) {
+    EXPECT_TRUE(serial_session.Submit(query));
+  }
+  const std::vector<serve::ServeResult> serial_results = serial_session.Drain();
+  ASSERT_EQ(serial_results.size(), results.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].checksum, serial_results[i].checksum) << "query " << i;
+  }
+}
+
+TEST(ConcurrentTest, QuerySessionAdmissionControl) {
+  GraphHandle handle(TestGraph());
+  const RunConfig config = PushConfig();
+  PrepareForRun(handle, config);
+
+  // Zero capacity: every submission bounces, nothing executes.
+  serve::QuerySessionOptions options;
+  options.concurrency = 2;
+  options.queue_capacity = 0;
+  serve::QuerySession session(handle, options);
+  serve::ServeQuery query;
+  query.config = config;
+  EXPECT_FALSE(session.Submit(query));
+  EXPECT_FALSE(session.Submit(query));
+  const std::vector<serve::ServeResult> results = session.Drain();
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(session.stats().rejected, 2);
+  EXPECT_EQ(session.stats().submitted, 0);
+
+  // Submitting after Drain is rejected, not queued forever.
+  EXPECT_FALSE(session.Submit(query));
+}
+
+TEST(ConcurrentTest, ExecutionContextSeedStreamIsDeterministic) {
+  ExecutionContextOptions options;
+  options.seed = 123;
+  ExecutionContext a(options);
+  ExecutionContext b(options);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(a.NextSeed(), b.NextSeed());
+  }
+  ExecutionContextOptions other;
+  other.seed = 124;
+  ExecutionContext c(other);
+  EXPECT_NE(ExecutionContext(options).NextSeed(), c.NextSeed());
+}
+
+// The thread-local Scope binding redirects nested parallel loops and trace
+// deposits without touching the process-wide defaults on other threads.
+TEST(ConcurrentTest, ScopeBindsPoolAndSinkPerThread) {
+  ExecutionContextOptions options;
+  options.name = "scope-test";
+  options.num_threads = 2;
+  options.trace_capacity = 4;
+  ExecutionContext ctx(options);
+  {
+    ExecutionContext::Scope scope(ctx);
+    EXPECT_EQ(&ThreadPool::Current(), &ctx.pool());
+    EXPECT_EQ(&obs::TraceSink::Current(), &ctx.trace_sink());
+  }
+  EXPECT_EQ(&ThreadPool::Current(), &ThreadPool::Get());
+  EXPECT_EQ(&obs::TraceSink::Current(), &obs::TraceSink::Get());
+
+  // A run through the context lands its trace in the context's sink, not
+  // the process-wide one.
+  GraphHandle handle(TestGraph());
+  const size_t global_before = obs::TraceSink::Get().Snapshot().size();
+  RunBfs(handle, 1, PushConfig(), ctx);
+  EXPECT_EQ(ctx.trace_sink().Snapshot().size(), 1u);
+  EXPECT_EQ(obs::TraceSink::Get().Snapshot().size(), global_before);
+}
+
+}  // namespace
+}  // namespace egraph

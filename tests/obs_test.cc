@@ -274,6 +274,65 @@ TEST_F(ObsTest, TraceSinkDropsOldestBeyondCapacity) {
   EXPECT_EQ(sunk.back().algorithm, "t" + std::to_string(TraceSink::kMaxTraces + 9));
 }
 
+TEST_F(ObsTest, TraceSinkRingAccountingAndReset) {
+  // A small instantiable sink (the shape an ExecutionContext owns): the
+  // ring keeps the newest `capacity` traces and counts what it overwrote.
+  TraceSink sink(/*capacity=*/3);
+  EXPECT_EQ(sink.capacity(), 3u);
+  EXPECT_EQ(sink.recorded(), 0);
+  EXPECT_EQ(sink.dropped(), 0);
+
+  EngineTrace trace;
+  for (int i = 0; i < 5; ++i) {
+    trace.algorithm = "t" + std::to_string(i);
+    sink.Record(trace);
+  }
+  EXPECT_EQ(sink.recorded(), 5);
+  EXPECT_EQ(sink.dropped(), 2);  // t0 and t1 overwritten
+  std::vector<EngineTrace> sunk = sink.Snapshot();
+  ASSERT_EQ(sunk.size(), 3u);
+  EXPECT_EQ(sunk[0].algorithm, "t2");
+  EXPECT_EQ(sunk[2].algorithm, "t4");
+
+  // Clear drops the retained traces but keeps the lifetime accounting.
+  sink.Clear();
+  EXPECT_TRUE(sink.Snapshot().empty());
+  EXPECT_EQ(sink.recorded(), 5);
+  EXPECT_EQ(sink.dropped(), 2);
+  trace.algorithm = "after-clear";
+  sink.Record(trace);
+  EXPECT_EQ(sink.recorded(), 6);
+  ASSERT_EQ(sink.Snapshot().size(), 1u);
+  EXPECT_EQ(sink.Snapshot()[0].algorithm, "after-clear");
+
+  // Reset zeroes everything: retained traces and both counters.
+  sink.Reset();
+  EXPECT_TRUE(sink.Snapshot().empty());
+  EXPECT_EQ(sink.recorded(), 0);
+  EXPECT_EQ(sink.dropped(), 0);
+}
+
+TEST_F(ObsTest, ScopedTraceSinkRedirectsAndNests) {
+  TraceSink outer(4);
+  TraceSink inner(4);
+  EngineTrace trace;
+  trace.algorithm = "scoped";
+  {
+    ScopedTraceSink bind_outer(outer);
+    EXPECT_EQ(&TraceSink::Current(), &outer);
+    {
+      ScopedTraceSink bind_inner(inner);
+      EXPECT_EQ(&TraceSink::Current(), &inner);
+      TraceSink::Current().Record(trace);
+    }
+    EXPECT_EQ(&TraceSink::Current(), &outer);  // binding restored on unwind
+  }
+  EXPECT_EQ(&TraceSink::Current(), &TraceSink::Get());
+  EXPECT_EQ(inner.recorded(), 1);
+  EXPECT_EQ(outer.recorded(), 0);
+  EXPECT_TRUE(TraceSink::Get().Snapshot().empty());
+}
+
 // --- Exporters -------------------------------------------------------------
 
 TEST_F(ObsTest, ProcessReportRoundTripsThroughTheParser) {

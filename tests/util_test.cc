@@ -70,6 +70,40 @@ TEST(ThreadPool, WorkerIdsWithinBounds) {
   EXPECT_TRUE(ok.load());
 }
 
+TEST(ThreadPool, CurrentWorkerSentinel) {
+  // Outside any parallel region there is no worker identity: callers that
+  // used to see a bogus 0 (aliasing real worker 0's shard) now get the
+  // detectable sentinel, while CurrentWorkerSlot() still yields a safe
+  // index for per-worker buffers.
+  EXPECT_EQ(ThreadPool::CurrentWorker(), ThreadPool::kNoWorker);
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+  EXPECT_EQ(ThreadPool::CurrentWorkerSlot(), 0);
+
+  // Inside a region every body invocation sees a real worker id, and the
+  // slot matches it.
+  const int workers = ThreadPool::Get().num_threads();
+  std::atomic<bool> ok{true};
+  ParallelForChunks(0, 256, 1, [&](int64_t, int64_t, int worker) {
+    const int current = ThreadPool::CurrentWorker();
+    if (current == ThreadPool::kNoWorker || current != worker ||
+        current < 0 || current >= workers ||
+        ThreadPool::CurrentWorkerSlot() != current ||
+        !ThreadPool::InParallelRegion()) {
+      ok.store(false);
+    }
+  });
+  EXPECT_TRUE(ok.load());
+
+  // The region is over: back to the sentinel on the calling thread.
+  EXPECT_EQ(ThreadPool::CurrentWorker(), ThreadPool::kNoWorker);
+
+  // A plain thread that never touches the pool also sees the sentinel.
+  int seen = 0;
+  std::thread observer([&] { seen = ThreadPool::CurrentWorker(); });
+  observer.join();
+  EXPECT_EQ(seen, ThreadPool::kNoWorker);
+}
+
 TEST(ThreadPool, ConcurrentExternalCallersSerialize) {
   // Two plain threads issuing regions concurrently must not corrupt state.
   std::atomic<int64_t> total{0};

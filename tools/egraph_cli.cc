@@ -4,6 +4,10 @@
 //             [--seed=S] --out=FILE
 //   convert   --from=snap|mm|text|binary --to=binary|text IN OUT
 //   stats     FILE                       print Table-1-style statistics
+//   serve     --queries=FILE --concurrency=N [--threads-per-query=K]
+//             [--queue-capacity=M] [--symmetrize]
+//             [--layout=...] [--direction=...] [--sync=...] [--balance=...]
+//             FILE
 //   run       --algo=bfs|wcc|sssp|pagerank|spmv|kcore|triangles
 //             [--layout=adjacency|edge-array|grid]
 //             [--direction=push|pull|push-pull] [--sync=atomics|locks|lock-free]
@@ -15,6 +19,10 @@
 //             [--timeline=FILE]
 //             FILE
 //
+// `serve` freezes the loaded graph into an immutable snapshot and executes
+// the query file (one `<algo> [source]` per line) on N concurrent workers,
+// each with its own ExecutionContext — the library's serving mode. WCC
+// queries need --symmetrize (adjacency WCC expects an undirected list).
 // `run --advisor` lets the paper's section-9 roadmap pick the configuration.
 // Every run prints the end-to-end breakdown (load / preprocess / algorithm).
 // `--metrics` appends the observability tables (phase breakdown, engine
@@ -42,6 +50,7 @@
 #include "src/io/formats.h"
 #include "src/io/loader.h"
 #include "src/obs/export.h"
+#include "src/serve/query_session.h"
 #include "src/obs/phase.h"
 #include "src/obs/timeline.h"
 #include "src/util/env.h"
@@ -54,7 +63,7 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: egraph_cli <generate|convert|stats|run> [flags] [files]\n"
+               "usage: egraph_cli <generate|convert|stats|run|serve> [flags] [files]\n"
                "see the header of tools/egraph_cli.cc for the full flag list\n");
   return 2;
 }
@@ -451,6 +460,89 @@ int CmdRun(const Flags& flags) {
   return 0;
 }
 
+int CmdServe(const Flags& flags) {
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "serve: expected a graph file\n");
+    return 2;
+  }
+  const std::string queries_path = flags.GetString("queries", "");
+  if (queries_path.empty()) {
+    std::fprintf(stderr, "serve: --queries is required\n");
+    return 2;
+  }
+
+  RunConfig config;
+  config.layout = ParseLayout(flags.GetString("layout", "adjacency"));
+  config.direction = ParseDirection(flags.GetString("direction", "push"));
+  config.sync = ParseSync(flags.GetString("sync", "atomics"));
+  config.balance = ParseBalance(flags.GetString("balance", "edge"));
+  config.method = ParseMethod(flags.GetString("method", "radix"));
+
+  const std::vector<serve::ServeQuery> queries =
+      serve::ReadQueryFile(queries_path, config);
+  if (queries.empty()) {
+    std::fprintf(stderr, "serve: %s holds no queries\n", queries_path.c_str());
+    return 2;
+  }
+
+  Timer load_timer;
+  EdgeList graph;
+  {
+    obs::ScopedPhase load_phase(obs::Phase::kLoad);
+    graph = LoadAs(flags.GetString("from", "binary"), flags.positional()[0]);
+  }
+  const double load_seconds = load_timer.Seconds();
+  if (flags.GetBool("symmetrize", false)) {
+    graph = graph.MakeUndirected();
+    config.symmetric_input = true;
+  }
+  GraphHandle handle(std::move(graph));
+
+  // Build the layouts the queries will touch before starting the clock, so
+  // the reported throughput is pure query execution (pre-processing is
+  // accounted separately, as everywhere else in the library). A missing
+  // layout would still be built safely on first use — just once, inside the
+  // measured window.
+  for (const serve::ServeQuery& query : queries) {
+    PrepareForRun(handle, query.config);
+    if (query.kind == serve::QueryKind::kPagerank &&
+        query.config.layout == Layout::kAdjacency) {
+      RunConfig pull = query.config;
+      pull.direction = Direction::kPull;  // pagerank's pull pass needs the in-CSR
+      PrepareForRun(handle, pull);
+    }
+  }
+
+  serve::QuerySessionOptions options;
+  options.concurrency = static_cast<int>(flags.GetInt("concurrency", 1));
+  options.threads_per_query = static_cast<int>(flags.GetInt("threads-per-query", 1));
+  options.queue_capacity = static_cast<size_t>(flags.GetInt("queue-capacity", 1024));
+
+  serve::QuerySession session(handle, options);
+  int64_t accepted = 0;
+  for (const serve::ServeQuery& query : queries) {
+    accepted += session.Submit(query) ? 1 : 0;
+  }
+  const std::vector<serve::ServeResult> results = session.Drain();
+  const serve::QuerySessionStats& stats = session.stats();
+
+  for (const serve::ServeResult& result : results) {
+    std::printf("query %lld: %s %s in %.4fs (%d iterations, worker %d, checksum %016llx)\n",
+                static_cast<long long>(result.id), serve::QueryKindName(result.kind),
+                result.ok ? "ok" : "FAILED", result.seconds, result.iterations,
+                result.worker, static_cast<unsigned long long>(result.checksum));
+  }
+  std::printf("serve: %lld/%zu queries accepted, %lld completed, %lld rejected\n",
+              static_cast<long long>(accepted), queries.size(),
+              static_cast<long long>(stats.completed),
+              static_cast<long long>(stats.rejected));
+  std::printf("serve: load %.3fs, preprocess %.3fs, concurrency %d -> %.1f queries/s "
+              "(%.3fs wall)\n",
+              load_seconds, handle.preprocess_seconds(), options.concurrency, stats.qps,
+              stats.wall_seconds);
+  return stats.completed == accepted ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -469,6 +561,9 @@ int Main(int argc, char** argv) {
     }
     if (command == "run") {
       return CmdRun(flags);
+    }
+    if (command == "serve") {
+      return CmdServe(flags);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
