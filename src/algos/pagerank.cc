@@ -47,7 +47,11 @@ PagerankResult RunPagerank(GraphHandle& handle, const PagerankOptions& options,
     Timer iteration;
     trace.BeginIteration(n, /*frontier_sparse=*/false);
     // Per-vertex contribution; dangling vertices spread their mass uniformly.
-    double dangling = ParallelReduceSum<double>(0, static_cast<int64_t>(n), [&](int64_t v) {
+    // The deterministic reduction keeps the dangling mass — and therefore the
+    // whole rank sequence — bit-identical across pool sizes, so the serve
+    // layer can cross-check isolated and batched executions exactly.
+    double dangling = ParallelReduceSumDeterministic<double>(0, static_cast<int64_t>(n),
+                                                             [&](int64_t v) {
       if (degree[static_cast<size_t>(v)] == 0) {
         return static_cast<double>(rank[static_cast<size_t>(v)]);
       }

@@ -30,6 +30,7 @@
 #define SRC_ENGINE_EDGE_MAP_H_
 
 #include <algorithm>
+#include <span>
 #include <type_traits>
 #include <vector>
 
@@ -135,6 +136,89 @@ inline void PushSlice(const Csr& out, VertexId src, size_t j_lo, size_t j_hi, F&
   }
 }
 
+// Core of the push kernel: relaxes the out-edges of `active` under the
+// selected balance mode, marking discoveries in `next` and appending them to
+// per-worker `buffers`. Shared by EdgeMapCsrPush (which owns the round
+// bitmap) and EdgeMapCsrPushScoped (where the caller owns it across several
+// calls in one round).
+template <typename F>
+void PushActive(const Csr& out, std::span<const VertexId> active, F& func,
+                const EdgeMapOptions& options, Bitmap& next,
+                std::vector<std::vector<VertexId>>& buffers) {
+  const int64_t m = static_cast<int64_t>(active.size());
+  obs::EngineCounters& metrics = obs::EngineCounters::Get();
+  DispatchBools(
+      out.has_weights(), options.sync == Sync::kLocks, [&](auto wtag, auto ltag) {
+        constexpr bool kWeighted = decltype(wtag)::value;
+        constexpr bool kUseLocks = decltype(ltag)::value;
+        if (options.balance == Balance::kEdge) {
+          std::vector<uint64_t> local_prefix;
+          std::vector<uint64_t>& prefix =
+              options.scratch != nullptr ? options.scratch->PrefixStorage() : local_prefix;
+          prefix.resize(static_cast<size_t>(m));
+          ParallelFor(0, m, [&](int64_t i) {
+            prefix[static_cast<size_t>(i)] = out.Degree(active[static_cast<size_t>(i)]);
+          });
+          const uint64_t total = ParallelExclusiveScan(prefix);
+          const int64_t num_chunks = BalancedChunkCount(total, kEdgeMapMinChunkCost);
+          const uint64_t target =
+              (total + static_cast<uint64_t>(num_chunks) - 1) / static_cast<uint64_t>(num_chunks);
+          ParallelForChunks(
+              0, num_chunks, /*grain=*/1, [&](int64_t chunk_lo, int64_t chunk_hi, int worker) {
+                auto& buffer = buffers[static_cast<size_t>(worker)];
+                for (int64_t c = chunk_lo; c < chunk_hi; ++c) {
+                  const uint64_t p0 = static_cast<uint64_t>(c) * target;
+                  const uint64_t p1 = std::min<uint64_t>(p0 + target, total);
+                  if (p0 >= p1) {
+                    continue;
+                  }
+                  obs::TimelineSpan chunk_span("engine", "edgemap.chunk",
+                                               static_cast<int64_t>(p1 - p0));
+                  // Vertex containing position p0: last i with prefix[i] <= p0
+                  // (skips any zero-degree plateau ending at p0).
+                  int64_t i =
+                      std::upper_bound(prefix.begin(), prefix.end(), p0) - prefix.begin() - 1;
+                  uint64_t pos = p0;
+                  int64_t relaxed = 0;
+                  while (pos < p1) {
+                    const VertexId src = active[static_cast<size_t>(i)];
+                    const uint64_t base = prefix[static_cast<size_t>(i)];
+                    const uint64_t degree = out.Degree(src);
+                    const size_t j_lo = static_cast<size_t>(pos - base);
+                    const size_t j_hi = static_cast<size_t>(std::min<uint64_t>(degree, p1 - base));
+                    if (j_lo < j_hi) {
+                      PushSlice<kWeighted, kUseLocks>(out, src, j_lo, j_hi, func, options.locks,
+                                                      next, buffer, relaxed);
+                    }
+                    pos = base + j_hi;
+                    ++i;
+                  }
+                  metrics.edges_scanned.Add(static_cast<int64_t>(p1 - p0));
+                  metrics.edges_relaxed.Add(relaxed);
+                }
+              });
+        } else {
+          ParallelForChunks(
+              0, m, /*grain=*/64, [&](int64_t lo, int64_t hi, int worker) {
+                auto& buffer = buffers[static_cast<size_t>(worker)];
+                const uint64_t span_start = obs::TimelineNow();
+                int64_t scanned = 0;
+                int64_t relaxed = 0;
+                for (int64_t i = lo; i < hi; ++i) {
+                  const VertexId src = active[static_cast<size_t>(i)];
+                  const size_t degree = out.Degree(src);
+                  PushSlice<kWeighted, kUseLocks>(out, src, 0, degree, func, options.locks, next,
+                                                  buffer, relaxed);
+                  scanned += static_cast<int64_t>(degree);
+                }
+                metrics.edges_scanned.Add(scanned);
+                metrics.edges_relaxed.Add(relaxed);
+                obs::TimelineEndSpan("engine", "edgemap.chunk", span_start, scanned);
+              });
+        }
+      });
+}
+
 }  // namespace edge_map_internal
 
 // --- Adjacency list, push (paper: enables working on the active subset) ----
@@ -176,76 +260,8 @@ Frontier EdgeMapCsrPush(const Csr& out, Frontier& frontier, F& func,
   Bitmap& next = *next_ptr;
   std::vector<std::vector<VertexId>>& buffers = *buffers_ptr;
 
-  edge_map_internal::DispatchBools(
-      out.has_weights(), options.sync == Sync::kLocks, [&](auto wtag, auto ltag) {
-        constexpr bool kWeighted = decltype(wtag)::value;
-        constexpr bool kUseLocks = decltype(ltag)::value;
-        if (options.balance == Balance::kEdge) {
-          std::vector<uint64_t> local_prefix;
-          std::vector<uint64_t>& prefix =
-              options.scratch != nullptr ? options.scratch->PrefixStorage() : local_prefix;
-          prefix.resize(static_cast<size_t>(m));
-          ParallelFor(0, m, [&](int64_t i) {
-            prefix[static_cast<size_t>(i)] = out.Degree(active[static_cast<size_t>(i)]);
-          });
-          const uint64_t total = ParallelExclusiveScan(prefix);
-          const int64_t num_chunks = BalancedChunkCount(total, kEdgeMapMinChunkCost);
-          const uint64_t target =
-              (total + static_cast<uint64_t>(num_chunks) - 1) / static_cast<uint64_t>(num_chunks);
-          ParallelForChunks(
-              0, num_chunks, /*grain=*/1, [&](int64_t chunk_lo, int64_t chunk_hi, int worker) {
-                auto& buffer = buffers[static_cast<size_t>(worker)];
-                for (int64_t c = chunk_lo; c < chunk_hi; ++c) {
-                  const uint64_t p0 = static_cast<uint64_t>(c) * target;
-                  const uint64_t p1 = std::min<uint64_t>(p0 + target, total);
-                  if (p0 >= p1) {
-                    continue;
-                  }
-                  obs::TimelineSpan chunk_span("engine", "edgemap.chunk",
-                                               static_cast<int64_t>(p1 - p0));
-                  // Vertex containing position p0: last i with prefix[i] <= p0
-                  // (skips any zero-degree plateau ending at p0).
-                  int64_t i =
-                      std::upper_bound(prefix.begin(), prefix.end(), p0) - prefix.begin() - 1;
-                  uint64_t pos = p0;
-                  int64_t relaxed = 0;
-                  while (pos < p1) {
-                    const VertexId src = active[static_cast<size_t>(i)];
-                    const uint64_t base = prefix[static_cast<size_t>(i)];
-                    const uint64_t degree = out.Degree(src);
-                    const size_t j_lo = static_cast<size_t>(pos - base);
-                    const size_t j_hi = static_cast<size_t>(std::min<uint64_t>(degree, p1 - base));
-                    if (j_lo < j_hi) {
-                      edge_map_internal::PushSlice<kWeighted, kUseLocks>(
-                          out, src, j_lo, j_hi, func, options.locks, next, buffer, relaxed);
-                    }
-                    pos = base + j_hi;
-                    ++i;
-                  }
-                  metrics.edges_scanned.Add(static_cast<int64_t>(p1 - p0));
-                  metrics.edges_relaxed.Add(relaxed);
-                }
-              });
-        } else {
-          ParallelForChunks(
-              0, m, /*grain=*/64, [&](int64_t lo, int64_t hi, int worker) {
-                auto& buffer = buffers[static_cast<size_t>(worker)];
-                const uint64_t span_start = obs::TimelineNow();
-                int64_t scanned = 0;
-                int64_t relaxed = 0;
-                for (int64_t i = lo; i < hi; ++i) {
-                  const VertexId src = active[static_cast<size_t>(i)];
-                  const size_t degree = out.Degree(src);
-                  edge_map_internal::PushSlice<kWeighted, kUseLocks>(
-                      out, src, 0, degree, func, options.locks, next, buffer, relaxed);
-                  scanned += static_cast<int64_t>(degree);
-                }
-                metrics.edges_scanned.Add(scanned);
-                metrics.edges_relaxed.Add(relaxed);
-                obs::TimelineEndSpan("engine", "edgemap.chunk", span_start, scanned);
-              });
-        }
-      });
+  edge_map_internal::PushActive(out, std::span<const VertexId>(active), func, options, next,
+                                buffers);
 
   return Frontier::FromVector(
       n, edge_map_internal::ConcatBuffers(buffers, /*retain_capacity=*/options.scratch != nullptr));
@@ -351,6 +367,157 @@ Frontier EdgeMapCsrPull(const Csr& in, Frontier& frontier, F& func,
     total += c;
   }
   return Frontier::FromBitmap(n, std::move(next), total);
+}
+
+// --- Partition-scoped kernels (serve-layer batch scheduler) ----------------
+//
+// The fork-processing batch scheduler drains one LLC-sized partition across
+// all in-flight queries before advancing, so it needs EdgeMap entry points
+// that (a) take an explicit active-vertex slice instead of a whole Frontier
+// and (b) share the round's dedup state across several calls: one query's
+// round touches many partitions, and a destination relaxed from two
+// partitions must still enter the next frontier exactly once.
+
+// Push over `active` (a per-partition slice of one query's frontier) with a
+// caller-owned dedup bitmap. The bitmap is NOT cleared here — the caller
+// clears it once per query round, after all partitions have run. Newly
+// discovered destinations are appended to `discovered`. Called from inside a
+// parallel region (the scheduler's (query, partition) task loop) the whole
+// slice runs serially on the calling worker, matching the thread pool's
+// nested-call contract; at top level it uses the same balanced machinery as
+// EdgeMapCsrPush.
+template <typename F>
+void EdgeMapCsrPushScoped(const Csr& out, std::span<const VertexId> active, F& func,
+                          const EdgeMapOptions& options, Bitmap& dedup,
+                          std::vector<VertexId>& discovered) {
+  if (active.empty()) {
+    return;
+  }
+  obs::EngineCounters& metrics = obs::EngineCounters::Get();
+  metrics.edgemap_calls.Add(1);
+
+  if (ThreadPool::InParallelRegion() || ThreadPool::Current().num_threads() == 1) {
+    edge_map_internal::DispatchBools(
+        out.has_weights(), options.sync == Sync::kLocks, [&](auto wtag, auto ltag) {
+          constexpr bool kWeighted = decltype(wtag)::value;
+          constexpr bool kUseLocks = decltype(ltag)::value;
+          int64_t scanned = 0;
+          int64_t relaxed = 0;
+          for (const VertexId src : active) {
+            const size_t degree = out.Degree(src);
+            edge_map_internal::PushSlice<kWeighted, kUseLocks>(
+                out, src, 0, degree, func, options.locks, dedup, discovered, relaxed);
+            scanned += static_cast<int64_t>(degree);
+          }
+          metrics.edges_scanned.Add(scanned);
+          metrics.edges_relaxed.Add(relaxed);
+        });
+    return;
+  }
+
+  const int workers = ThreadPool::Current().num_threads();
+  std::vector<std::vector<VertexId>> buffers(static_cast<size_t>(workers));
+  edge_map_internal::PushActive(out, active, func, options, dedup, buffers);
+  for (auto& buffer : buffers) {
+    discovered.insert(discovered.end(), buffer.begin(), buffer.end());
+  }
+}
+
+// Pull restricted to destinations [dst_lo, dst_hi). Each destination has one
+// writer regardless of how the range is chunked, so no dedup bitmap is
+// needed; destinations whose state changed are appended to `discovered`.
+// Balance::kEdge picks chunk boundaries from the in-CSR offsets restricted
+// to the range (cost(v) = in-degree(v) + 1, as in EdgeMapCsrPull).
+template <typename F>
+void EdgeMapCsrPullRange(const Csr& in, Frontier& frontier, F& func,
+                         const EdgeMapOptions& options, VertexId dst_lo, VertexId dst_hi,
+                         std::vector<VertexId>& discovered) {
+  if (dst_lo >= dst_hi) {
+    return;
+  }
+  frontier.EnsureDense();
+  obs::EngineCounters& metrics = obs::EngineCounters::Get();
+  metrics.edgemap_calls.Add(1);
+  const Bitmap& active_bits = frontier.bitmap();
+
+  auto scan = [&](auto wtag, int64_t lo, int64_t hi, std::vector<VertexId>& updated_out) {
+    constexpr bool kWeighted = decltype(wtag)::value;
+    int64_t scanned = 0;
+    int64_t relaxed = 0;
+    int64_t cached_word_index = -1;
+    uint64_t cached_word = 0;
+    for (int64_t v = lo; v < hi; ++v) {
+      const VertexId dst = static_cast<VertexId>(v);
+      if (!func.Cond(dst)) {
+        continue;
+      }
+      const auto neighbors = in.Neighbors(dst);
+      const auto weights = in.Weights(dst);
+      bool updated = false;
+      for (size_t j = 0; j < neighbors.size(); ++j) {
+        const VertexId src = neighbors[j];
+        ++scanned;
+        const int64_t word_index = static_cast<int64_t>(src >> 6);
+        if (word_index != cached_word_index) {
+          cached_word_index = word_index;
+          cached_word = active_bits.Word(word_index);
+        }
+        if (((cached_word >> (src & 63)) & 1ULL) == 0) {
+          continue;
+        }
+        const float w = kWeighted ? weights[j] : 1.0f;
+        if (func.Update(src, dst, w)) {
+          updated = true;
+          ++relaxed;
+        }
+        if (!func.Cond(dst)) {
+          break;  // early exit: dst is done for this round
+        }
+      }
+      if (updated) {
+        updated_out.push_back(dst);
+      }
+    }
+    metrics.edges_scanned.Add(scanned);
+    metrics.edges_relaxed.Add(relaxed);
+  };
+
+  auto run = [&](auto wtag) {
+    if (ThreadPool::InParallelRegion() || ThreadPool::Current().num_threads() == 1) {
+      scan(wtag, static_cast<int64_t>(dst_lo), static_cast<int64_t>(dst_hi), discovered);
+      return;
+    }
+    const int workers = ThreadPool::Current().num_threads();
+    std::vector<std::vector<VertexId>> buffers(static_cast<size_t>(workers));
+    auto chunk_body = [&](int64_t lo, int64_t hi, int worker) {
+      scan(wtag, dst_lo + lo, dst_lo + hi, buffers[static_cast<size_t>(worker)]);
+    };
+    const int64_t span = static_cast<int64_t>(dst_hi) - static_cast<int64_t>(dst_lo);
+    if (options.balance == Balance::kEdge) {
+      const auto& offsets = in.offsets();
+      const uint64_t base = static_cast<uint64_t>(offsets[static_cast<size_t>(dst_lo)]);
+      const uint64_t total =
+          static_cast<uint64_t>(offsets[static_cast<size_t>(dst_hi)]) - base +
+          static_cast<uint64_t>(span);
+      const int64_t num_chunks = BalancedChunkCount(total, kEdgeMapMinChunkCost);
+      const std::vector<int64_t> bounds = BalancedChunkBoundaries(
+          span, num_chunks, [&offsets, base, dst_lo](int64_t i) {
+            return static_cast<uint64_t>(offsets[static_cast<size_t>(dst_lo + i)]) - base +
+                   static_cast<uint64_t>(i);
+          });
+      ParallelForBalancedChunks(bounds, chunk_body);
+    } else {
+      ParallelForChunks(0, span, /*grain=*/256, chunk_body);
+    }
+    for (auto& buffer : buffers) {
+      discovered.insert(discovered.end(), buffer.begin(), buffer.end());
+    }
+  };
+  if (in.has_weights()) {
+    run(std::true_type{});
+  } else {
+    run(std::false_type{});
+  }
 }
 
 // --- Adjacency list, dynamic push-pull (Beamer/Ligra) ----------------------

@@ -1,0 +1,59 @@
+// Fork-processing batch scheduler (ForkGraph / "Cache-Efficient
+// Fork-Processing Patterns on Large Graphs"): executes a cohort of concurrent
+// queries over one frozen GraphHandle by draining one LLC-sized CSR partition
+// across ALL queries before advancing to the next. While a partition's edges
+// are cache-resident they serve every in-flight query's frontier work in that
+// range, so the cohort fetches each partition once per round instead of once
+// per query — the difference src/cachesim/ makes measurable.
+//
+// Execution model: strict rounds. Each query holds per-partition frontier
+// work queues; a round dispatches one task per (partition, query-with-work)
+// pair, partition-major, onto the coordinator's pool. Discoveries are
+// deduplicated per query with a shared bitmap (a destination relaxed from two
+// partitions joins the next round once) and bucketed back into per-partition
+// queues at round turnover. Strict rounds keep the Ligra iteration semantics
+// of the isolated path, which is what makes result checksums bit-identical:
+// BFS reachability, SSSP distances, and WCC labels are schedule-independent
+// fixpoints, and batched PageRank is restricted to pull-direction queries
+// whose per-destination in-order float gather is exactly the isolated one.
+#ifndef SRC_SERVE_BATCH_SCHEDULER_H_
+#define SRC_SERVE_BATCH_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/engine/execution_context.h"
+#include "src/engine/graph_handle.h"
+#include "src/serve/query_session.h"
+
+namespace egraph::serve {
+
+// Cuts [0, n) into contiguous vertex ranges sized so one range's share of
+// the CSR (edges + offsets) plus per-query vertex state fits in roughly half
+// of `llc_bytes`. Returns P+1 boundaries with boundaries[0] == 0 and
+// boundaries[P] == n; P >= 1 always (a graph smaller than the budget yields
+// a single partition and batching degenerates gracefully). Boundaries are
+// edge-balanced — a mega-hub cannot drag its whole neighborhood into one
+// oversized partition beyond its own adjacency list.
+std::vector<VertexId> ComputeLlcPartitionBoundaries(const Csr& out, uint64_t llc_bytes);
+
+// True when the batch scheduler reproduces `query` bit-identically to the
+// isolated path: adjacency layout for everything, and pull direction for
+// PageRank (push-order float accumulation differs in ulps, which the
+// quantized checksum cannot absorb reliably).
+bool BatchableQuery(const ServeQuery& query);
+
+// Runs the cohort to completion under the fork-processing round loop.
+// `queries` must all satisfy BatchableQuery; `boundaries` comes from
+// ComputeLlcPartitionBoundaries; `ctx` supplies the shared pool the
+// (partition, query) tasks are dispatched on. The handle must be frozen and
+// every query's layout prepared. Results are returned in input order with
+// `batched` set and `seconds` measuring cohort-start to query-completion.
+std::vector<ServeResult> RunBatch(GraphHandle& handle,
+                                  const std::vector<ServeQuery>& queries,
+                                  const std::vector<VertexId>& boundaries,
+                                  ExecutionContext& ctx);
+
+}  // namespace egraph::serve
+
+#endif  // SRC_SERVE_BATCH_SCHEDULER_H_

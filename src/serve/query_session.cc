@@ -1,8 +1,6 @@
 #include "src/serve/query_session.h"
 
 #include <algorithm>
-#include <cmath>
-#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -11,67 +9,10 @@
 #include "src/algos/pagerank.h"
 #include "src/algos/sssp.h"
 #include "src/algos/wcc.h"
+#include "src/serve/batch_scheduler.h"
+#include "src/serve/checksum.h"
 
 namespace egraph::serve {
-namespace {
-
-// Stateless SplitMix64 finalizer: the per-element mixer behind the
-// order-independent (commutative-sum) checksums below.
-uint64_t Mix(uint64_t z) {
-  z += 0x9E3779B97F4A7C15ULL;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
-}
-
-uint64_t ChecksumBfs(const std::vector<VertexId>& parent) {
-  // Parent choices are execution-order dependent (any tree edge is a valid
-  // parent), but the REACHED SET is deterministic — fingerprint that.
-  uint64_t sum = 0;
-  for (VertexId v = 0; v < static_cast<VertexId>(parent.size()); ++v) {
-    if (parent[v] != kInvalidVertex) {
-      sum += Mix(v);
-    }
-  }
-  return sum;
-}
-
-uint64_t ChecksumSssp(const std::vector<float>& dist) {
-  // Converged distances are the min over paths of left-to-right float sums:
-  // deterministic. Quantize to 1e-4 to be safe against FMA contraction
-  // differences between build configurations.
-  uint64_t sum = 0;
-  for (VertexId v = 0; v < static_cast<VertexId>(dist.size()); ++v) {
-    if (std::isfinite(dist[v])) {
-      sum += Mix(v ^ (static_cast<uint64_t>(std::llround(dist[v] * 1e4)) << 20));
-    }
-  }
-  return sum;
-}
-
-uint64_t ChecksumWcc(const std::vector<VertexId>& label) {
-  // Label propagation converges to the minimum vertex id per component:
-  // deterministic regardless of execution interleaving.
-  uint64_t sum = 0;
-  for (VertexId v = 0; v < static_cast<VertexId>(label.size()); ++v) {
-    sum += Mix(v ^ (static_cast<uint64_t>(label[v]) << 32));
-  }
-  return sum;
-}
-
-uint64_t ChecksumPagerank(const std::vector<float>& rank) {
-  // Atomic float accumulation makes final ulps order-dependent; quantize
-  // each rank coarsely (1e-6 of total mass) before mixing.
-  uint64_t sum = 0;
-  for (VertexId v = 0; v < static_cast<VertexId>(rank.size()); ++v) {
-    sum += Mix(v ^ (static_cast<uint64_t>(std::llround(
-                        static_cast<double>(rank[v]) * 1e6))
-                    << 20));
-  }
-  return sum;
-}
-
-}  // namespace
 
 const char* QueryKindName(QueryKind kind) {
   switch (kind) {
@@ -141,6 +82,15 @@ std::vector<ServeQuery> ReadQueryFile(const std::string& path,
 QuerySession::QuerySession(GraphHandle& handle, QuerySessionOptions options)
     : handle_(handle), options_(std::move(options)) {
   handle_.Freeze();
+  if (options_.mode == ExecutionMode::kBatched) {
+    // One coordinator owns the whole cohort: it drains the queue, runs
+    // batchable queries through the fork-processing scheduler on a pool as
+    // wide as the isolated configuration's thread budget, and executes the
+    // rest isolated on the same pool.
+    worker_results_.resize(1);
+    workers_.emplace_back([this] { CoordinatorLoop(); });
+    return;
+  }
   const int concurrency = options_.concurrency < 1 ? 1 : options_.concurrency;
   worker_results_.resize(static_cast<size_t>(concurrency));
   workers_.reserve(static_cast<size_t>(concurrency));
@@ -151,18 +101,27 @@ QuerySession::QuerySession(GraphHandle& handle, QuerySessionOptions options)
 
 QuerySession::~QuerySession() { Drain(); }
 
-bool QuerySession::Submit(const ServeQuery& query) {
+SubmitStatus QuerySession::Submit(const ServeQuery& query) {
   {
     std::lock_guard<std::mutex> guard(mutex_);
-    if (closed_ || queue_.size() >= options_.queue_capacity) {
-      ++rejected_;
-      return false;
+    if (closed_) {
+      ++rejected_closed_;
+      if (drained_) {
+        // Keep the published stats truthful for late submissions too.
+        stats_.rejected_closed = rejected_closed_;
+        stats_.rejected = rejected_full_ + rejected_closed_;
+      }
+      return SubmitStatus::kClosed;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      ++rejected_full_;
+      return SubmitStatus::kQueueFull;
     }
     queue_.push_back(query);
     ++submitted_;
   }
   cv_.notify_one();
-  return true;
+  return SubmitStatus::kAccepted;
 }
 
 std::vector<ServeResult> QuerySession::Drain() {
@@ -179,14 +138,22 @@ std::vector<ServeResult> QuerySession::Drain() {
       worker.join();
     }
   }
+  std::lock_guard<std::mutex> guard(mutex_);  // vs late Submit calls
   for (const std::vector<ServeResult>& partial : worker_results_) {
     results_.insert(results_.end(), partial.begin(), partial.end());
   }
   std::sort(results_.begin(), results_.end(),
             [](const ServeResult& a, const ServeResult& b) { return a.id < b.id; });
   stats_.submitted = submitted_;
-  stats_.rejected = rejected_;
+  stats_.rejected_full = rejected_full_;
+  stats_.rejected_closed = rejected_closed_;
+  stats_.rejected = rejected_full_ + rejected_closed_;
   stats_.completed = static_cast<int64_t>(results_.size());
+  stats_.batched = 0;
+  for (const ServeResult& result : results_) {
+    stats_.batched += result.batched ? 1 : 0;
+  }
+  stats_.batches = batches_;
   stats_.wall_seconds = wall_timer_.Seconds();
   stats_.qps = stats_.wall_seconds > 0.0
                    ? static_cast<double>(stats_.completed) / stats_.wall_seconds
@@ -215,6 +182,73 @@ void QuerySession::WorkerLoop(int worker_index) {
     }
     worker_results_[static_cast<size_t>(worker_index)].push_back(
         Execute(query, ctx, worker_index));
+  }
+}
+
+void QuerySession::CoordinatorLoop() {
+  const int concurrency = options_.concurrency < 1 ? 1 : options_.concurrency;
+  const int threads_per_query = options_.threads_per_query < 1 ? 1 : options_.threads_per_query;
+  ExecutionContextOptions ctx_options;
+  ctx_options.name = "serve.batch";
+  ctx_options.num_threads = concurrency * threads_per_query;
+  ctx_options.seed = options_.seed;
+  ExecutionContext ctx(ctx_options);
+  // Fallback queries run on a pool shaped exactly like an isolated worker's:
+  // pool width changes float-summation order (push pagerank), and mode must
+  // never change a result, batchable or not.
+  ExecutionContextOptions fallback_options;
+  fallback_options.name = "serve.batch.fallback";
+  fallback_options.num_threads = threads_per_query;
+  fallback_options.seed = options_.seed;
+  ExecutionContext fallback_ctx(fallback_options);
+
+  const int batch_min = std::max(1, options_.batch_min);
+  const size_t max_batch =
+      static_cast<size_t>(std::max(1, options_.max_batch));
+  std::vector<VertexId> boundaries;  // computed once, after the first prepare
+
+  while (true) {
+    std::vector<ServeQuery> cohort;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // closed and drained
+      }
+      while (!queue_.empty() && cohort.size() < max_batch) {
+        cohort.push_back(queue_.front());
+        queue_.pop_front();
+      }
+    }
+
+    std::vector<ServeQuery> batchable;
+    std::vector<ServeQuery> fallback;
+    for (const ServeQuery& query : cohort) {
+      (BatchableQuery(query) ? batchable : fallback).push_back(query);
+    }
+    if (static_cast<int>(batchable.size()) < batch_min) {
+      // Too few to amortize partition bookkeeping — run the whole cohort
+      // isolated, in arrival order.
+      fallback = std::move(cohort);
+      batchable.clear();
+    }
+
+    std::vector<ServeResult>& sink = worker_results_[0];
+    if (!batchable.empty()) {
+      for (const ServeQuery& query : batchable) {
+        PrepareForRun(handle_, query.config);
+      }
+      if (boundaries.empty()) {
+        boundaries = ComputeLlcPartitionBoundaries(handle_.out_csr(), options_.llc_bytes);
+      }
+      const std::vector<ServeResult> batch_results =
+          RunBatch(handle_, batchable, boundaries, ctx);
+      sink.insert(sink.end(), batch_results.begin(), batch_results.end());
+      ++batches_;
+    }
+    for (const ServeQuery& query : fallback) {
+      sink.push_back(Execute(query, fallback_ctx, 0));
+    }
   }
 }
 

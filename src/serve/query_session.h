@@ -1,16 +1,28 @@
 // QuerySession: a bounded multi-query executor over one frozen GraphHandle —
 // the serving-side counterpart of the paper's one-algorithm-at-a-time
-// benchmarks. N worker threads each own a private ExecutionContext (pool,
-// trace sink, scratch), pull queries from a bounded queue, and run the
-// requested algorithm against the shared snapshot. Because the handle is
-// frozen and every per-query mutable state lives in the worker's context,
-// queries are data-race free by construction; because each context owns a
-// private pool, they scale with concurrency instead of serializing on the
-// process-wide pool's region lock.
+// benchmarks. Two execution modes:
 //
-// Admission control is explicit: Submit() rejects (returns false) when the
-// queue is at capacity, so a producer that outruns the workers sees
-// backpressure instead of unbounded memory growth.
+//   kIsolated — N worker threads each own a private ExecutionContext (pool,
+//   trace sink, scratch), pull queries from a bounded queue, and run the
+//   requested algorithm against the shared snapshot. Because the handle is
+//   frozen and every per-query mutable state lives in the worker's context,
+//   queries are data-race free by construction; because each context owns a
+//   private pool, they scale with concurrency instead of serializing on the
+//   process-wide pool's region lock. The catch (ROADMAP): N concurrent
+//   whole-graph sweeps thrash the shared LLC N ways at once.
+//
+//   kBatched — one coordinator thread drains the queue into cohorts and runs
+//   them through the fork-processing batch scheduler (batch_scheduler.h):
+//   the CSR is cut into LLC-sized vertex ranges and each round drains one
+//   partition across ALL in-flight queries before advancing, so the
+//   partition's edges are fetched once per round instead of once per query.
+//   Cohorts below `batch_min` — and queries the scheduler cannot reproduce
+//   bit-identically — fall back to the isolated path on the coordinator.
+//   Result checksums are bit-identical between the two modes.
+//
+// Admission control is explicit: Submit() rejects — with a distinct status
+// for "queue full" vs "session draining" — so a producer that outruns the
+// workers sees backpressure instead of unbounded memory growth.
 #ifndef SRC_SERVE_QUERY_SESSION_H_
 #define SRC_SERVE_QUERY_SESSION_H_
 
@@ -54,7 +66,9 @@ struct ServeResult {
   QueryKind kind = QueryKind::kBfs;
   bool ok = false;
   int worker = -1;         // session worker that executed the query
-  double seconds = 0.0;    // wall time of the Run* call
+  bool batched = false;    // true when the fork-processing scheduler ran it
+  double seconds = 0.0;    // wall time of the Run* call (batched: from cohort
+                           // start to the round the query completed)
   int iterations = 0;      // rounds the algorithm took
   // Order-independent fingerprint of the query's output (reached set for
   // BFS, quantized distances for SSSP, component labels for WCC, quantized
@@ -65,22 +79,52 @@ struct ServeResult {
   uint64_t checksum = 0;
 };
 
+// Why Submit() bounced a query — "try again later" (kQueueFull) and "never
+// again" (kClosed) need different producer reactions, so they are distinct.
+enum class SubmitStatus {
+  kAccepted = 0,
+  kQueueFull = 1,  // admission control: the bounded queue is at capacity
+  kClosed = 2,     // Drain() already began; the session takes no more work
+};
+
+enum class ExecutionMode {
+  kIsolated = 0,  // one worker context per query (PR-5 behaviour)
+  kBatched = 1,   // fork-processing partition batches across queries
+};
+
 struct QuerySessionOptions {
-  // Worker threads; each owns an ExecutionContext. At least 1.
+  // Isolated: worker threads, each owning an ExecutionContext. Batched: the
+  // width of the coordinator's shared pool. At least 1.
   int concurrency = 1;
   // Threads of each worker's private pool. 1 keeps a query on its worker's
   // thread (intra-query parallelism off — the throughput configuration);
-  // larger values trade per-query latency for throughput.
+  // larger values trade per-query latency for throughput. Batched mode
+  // multiplies this into the coordinator pool so the thread budget matches
+  // the isolated configuration it is compared against.
   int threads_per_query = 1;
   // Submit() rejects once this many queries are waiting.
   size_t queue_capacity = 1024;
   uint64_t seed = 0;  // seed base for the workers' contexts
+  ExecutionMode mode = ExecutionMode::kIsolated;
+  // --- Batched-mode knobs (ignored in kIsolated) ---
+  // Last-level cache size the partitioner targets; partitions are sized so
+  // one partition's edges plus per-query state fit in roughly half of it.
+  uint64_t llc_bytes = 16ull << 20;
+  // Cohorts smaller than this run isolated — partition bookkeeping only
+  // pays for itself when several queries share each partition's residency.
+  int batch_min = 2;
+  // Upper bound on queries drained into one cohort.
+  int max_batch = 16;
 };
 
 struct QuerySessionStats {
-  int64_t submitted = 0;  // accepted by Submit
-  int64_t rejected = 0;   // bounced by admission control
+  int64_t submitted = 0;        // accepted by Submit
+  int64_t rejected = 0;         // total bounces (rejected_full + rejected_closed)
+  int64_t rejected_full = 0;    // bounced by admission control (queue at capacity)
+  int64_t rejected_closed = 0;  // bounced because the session was draining
   int64_t completed = 0;
+  int64_t batched = 0;   // completed queries that ran through the batch scheduler
+  int64_t batches = 0;   // cohorts the batch scheduler executed
   double wall_seconds = 0.0;  // construction to Drain completion
   double qps = 0.0;           // completed / wall_seconds
 };
@@ -104,9 +148,9 @@ class QuerySession {
   QuerySession(const QuerySession&) = delete;
   QuerySession& operator=(const QuerySession&) = delete;
 
-  // Enqueues a query. Returns false — without blocking — when the queue is
-  // at capacity or the session is already draining.
-  bool Submit(const ServeQuery& query);
+  // Enqueues a query. Never blocks: returns kQueueFull when the queue is at
+  // capacity and kClosed once Drain() has begun.
+  SubmitStatus Submit(const ServeQuery& query);
 
   // Closes admission, waits for every accepted query to finish, joins the
   // workers, and returns all results ordered by query id. Idempotent
@@ -118,6 +162,7 @@ class QuerySession {
 
  private:
   void WorkerLoop(int worker_index);
+  void CoordinatorLoop();
   ServeResult Execute(const ServeQuery& query, ExecutionContext& ctx, int worker_index);
 
   GraphHandle& handle_;
@@ -132,8 +177,10 @@ class QuerySession {
   std::vector<std::vector<ServeResult>> worker_results_;  // one slot per worker
 
   Timer wall_timer_;
-  int64_t submitted_ = 0;  // guarded by mutex_
-  int64_t rejected_ = 0;   // guarded by mutex_
+  int64_t submitted_ = 0;        // guarded by mutex_
+  int64_t rejected_full_ = 0;    // guarded by mutex_
+  int64_t rejected_closed_ = 0;  // guarded by mutex_
+  int64_t batches_ = 0;          // coordinator-only until Drain joins
   bool drained_ = false;
   std::vector<ServeResult> results_;
   QuerySessionStats stats_;

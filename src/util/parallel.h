@@ -94,6 +94,51 @@ T ParallelReduceSum(int64_t begin, int64_t end, Body&& body) {
   return ParallelReduceSum<T>(ThreadPool::Current(), begin, end, std::forward<Body>(body));
 }
 
+// Fixed block size of the deterministic reduction below. A power of two big
+// enough that the per-block partial vector stays small next to the data.
+inline constexpr int64_t kDeterministicReduceBlock = 4096;
+
+// Pool-size-independent parallel sum: the range is cut into fixed-size
+// blocks (kDeterministicReduceBlock, NOT per-worker chunks), each block is
+// summed left to right, and the block partials are combined in block order
+// on the caller. The result is a pure function of the input — unlike
+// ParallelReduceSum, whose per-worker partial grouping (and therefore its
+// float rounding) changes with the pool width. Use for floating-point
+// accumulations that must be bit-identical across execution contexts of
+// different sizes (e.g. the serve layer re-running one query's reduction
+// under a differently-sized pool must reproduce it exactly).
+template <typename T, typename Body>
+T ParallelReduceSumDeterministic(ThreadPool& pool, int64_t begin, int64_t end,
+                                 Body&& body) {
+  const int64_t n = end - begin;
+  if (n <= 0) {
+    return T{};
+  }
+  const int64_t blocks =
+      (n + kDeterministicReduceBlock - 1) / kDeterministicReduceBlock;
+  std::vector<T> partial(static_cast<size_t>(blocks), T{});
+  ParallelFor(pool, 0, blocks, [&body, &partial, begin, end](int64_t b) {
+    const int64_t lo = begin + b * kDeterministicReduceBlock;
+    const int64_t hi = std::min(end, lo + kDeterministicReduceBlock);
+    T local{};
+    for (int64_t i = lo; i < hi; ++i) {
+      local += body(i);
+    }
+    partial[static_cast<size_t>(b)] = local;
+  });
+  T total{};
+  for (const T& value : partial) {
+    total += value;
+  }
+  return total;
+}
+
+template <typename T, typename Body>
+T ParallelReduceSumDeterministic(int64_t begin, int64_t end, Body&& body) {
+  return ParallelReduceSumDeterministic<T>(ThreadPool::Current(), begin, end,
+                                           std::forward<Body>(body));
+}
+
 // Parallel max-reduction of body(i) over [begin, end); returns `init` when
 // the range is empty.
 template <typename T, typename Body>

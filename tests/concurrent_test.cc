@@ -204,7 +204,7 @@ TEST(ConcurrentTest, QuerySessionRunsMixedQueries) {
     query.kind = i % 2 == 0 ? serve::QueryKind::kBfs : serve::QueryKind::kSssp;
     query.source = static_cast<VertexId>(i);
     query.config = config;
-    EXPECT_TRUE(session.Submit(query));
+    EXPECT_EQ(session.Submit(query), serve::SubmitStatus::kAccepted);
     queries.push_back(query);
   }
   const std::vector<serve::ServeResult> results = session.Drain();
@@ -222,7 +222,7 @@ TEST(ConcurrentTest, QuerySessionRunsMixedQueries) {
   serial_options.concurrency = 1;
   serve::QuerySession serial_session(handle, serial_options);
   for (const serve::ServeQuery& query : queries) {
-    EXPECT_TRUE(serial_session.Submit(query));
+    EXPECT_EQ(serial_session.Submit(query), serve::SubmitStatus::kAccepted);
   }
   const std::vector<serve::ServeResult> serial_results = serial_session.Drain();
   ASSERT_EQ(serial_results.size(), results.size());
@@ -243,15 +243,22 @@ TEST(ConcurrentTest, QuerySessionAdmissionControl) {
   serve::QuerySession session(handle, options);
   serve::ServeQuery query;
   query.config = config;
-  EXPECT_FALSE(session.Submit(query));
-  EXPECT_FALSE(session.Submit(query));
+  // A full queue and a closed session are distinct rejection reasons: callers
+  // retry the former and give up on the latter.
+  EXPECT_EQ(session.Submit(query), serve::SubmitStatus::kQueueFull);
+  EXPECT_EQ(session.Submit(query), serve::SubmitStatus::kQueueFull);
   const std::vector<serve::ServeResult> results = session.Drain();
   EXPECT_TRUE(results.empty());
   EXPECT_EQ(session.stats().rejected, 2);
+  EXPECT_EQ(session.stats().rejected_full, 2);
+  EXPECT_EQ(session.stats().rejected_closed, 0);
   EXPECT_EQ(session.stats().submitted, 0);
 
-  // Submitting after Drain is rejected, not queued forever.
-  EXPECT_FALSE(session.Submit(query));
+  // Submitting after Drain is rejected as closed, not queued forever — and
+  // not confused with back-pressure.
+  EXPECT_EQ(session.Submit(query), serve::SubmitStatus::kClosed);
+  EXPECT_EQ(session.stats().rejected_closed, 1);
+  EXPECT_EQ(session.stats().rejected, 3);
 }
 
 TEST(ConcurrentTest, ExecutionContextSeedStreamIsDeterministic) {

@@ -1,0 +1,463 @@
+// Differential + concurrency matrix for the fork-processing batch scheduler:
+// batched execution must reproduce the isolated and serial-reference result
+// checksums bit-identically for randomized mixed-kind query streams (all
+// four kernels) across graph families — including the mega-hub star whose
+// single adjacency list dwarfs any LLC partition — plus partition-boundary
+// edge cases (empty partitions, a single-partition graph, frontiers
+// straddling a boundary) and a >= 8-query concurrent batch drain that TSan
+// can interrogate.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/algos/bfs.h"
+#include "src/algos/pagerank.h"
+#include "src/algos/sssp.h"
+#include "src/algos/wcc.h"
+#include "src/engine/execution_context.h"
+#include "src/engine/graph_handle.h"
+#include "src/gen/erdos_renyi.h"
+#include "src/gen/rmat.h"
+#include "src/serve/batch_scheduler.h"
+#include "src/serve/checksum.h"
+#include "src/serve/query_session.h"
+#include "src/util/rng.h"
+
+namespace egraph {
+namespace {
+
+using serve::ExecutionMode;
+using serve::QueryKind;
+using serve::QuerySession;
+using serve::QuerySessionOptions;
+using serve::ServeQuery;
+using serve::ServeResult;
+using serve::SubmitStatus;
+
+struct ServeGraph {
+  std::string name;
+  EdgeList edges;  // symmetrized + weighted: one graph serves all four kernels
+};
+
+EdgeList MakeMegaHubStar() {
+  // One vertex holds ~every edge, so its adjacency list alone exceeds any
+  // small LLC partition budget; the chain off the first leaves keeps BFS
+  // multi-round so frontiers cross partition boundaries round after round.
+  const VertexId leaves = (1 << 12) + 3;
+  EdgeList star(leaves + 1, {});
+  star.Reserve(static_cast<EdgeIndex>(leaves) + 64);
+  for (VertexId v = 1; v <= leaves; ++v) {
+    star.AddEdge(0, v);
+  }
+  for (VertexId v = 1; v <= 64; ++v) {
+    star.AddEdge(v, v + 1);
+  }
+  return star;
+}
+
+ServeGraph MakeServeGraph(std::string name, EdgeList edges) {
+  ServeGraph g;
+  g.name = std::move(name);
+  edges.AssignRandomWeights(0.1f, 1.0f, /*seed=*/0x5eed);
+  g.edges = edges.MakeUndirected();
+  return g;
+}
+
+std::vector<ServeGraph>* BuildGraphs() {
+  auto* graphs = new std::vector<ServeGraph>();
+  RmatOptions rmat;
+  rmat.scale = 9;
+  graphs->push_back(MakeServeGraph("rmat", GenerateRmat(rmat)));
+  graphs->push_back(MakeServeGraph("star", MakeMegaHubStar()));
+  ErdosRenyiOptions er;
+  er.num_vertices = 1 << 10;
+  er.num_edges = 1 << 13;
+  er.seed = 13;
+  graphs->push_back(MakeServeGraph("uniform", GenerateErdosRenyi(er)));
+  return graphs;
+}
+
+// Randomized mixed-kind stream: kinds, sources, balance modes and pagerank
+// iteration counts all drawn from one seeded generator, so every (graph,
+// seed) cell exercises a different interleaving while staying reproducible.
+std::vector<ServeQuery> MakeQueryStream(uint64_t seed, int count, VertexId n) {
+  std::vector<ServeQuery> queries;
+  uint64_t state = seed;
+  for (int i = 0; i < count; ++i) {
+    ServeQuery query;
+    query.id = i;
+    query.config.layout = Layout::kAdjacency;
+    query.config.direction = Direction::kPush;
+    query.config.symmetric_input = true;
+    query.config.balance = SplitMix64(state) & 1 ? Balance::kEdge : Balance::kVertex;
+    switch (SplitMix64(state) % 4) {
+      case 0:
+        query.kind = QueryKind::kBfs;
+        break;
+      case 1:
+        query.kind = QueryKind::kSssp;
+        break;
+      case 2:
+        query.kind = QueryKind::kPagerank;
+        query.config.direction = Direction::kPull;
+        query.iterations = 3 + static_cast<int>(SplitMix64(state) % 4);
+        break;
+      default:
+        query.kind = QueryKind::kWcc;
+        break;
+    }
+    query.source = static_cast<VertexId>(SplitMix64(state) % n);
+    queries.push_back(query);
+  }
+  return queries;
+}
+
+std::vector<ServeResult> RunSession(GraphHandle& handle,
+                                    const std::vector<ServeQuery>& queries,
+                                    const QuerySessionOptions& options) {
+  QuerySession session(handle, options);
+  for (const ServeQuery& query : queries) {
+    EXPECT_EQ(session.Submit(query), SubmitStatus::kAccepted);
+  }
+  return session.Drain();
+}
+
+void ExpectSameResults(const std::vector<ServeResult>& expected,
+                       const std::vector<ServeResult>& actual, const std::string& cell) {
+  ASSERT_EQ(expected.size(), actual.size()) << cell;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].id, actual[i].id) << cell;
+    EXPECT_TRUE(actual[i].ok) << cell << ": query " << expected[i].id;
+    EXPECT_EQ(expected[i].checksum, actual[i].checksum)
+        << cell << ": query " << expected[i].id << " ("
+        << serve::QueryKindName(expected[i].kind) << ")";
+  }
+}
+
+class ServeBatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    if (graphs_ == nullptr) {
+      graphs_ = BuildGraphs();
+    }
+  }
+  // Shared across tests; intentionally leaked so TearDown order is moot.
+  static std::vector<ServeGraph>* graphs_;
+};
+
+std::vector<ServeGraph>* ServeBatchTest::graphs_ = nullptr;
+
+// --- Differential matrix: serial reference vs isolated vs batched ---------
+
+TEST_F(ServeBatchTest, BatchedMatchesIsolatedAndSerialReference) {
+  for (const ServeGraph& g : *graphs_) {
+    GraphHandle handle(g.edges);
+    for (const uint64_t seed : {11ull, 23ull}) {
+      const std::vector<ServeQuery> queries =
+          MakeQueryStream(seed, /*count=*/16, g.edges.num_vertices());
+      const std::string cell = g.name + " seed " + std::to_string(seed);
+
+      QuerySessionOptions serial;
+      serial.concurrency = 1;
+      const std::vector<ServeResult> reference = RunSession(handle, queries, serial);
+      ASSERT_EQ(reference.size(), queries.size()) << cell;
+
+      QuerySessionOptions isolated;
+      isolated.concurrency = 4;
+      const std::vector<ServeResult> iso_results = RunSession(handle, queries, isolated);
+      ExpectSameResults(reference, iso_results, cell + " isolated");
+
+      QuerySessionOptions batched;
+      batched.mode = ExecutionMode::kBatched;
+      batched.concurrency = 4;
+      // Small LLC budget: even these test graphs split into many partitions.
+      batched.llc_bytes = 128 << 10;
+      const std::vector<ServeResult> batch_results = RunSession(handle, queries, batched);
+      ExpectSameResults(reference, batch_results, cell + " batched");
+    }
+  }
+}
+
+// Push-direction PageRank is not bit-reproducible under batching, so the
+// scheduler must refuse it and the session must fall back to the isolated
+// path — with results identical to a fully-isolated session.
+TEST_F(ServeBatchTest, NonBatchableQueriesFallBackIsolated) {
+  const ServeGraph& g = (*graphs_)[0];
+  GraphHandle handle(g.edges);
+  std::vector<ServeQuery> queries = MakeQueryStream(7, /*count=*/10, g.edges.num_vertices());
+  for (ServeQuery& query : queries) {
+    if (query.kind == QueryKind::kPagerank) {
+      query.config.direction = Direction::kPush;  // batch-ineligible
+    }
+  }
+  EXPECT_FALSE(serve::BatchableQuery([] {
+    ServeQuery q;
+    q.kind = QueryKind::kPagerank;
+    q.config.layout = Layout::kAdjacency;
+    q.config.direction = Direction::kPush;
+    return q;
+  }()));
+
+  QuerySessionOptions serial;
+  serial.concurrency = 1;
+  const std::vector<ServeResult> reference = RunSession(handle, queries, serial);
+
+  QuerySessionOptions batched;
+  batched.mode = ExecutionMode::kBatched;
+  batched.concurrency = 4;
+  batched.llc_bytes = 128 << 10;
+  const std::vector<ServeResult> results = RunSession(handle, queries, batched);
+  ExpectSameResults(reference, results, "push-pagerank fallback");
+  for (const ServeResult& result : results) {
+    if (result.kind == QueryKind::kPagerank) {
+      EXPECT_FALSE(result.batched) << "query " << result.id;
+    }
+  }
+}
+
+// --- Partitioner properties ------------------------------------------------
+
+TEST_F(ServeBatchTest, LlcPartitionBoundariesAreWellFormed) {
+  for (const ServeGraph& g : *graphs_) {
+    GraphHandle handle(g.edges);
+    PrepareForRun(handle, RunConfig());
+    const Csr& out = handle.out_csr();
+    for (const uint64_t llc : {32ull << 10, 256ull << 10, 1ull << 30}) {
+      const std::vector<VertexId> boundaries =
+          serve::ComputeLlcPartitionBoundaries(out, llc);
+      ASSERT_GE(boundaries.size(), 2u) << g.name;
+      EXPECT_EQ(boundaries.front(), 0) << g.name;
+      EXPECT_EQ(boundaries.back(), out.num_vertices()) << g.name;
+      for (size_t i = 1; i < boundaries.size(); ++i) {
+        EXPECT_LE(boundaries[i - 1], boundaries[i]) << g.name;
+      }
+    }
+    // A budget larger than the graph degenerates to one partition; a tiny
+    // one must actually split the vertex range.
+    EXPECT_EQ(serve::ComputeLlcPartitionBoundaries(out, 1ull << 30).size(), 2u) << g.name;
+    EXPECT_GT(serve::ComputeLlcPartitionBoundaries(out, 32ull << 10).size(), 2u) << g.name;
+  }
+}
+
+// --- Partition-boundary edge cases (explicit boundaries, direct RunBatch) --
+
+class BatchBoundaryTest : public ::testing::Test {
+ protected:
+  // 65-vertex chain 0-1-...-64 (undirected, weighted): BFS from 0 reaches
+  // everything one vertex per round, so the frontier crosses every partition
+  // boundary placed on the chain.
+  static EdgeList Chain() {
+    EdgeList chain(65, {});
+    for (VertexId v = 0; v + 1 < 65; ++v) {
+      chain.AddEdge(v, v + 1);
+    }
+    chain.AssignRandomWeights(0.1f, 1.0f, 3);
+    return chain.MakeUndirected();
+  }
+
+  static std::vector<ServeQuery> ChainQueries() {
+    std::vector<ServeQuery> queries;
+    for (int i = 0; i < 4; ++i) {
+      ServeQuery query;
+      query.id = i;
+      query.kind = static_cast<QueryKind>(i);
+      query.source = 0;
+      query.iterations = 5;
+      query.config.layout = Layout::kAdjacency;
+      query.config.direction =
+          query.kind == QueryKind::kPagerank ? Direction::kPull : Direction::kPush;
+      query.config.symmetric_input = true;
+      queries.push_back(query);
+    }
+    return queries;
+  }
+
+  // Serial-reference checksums computed outside the serving layer entirely.
+  static std::vector<uint64_t> ReferenceChecksums(GraphHandle& handle,
+                                                  const std::vector<ServeQuery>& queries) {
+    std::vector<uint64_t> sums;
+    for (const ServeQuery& query : queries) {
+      switch (query.kind) {
+        case QueryKind::kBfs:
+          sums.push_back(serve::ChecksumBfs(
+              RunBfs(handle, query.source, query.config).parent));
+          break;
+        case QueryKind::kSssp:
+          sums.push_back(serve::ChecksumSssp(
+              RunSssp(handle, query.source, query.config).dist));
+          break;
+        case QueryKind::kPagerank: {
+          PagerankOptions options;
+          options.iterations = query.iterations;
+          sums.push_back(serve::ChecksumPagerank(
+              RunPagerank(handle, options, query.config).rank));
+          break;
+        }
+        case QueryKind::kWcc:
+          sums.push_back(serve::ChecksumWcc(RunWcc(handle, query.config).label));
+          break;
+      }
+    }
+    return sums;
+  }
+
+  static void ExpectBatchMatches(GraphHandle& handle,
+                                 const std::vector<ServeQuery>& queries,
+                                 const std::vector<VertexId>& boundaries,
+                                 const std::string& cell) {
+    for (const ServeQuery& query : queries) {
+      ASSERT_TRUE(serve::BatchableQuery(query)) << cell;
+      PrepareForRun(handle, query.config);
+    }
+    handle.Freeze();
+    const std::vector<uint64_t> expected = ReferenceChecksums(handle, queries);
+    ExecutionContextOptions ctx_options;
+    ctx_options.name = "test.batch";
+    ctx_options.num_threads = 4;
+    ExecutionContext ctx(ctx_options);
+    const std::vector<ServeResult> results =
+        serve::RunBatch(handle, queries, boundaries, ctx);
+    ASSERT_EQ(results.size(), queries.size()) << cell;
+    for (size_t i = 0; i < results.size(); ++i) {
+      EXPECT_TRUE(results[i].ok) << cell << ": query " << i;
+      EXPECT_TRUE(results[i].batched) << cell << ": query " << i;
+      EXPECT_EQ(results[i].checksum, expected[i])
+          << cell << ": query " << i << " (" << serve::QueryKindName(results[i].kind)
+          << ")";
+    }
+  }
+};
+
+TEST_F(BatchBoundaryTest, FrontierStraddlesBoundaries) {
+  GraphHandle handle(Chain());
+  // Boundaries at 16/32/48: every BFS/SSSP round near them discovers a
+  // vertex in the next partition while the frontier sits in the previous.
+  ExpectBatchMatches(handle, ChainQueries(), {0, 16, 32, 48, 65}, "chain straddle");
+}
+
+TEST_F(BatchBoundaryTest, SinglePartitionGraph) {
+  GraphHandle handle(Chain());
+  ExpectBatchMatches(handle, ChainQueries(), {0, 65}, "single partition");
+}
+
+TEST_F(BatchBoundaryTest, EmptyPartitionsAreHarmless) {
+  GraphHandle handle(Chain());
+  // Zero-width partitions ([8,8), [8,8)) and a leading cut right after the
+  // source: work buckets for empty ranges must simply never fire.
+  ExpectBatchMatches(handle, ChainQueries(), {0, 1, 8, 8, 8, 64, 65}, "empty partitions");
+}
+
+TEST_F(BatchBoundaryTest, MegaHubAdjacencyListSpansBudget) {
+  GraphHandle handle(MakeServeGraph("star", MakeMegaHubStar()).edges);
+  for (const ServeQuery& query : ChainQueries()) {
+    PrepareForRun(handle, query.config);
+  }
+  handle.Freeze();
+  // A tiny budget cannot split vertex 0's adjacency list: the partitioner
+  // must still make progress (hub alone in one partition) and the batch must
+  // still match the reference.
+  const std::vector<VertexId> boundaries =
+      serve::ComputeLlcPartitionBoundaries(handle.out_csr(), 32 << 10);
+  ASSERT_GT(boundaries.size(), 2u);
+  ExpectBatchMatches(handle, ChainQueries(), boundaries, "mega hub");
+}
+
+// --- Concurrency: >= 8-query batch drain under TSan ------------------------
+
+TEST_F(ServeBatchTest, ConcurrentBatchDrainIsRaceFree) {
+  const ServeGraph& g = (*graphs_)[0];
+  GraphHandle handle(g.edges);
+  const std::vector<ServeQuery> queries =
+      MakeQueryStream(0xabcdef, /*count=*/32, g.edges.num_vertices());
+
+  QuerySessionOptions serial;
+  serial.concurrency = 1;
+  const std::vector<ServeResult> reference = RunSession(handle, queries, serial);
+
+  // 8-wide pool, cohorts of up to 16: (partition, query) tasks from >= 8
+  // queries run concurrently against the shared CSR, per-query state, and
+  // the shared dedup bitmaps — the surface TSan needs to see.
+  QuerySessionOptions batched;
+  batched.mode = ExecutionMode::kBatched;
+  batched.concurrency = 8;
+  batched.llc_bytes = 256 << 10;
+  batched.max_batch = 16;
+  QuerySession session(handle, batched);
+  for (const ServeQuery& query : queries) {
+    ASSERT_EQ(session.Submit(query), SubmitStatus::kAccepted);
+  }
+  const std::vector<ServeResult> results = session.Drain();
+  ExpectSameResults(reference, results, "tsan batch drain");
+  EXPECT_EQ(session.stats().completed, static_cast<int64_t>(queries.size()));
+  EXPECT_EQ(session.stats().batched + (session.stats().completed - session.stats().batched),
+            session.stats().completed);
+
+  // Draining twice is idempotent; submitting after the drain is a distinct,
+  // checkable rejection.
+  EXPECT_EQ(session.Drain().size(), results.size());
+  EXPECT_EQ(session.Submit(queries[0]), SubmitStatus::kClosed);
+}
+
+// A deterministic >= 8-query drain straight through RunBatch (no coordinator
+// racing): guarantees a real multi-query cohort exercises every partition.
+TEST_F(ServeBatchTest, DirectEightQueryBatch) {
+  const ServeGraph& g = (*graphs_)[2];
+  GraphHandle handle(g.edges);
+  std::vector<ServeQuery> queries =
+      MakeQueryStream(99, /*count=*/8, g.edges.num_vertices());
+  for (ServeQuery& query : queries) {
+    ASSERT_TRUE(serve::BatchableQuery(query));
+    PrepareForRun(handle, query.config);
+  }
+  handle.Freeze();
+
+  std::vector<uint64_t> expected;
+  {
+    ExecutionContextOptions serial_ctx;
+    serial_ctx.name = "test.ref";
+    serial_ctx.num_threads = 1;
+    ExecutionContext ctx(serial_ctx);
+    for (const ServeQuery& query : queries) {
+      switch (query.kind) {
+        case QueryKind::kBfs:
+          expected.push_back(
+              serve::ChecksumBfs(RunBfs(handle, query.source, query.config, ctx).parent));
+          break;
+        case QueryKind::kSssp:
+          expected.push_back(
+              serve::ChecksumSssp(RunSssp(handle, query.source, query.config, ctx).dist));
+          break;
+        case QueryKind::kPagerank: {
+          PagerankOptions options;
+          options.iterations = query.iterations;
+          expected.push_back(
+              serve::ChecksumPagerank(RunPagerank(handle, options, query.config, ctx).rank));
+          break;
+        }
+        case QueryKind::kWcc:
+          expected.push_back(serve::ChecksumWcc(RunWcc(handle, query.config, ctx).label));
+          break;
+      }
+    }
+  }
+
+  ExecutionContextOptions ctx_options;
+  ctx_options.name = "test.batch8";
+  ctx_options.num_threads = 8;
+  ExecutionContext ctx(ctx_options);
+  const std::vector<VertexId> boundaries =
+      serve::ComputeLlcPartitionBoundaries(handle.out_csr(), 64 << 10);
+  const std::vector<ServeResult> results =
+      serve::RunBatch(handle, queries, boundaries, ctx);
+  ASSERT_EQ(results.size(), queries.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].ok);
+    EXPECT_TRUE(results[i].batched);
+    EXPECT_GT(results[i].seconds, 0.0);
+    EXPECT_EQ(results[i].checksum, expected[i]) << "query " << i;
+  }
+}
+
+}  // namespace
+}  // namespace egraph

@@ -6,6 +6,7 @@
 //   stats     FILE                       print Table-1-style statistics
 //   serve     --queries=FILE --concurrency=N [--threads-per-query=K]
 //             [--queue-capacity=M] [--symmetrize]
+//             [--batch=1] [--llc-mb=N] [--batch-min=K] [--max-batch=M]
 //             [--layout=...] [--direction=...] [--sync=...] [--balance=...]
 //             FILE
 //   run       --algo=bfs|wcc|sssp|pagerank|spmv|kcore|triangles
@@ -23,6 +24,11 @@
 // the query file (one `<algo> [source]` per line) on N concurrent workers,
 // each with its own ExecutionContext — the library's serving mode. WCC
 // queries need --symmetrize (adjacency WCC expects an undirected list).
+// `serve --batch` switches to the fork-processing scheduler: queries are
+// drained in cohorts (up to --max-batch) and executed partition-by-partition
+// over --llc-mb-sized CSR ranges, sharing each partition's cache residency
+// across the whole cohort; cohorts below --batch-min fall back to isolated
+// execution. Result checksums are identical in both modes.
 // `run --advisor` lets the paper's section-9 roadmap pick the configuration.
 // Every run prints the end-to-end breakdown (load / preprocess / algorithm).
 // `--metrics` appends the observability tables (phase breakdown, engine
@@ -517,25 +523,40 @@ int CmdServe(const Flags& flags) {
   options.concurrency = static_cast<int>(flags.GetInt("concurrency", 1));
   options.threads_per_query = static_cast<int>(flags.GetInt("threads-per-query", 1));
   options.queue_capacity = static_cast<size_t>(flags.GetInt("queue-capacity", 1024));
+  if (flags.GetBool("batch", false)) {
+    options.mode = serve::ExecutionMode::kBatched;
+    options.llc_bytes = static_cast<uint64_t>(flags.GetInt("llc-mb", 16)) << 20;
+    options.batch_min = static_cast<int>(flags.GetInt("batch-min", 2));
+    options.max_batch = static_cast<int>(flags.GetInt("max-batch", 16));
+  }
 
   serve::QuerySession session(handle, options);
   int64_t accepted = 0;
   for (const serve::ServeQuery& query : queries) {
-    accepted += session.Submit(query) ? 1 : 0;
+    accepted += session.Submit(query) == serve::SubmitStatus::kAccepted ? 1 : 0;
   }
   const std::vector<serve::ServeResult> results = session.Drain();
   const serve::QuerySessionStats& stats = session.stats();
 
   for (const serve::ServeResult& result : results) {
-    std::printf("query %lld: %s %s in %.4fs (%d iterations, worker %d, checksum %016llx)\n",
+    std::printf("query %lld: %s %s in %.4fs (%d iterations, worker %d%s, checksum %016llx)\n",
                 static_cast<long long>(result.id), serve::QueryKindName(result.kind),
                 result.ok ? "ok" : "FAILED", result.seconds, result.iterations,
-                result.worker, static_cast<unsigned long long>(result.checksum));
+                result.worker, result.batched ? ", batched" : "",
+                static_cast<unsigned long long>(result.checksum));
   }
-  std::printf("serve: %lld/%zu queries accepted, %lld completed, %lld rejected\n",
+  std::printf("serve: %lld/%zu queries accepted, %lld completed, %lld rejected "
+              "(%lld queue-full, %lld closed)\n",
               static_cast<long long>(accepted), queries.size(),
               static_cast<long long>(stats.completed),
-              static_cast<long long>(stats.rejected));
+              static_cast<long long>(stats.rejected),
+              static_cast<long long>(stats.rejected_full),
+              static_cast<long long>(stats.rejected_closed));
+  if (stats.batches > 0) {
+    std::printf("serve: %lld queries ran batched across %lld cohort(s)\n",
+                static_cast<long long>(stats.batched),
+                static_cast<long long>(stats.batches));
+  }
   std::printf("serve: load %.3fs, preprocess %.3fs, concurrency %d -> %.1f queries/s "
               "(%.3fs wall)\n",
               load_seconds, handle.preprocess_seconds(), options.concurrency, stats.qps,
