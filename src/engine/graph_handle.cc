@@ -42,12 +42,27 @@ double GraphHandle::preprocess_seconds() const {
 }
 
 void GraphHandle::ResetPreprocessClock() {
+  std::shared_lock<std::shared_mutex> build_guard(build_mutex_);
   CheckBuildPhase("ResetPreprocessClock");
   std::lock_guard<std::mutex> guard(stats_mutex_);
   preprocess_seconds_ = 0.0;
 }
 
+void GraphHandle::Freeze() {
+  // Exclusive acquisition waits out every in-flight Prepare / InstallCsr /
+  // DropLayouts holding the lock shared: a mutation that began before the
+  // freeze completes before frozen_ is published, and one that begins after
+  // observes frozen_ (its shared_lock orders it after this critical
+  // section) and aborts in CheckBuildPhase. Idempotent.
+  std::unique_lock<std::shared_mutex> build_guard(build_mutex_);
+  frozen_.store(true, std::memory_order_release);
+}
+
 void GraphHandle::Prepare(const PrepareConfig& config) {
+  // Shared: concurrent Prepare calls still overlap (the per-layout
+  // call_once guards do the real serialization), but a Freeze() cannot land
+  // mid-build — it waits for this scope to exit.
+  std::shared_lock<std::shared_mutex> build_guard(build_mutex_);
   obs::ScopedPhase phase(obs::Phase::kPreprocess);
   switch (config.layout) {
     case Layout::kEdgeArray:
@@ -111,6 +126,7 @@ void GraphHandle::Prepare(const PrepareConfig& config) {
 }
 
 void GraphHandle::InstallCsr(EdgeDirection direction, Csr csr, double build_seconds) {
+  std::shared_lock<std::shared_mutex> build_guard(build_mutex_);
   CheckBuildPhase("InstallCsr");
   if (direction == EdgeDirection::kOut) {
     out_csr_ = std::move(csr);
@@ -121,11 +137,17 @@ void GraphHandle::InstallCsr(EdgeDirection direction, Csr csr, double build_seco
 }
 
 void GraphHandle::DropLayouts() {
+  std::shared_lock<std::shared_mutex> build_guard(build_mutex_);
   CheckBuildPhase("DropLayouts");
+  // Clear the alias before the CSRs go away: has_in_csr() must never see
+  // in_aliases_out_ == true after out_csr_ has been reset, and a later
+  // asymmetric re-Prepare must not inherit a stale alias. (The drop itself
+  // is single-owner — see the header — this ordering keeps the flag
+  // consistent with the layouts at every step.)
+  in_aliases_out_.store(false, std::memory_order_release);
   out_csr_.reset();
   in_csr_.reset();
   grid_.reset();
-  in_aliases_out_.store(false, std::memory_order_release);
   // Re-arm the call_once guards so the next Prepare builds again.
   once_ = std::make_unique<LayoutOnce>();
 }

@@ -19,6 +19,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 
 #include "src/engine/options.h"
 #include "src/graph/edge_list.h"
@@ -67,8 +68,12 @@ class GraphHandle {
 
   // Ends the build phase. The handle becomes an immutable snapshot safe to
   // share across ExecutionContexts; further InstallCsr / DropLayouts /
-  // ResetPreprocessClock calls abort. Idempotent.
-  void Freeze() { frozen_.store(true, std::memory_order_release); }
+  // ResetPreprocessClock calls abort. Idempotent. Freeze excludes in-flight
+  // builds: it waits for any Prepare / InstallCsr / DropLayouts running on
+  // another thread to finish before the frozen flag is published, so a
+  // mutation can never complete on a handle observed frozen, and layouts
+  // installed before the freeze are ordered before any post-freeze reader.
+  void Freeze();
   bool frozen() const { return frozen_.load(std::memory_order_acquire); }
 
   // Installs a CSR built elsewhere (e.g. by the overlapped load→build
@@ -97,7 +102,15 @@ class GraphHandle {
   void ResetPreprocessClock();
 
   // Drops built layouts (for re-measuring with a different method) and
-  // re-arms their call_once guards. Build phase only.
+  // re-arms their call_once guards. Build phase only, single-owner: no
+  // other thread may touch the handle (including has_in_csr()/in_csr())
+  // while a drop is in flight — re-prepare loops must drop and rebuild from
+  // one thread before sharing. Within the drop, the in_aliases_out_ alias
+  // is cleared BEFORE the CSRs are destroyed, so has_in_csr() can never
+  // report an aliased in-CSR whose out-CSR is already gone, and a
+  // drop→re-Prepare(symmetric→asymmetric) transition never leaves the
+  // alias stale (the re-Prepare would then hand out the out-CSR as the
+  // in-CSR).
   void DropLayouts();
 
   // Shared striped-lock pool for Sync::kLocks execution. Safe to use from
@@ -124,6 +137,12 @@ class GraphHandle {
   void AddPreprocessSeconds(double seconds);
 
   EdgeList graph_;
+  // Freeze-vs-build exclusion. Mutating entry points and Prepare hold it
+  // SHARED for their whole duration; Freeze takes it EXCLUSIVE before
+  // publishing frozen_. Mutators do not exclude each other — the build
+  // phase is single-owner by contract (see DropLayouts) — the lock exists
+  // solely so a freeze cannot land in the middle of an in-flight build.
+  mutable std::shared_mutex build_mutex_;
   std::atomic<bool> frozen_{false};
   // Symmetric input: in-CSR == out-CSR.
   std::atomic<bool> in_aliases_out_{false};

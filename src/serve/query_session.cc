@@ -80,8 +80,19 @@ std::vector<ServeQuery> ReadQueryFile(const std::string& path,
 }
 
 QuerySession::QuerySession(GraphHandle& handle, QuerySessionOptions options)
-    : handle_(handle), options_(std::move(options)) {
-  handle_.Freeze();
+    : handle_(&handle), options_(std::move(options)) {
+  handle_->Freeze();
+  StartWorkers();
+}
+
+QuerySession::QuerySession(snapshot::SnapshotStore& store, QuerySessionOptions options)
+    : store_(&store), options_(std::move(options)) {
+  // Every epoch the store publishes is already frozen; there is nothing to
+  // freeze here. Queries pin their epoch in Submit.
+  StartWorkers();
+}
+
+void QuerySession::StartWorkers() {
   if (options_.mode == ExecutionMode::kBatched) {
     // One coordinator owns the whole cohort: it drains the queue, runs
     // batchable queries through the fork-processing scheduler on a pool as
@@ -102,8 +113,19 @@ QuerySession::QuerySession(GraphHandle& handle, QuerySessionOptions options)
 QuerySession::~QuerySession() { Drain(); }
 
 SubmitStatus QuerySession::Submit(const ServeQuery& query) {
+  // Pin outside the queue lock: Pin() takes the store's own mutex, and a
+  // rejected submission just drops the snapshot again. The pin happening
+  // (logically) at Submit time is the isolation contract: whatever epoch is
+  // current when the producer submits is the epoch the query reads.
+  Pending pending;
+  pending.query = query;
+  if (store_ != nullptr) {
+    pending.snap = store_->Pin();
+  }
   {
     std::lock_guard<std::mutex> guard(mutex_);
+    // Closed wins over full: once a drain has begun the session will never
+    // take this query, and the producer must not be told to retry.
     if (closed_) {
       ++rejected_closed_;
       if (drained_) {
@@ -117,7 +139,7 @@ SubmitStatus QuerySession::Submit(const ServeQuery& query) {
       ++rejected_full_;
       return SubmitStatus::kQueueFull;
     }
-    queue_.push_back(query);
+    queue_.push_back(std::move(pending));
     ++submitted_;
   }
   cv_.notify_one();
@@ -126,10 +148,17 @@ SubmitStatus QuerySession::Submit(const ServeQuery& query) {
 
 std::vector<ServeResult> QuerySession::Drain() {
   {
-    std::lock_guard<std::mutex> guard(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
     if (drained_) {
       return results_;
     }
+    if (draining_) {
+      // Another thread is already draining: wait for it rather than
+      // double-joining the workers.
+      drained_cv_.wait(lock, [this] { return drained_; });
+      return results_;
+    }
+    draining_ = true;
     closed_ = true;
   }
   cv_.notify_all();
@@ -138,7 +167,7 @@ std::vector<ServeResult> QuerySession::Drain() {
       worker.join();
     }
   }
-  std::lock_guard<std::mutex> guard(mutex_);  // vs late Submit calls
+  std::unique_lock<std::mutex> lock(mutex_);  // vs late Submit calls
   for (const std::vector<ServeResult>& partial : worker_results_) {
     results_.insert(results_.end(), partial.begin(), partial.end());
   }
@@ -159,6 +188,8 @@ std::vector<ServeResult> QuerySession::Drain() {
                    ? static_cast<double>(stats_.completed) / stats_.wall_seconds
                    : 0.0;
   drained_ = true;
+  lock.unlock();
+  drained_cv_.notify_all();
   return results_;
 }
 
@@ -170,18 +201,22 @@ void QuerySession::WorkerLoop(int worker_index) {
   ExecutionContext ctx(ctx_options);
 
   while (true) {
-    ServeQuery query;
+    Pending pending;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
       if (queue_.empty()) {
         return;  // closed and drained
       }
-      query = queue_.front();
+      pending = std::move(queue_.front());
       queue_.pop_front();
     }
-    worker_results_[static_cast<size_t>(worker_index)].push_back(
-        Execute(query, ctx, worker_index));
+    ServeResult result =
+        Execute(ResolveHandle(pending), pending.query, ctx, worker_index);
+    result.epoch = pending.snap.epoch;
+    worker_results_[static_cast<size_t>(worker_index)].push_back(result);
+    // The pinned snapshot drops here: a retired epoch frees as soon as its
+    // last in-flight query completes.
   }
 }
 
@@ -205,55 +240,82 @@ void QuerySession::CoordinatorLoop() {
   const int batch_min = std::max(1, options_.batch_min);
   const size_t max_batch =
       static_cast<size_t>(std::max(1, options_.max_batch));
-  std::vector<VertexId> boundaries;  // computed once, after the first prepare
+  // Partition boundaries are a function of the cohort's CSR, so they are
+  // cached per epoch handle and recomputed when the cohort's epoch moves.
+  // Holding the snapshot the cache was computed for keeps that epoch alive,
+  // so the cache key (the handle address) can never be reused by a newer
+  // epoch allocated at the same address.
+  std::vector<VertexId> boundaries;
+  const GraphHandle* boundaries_handle = nullptr;
+  snapshot::Snapshot boundaries_snap;
 
   while (true) {
-    std::vector<ServeQuery> cohort;
+    std::vector<Pending> cohort;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
       if (queue_.empty()) {
         return;  // closed and drained
       }
-      while (!queue_.empty() && cohort.size() < max_batch) {
-        cohort.push_back(queue_.front());
+      // A cohort shares one partition residency, so it must share one
+      // graph: pop only consecutive queries pinned to the same snapshot.
+      cohort.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      while (!queue_.empty() && cohort.size() < max_batch &&
+             queue_.front().snap.handle == cohort.front().snap.handle) {
+        cohort.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
     }
+    GraphHandle& cohort_handle = ResolveHandle(cohort.front());
+    const uint64_t cohort_epoch = cohort.front().snap.epoch;
 
     std::vector<ServeQuery> batchable;
     std::vector<ServeQuery> fallback;
-    for (const ServeQuery& query : cohort) {
-      (BatchableQuery(query) ? batchable : fallback).push_back(query);
+    for (const Pending& pending : cohort) {
+      (BatchableQuery(pending.query) ? batchable : fallback).push_back(pending.query);
     }
     if (static_cast<int>(batchable.size()) < batch_min) {
       // Too few to amortize partition bookkeeping — run the whole cohort
       // isolated, in arrival order.
-      fallback = std::move(cohort);
+      fallback.clear();
+      for (const Pending& pending : cohort) {
+        fallback.push_back(pending.query);
+      }
       batchable.clear();
     }
 
     std::vector<ServeResult>& sink = worker_results_[0];
     if (!batchable.empty()) {
       for (const ServeQuery& query : batchable) {
-        PrepareForRun(handle_, query.config);
+        PrepareForRun(cohort_handle, query.config);
       }
-      if (boundaries.empty()) {
-        boundaries = ComputeLlcPartitionBoundaries(handle_.out_csr(), options_.llc_bytes);
+      if (boundaries_handle != &cohort_handle) {
+        boundaries =
+            ComputeLlcPartitionBoundaries(cohort_handle.out_csr(), options_.llc_bytes);
+        boundaries_handle = &cohort_handle;
+        boundaries_snap = cohort.front().snap;
       }
-      const std::vector<ServeResult> batch_results =
-          RunBatch(handle_, batchable, boundaries, ctx);
+      std::vector<ServeResult> batch_results =
+          RunBatch(cohort_handle, batchable, boundaries, ctx);
+      for (ServeResult& result : batch_results) {
+        result.epoch = cohort_epoch;
+      }
       sink.insert(sink.end(), batch_results.begin(), batch_results.end());
       ++batches_;
     }
     for (const ServeQuery& query : fallback) {
-      sink.push_back(Execute(query, fallback_ctx, 0));
+      ServeResult result = Execute(cohort_handle, query, fallback_ctx, 0);
+      result.epoch = cohort_epoch;
+      sink.push_back(result);
     }
+    // `cohort` (and its pinned snapshots) drops here, retiring the epoch if
+    // this was its last reader.
   }
 }
 
-ServeResult QuerySession::Execute(const ServeQuery& query, ExecutionContext& ctx,
-                                  int worker_index) {
+ServeResult QuerySession::Execute(GraphHandle& handle, const ServeQuery& query,
+                                  ExecutionContext& ctx, int worker_index) {
   ServeResult result;
   result.id = query.id;
   result.kind = query.kind;
@@ -261,14 +323,14 @@ ServeResult QuerySession::Execute(const ServeQuery& query, ExecutionContext& ctx
   Timer timer;
   switch (query.kind) {
     case QueryKind::kBfs: {
-      const BfsResult run = RunBfs(handle_, query.source, query.config, ctx);
+      const BfsResult run = RunBfs(handle, query.source, query.config, ctx);
       result.iterations = run.stats.iterations;
       result.checksum = ChecksumBfs(run.parent);
       result.ok = true;
       break;
     }
     case QueryKind::kSssp: {
-      const SsspResult run = RunSssp(handle_, query.source, query.config, ctx);
+      const SsspResult run = RunSssp(handle, query.source, query.config, ctx);
       result.iterations = run.stats.iterations;
       result.checksum = ChecksumSssp(run.dist);
       result.ok = true;
@@ -277,14 +339,14 @@ ServeResult QuerySession::Execute(const ServeQuery& query, ExecutionContext& ctx
     case QueryKind::kPagerank: {
       PagerankOptions options;
       options.iterations = query.iterations;
-      const PagerankResult run = RunPagerank(handle_, options, query.config, ctx);
+      const PagerankResult run = RunPagerank(handle, options, query.config, ctx);
       result.iterations = run.stats.iterations;
       result.checksum = ChecksumPagerank(run.rank);
       result.ok = true;
       break;
     }
     case QueryKind::kWcc: {
-      const WccResult run = RunWcc(handle_, query.config, ctx);
+      const WccResult run = RunWcc(handle, query.config, ctx);
       result.iterations = run.stats.iterations;
       result.checksum = ChecksumWcc(run.label);
       result.ok = true;

@@ -23,6 +23,14 @@
 // Admission control is explicit: Submit() rejects — with a distinct status
 // for "queue full" vs "session draining" — so a producer that outruns the
 // workers sees backpressure instead of unbounded memory growth.
+//
+// Sessions can serve a mutating graph: constructed over a
+// snapshot::SnapshotStore instead of a single handle, Submit() pins the
+// store's current epoch and the query runs against that pinned snapshot no
+// matter how many refreezes publish while it waits in the queue — snapshot
+// isolation per query, in both execution modes. Batched cohorts group only
+// queries pinned to the same epoch (a cohort shares one CSR's partition
+// residency, so it must share one CSR).
 #ifndef SRC_SERVE_QUERY_SESSION_H_
 #define SRC_SERVE_QUERY_SESSION_H_
 
@@ -37,6 +45,7 @@
 #include "src/algos/common.h"
 #include "src/engine/execution_context.h"
 #include "src/engine/graph_handle.h"
+#include "src/snapshot/snapshot_store.h"
 #include "src/util/timer.h"
 
 namespace egraph::serve {
@@ -77,6 +86,9 @@ struct ServeResult {
   // WCC); PageRank under push/atomics may differ in final float ulps, so
   // its checksum quantizes coarsely.
   uint64_t checksum = 0;
+  // Epoch the query executed against (0 for plain-handle sessions; for
+  // snapshot-store sessions, the epoch pinned at Submit time).
+  uint64_t epoch = 0;
 };
 
 // Why Submit() bounced a query — "try again later" (kQueueFull) and "never
@@ -142,6 +154,11 @@ class QuerySession {
   // are built on first use, once, under the handle's call_once guards.
   QuerySession(GraphHandle& handle, QuerySessionOptions options);
 
+  // Serves `store`'s epochs: every Submit pins the then-current snapshot
+  // and the query executes against it even if refreezes publish newer
+  // epochs meanwhile. The store must outlive the session.
+  QuerySession(snapshot::SnapshotStore& store, QuerySessionOptions options);
+
   // Drains and joins if the caller did not.
   ~QuerySession();
 
@@ -149,28 +166,46 @@ class QuerySession {
   QuerySession& operator=(const QuerySession&) = delete;
 
   // Enqueues a query. Never blocks: returns kQueueFull when the queue is at
-  // capacity and kClosed once Drain() has begun.
+  // capacity and kClosed once Drain() has begun — kClosed wins when both
+  // apply, so producers racing a drain never see a retryable status from a
+  // session that will take no more work.
   SubmitStatus Submit(const ServeQuery& query);
 
   // Closes admission, waits for every accepted query to finish, joins the
-  // workers, and returns all results ordered by query id. Idempotent
-  // (subsequent calls return the same results).
+  // workers, and returns all results ordered by query id. Idempotent and
+  // safe to call from any number of threads concurrently: exactly one
+  // caller performs the drain, the rest block until it finishes and return
+  // the same results.
   std::vector<ServeResult> Drain();
 
   // Valid after Drain().
   const QuerySessionStats& stats() const { return stats_; }
 
  private:
+  // A queued query plus the snapshot it pinned at Submit time (an empty
+  // handle for plain-handle sessions, which run against *handle_).
+  struct Pending {
+    ServeQuery query;
+    snapshot::Snapshot snap;
+  };
+
+  void StartWorkers();
   void WorkerLoop(int worker_index);
   void CoordinatorLoop();
-  ServeResult Execute(const ServeQuery& query, ExecutionContext& ctx, int worker_index);
+  // Resolves which graph `pending` runs against.
+  GraphHandle& ResolveHandle(const Pending& pending) {
+    return pending.snap.handle ? *pending.snap.handle : *handle_;
+  }
+  ServeResult Execute(GraphHandle& handle, const ServeQuery& query,
+                      ExecutionContext& ctx, int worker_index);
 
-  GraphHandle& handle_;
+  GraphHandle* handle_ = nullptr;             // plain-handle sessions
+  snapshot::SnapshotStore* store_ = nullptr;  // snapshot-store sessions
   const QuerySessionOptions options_;
 
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<ServeQuery> queue_;
+  std::deque<Pending> queue_;
   bool closed_ = false;
 
   std::vector<std::thread> workers_;
@@ -181,7 +216,9 @@ class QuerySession {
   int64_t rejected_full_ = 0;    // guarded by mutex_
   int64_t rejected_closed_ = 0;  // guarded by mutex_
   int64_t batches_ = 0;          // coordinator-only until Drain joins
+  bool draining_ = false;        // guarded by mutex_: a Drain is in flight
   bool drained_ = false;
+  std::condition_variable drained_cv_;  // signals drained_
   std::vector<ServeResult> results_;
   QuerySessionStats stats_;
 };

@@ -1,0 +1,152 @@
+// SnapshotStore: a chain of immutable graph epochs plus a mutable delta
+// buffer of streaming edge updates — the serving-side answer to the paper's
+// central finding that pre-processing frequently dominates end-to-end time.
+// A store that radix-rebuilt its CSR on every graph change would pay that
+// dominant cost per change; instead the delta is compressed and two-pointer
+// merged into the previous epoch's sorted CSR (delta.h), and the result is
+// published as a new frozen GraphHandle with an RCU-style swap.
+//
+// Epoch lifecycle:
+//   * Every epoch is a frozen GraphHandle behind a shared_ptr. Freezing (per
+//     the PR-5 lifecycle) makes it safe for any number of concurrent
+//     readers; the shared_ptr makes retirement automatic — when the last
+//     query holding an epoch drops its Snapshot, the epoch frees. There is
+//     no grace-period machinery to get wrong: the refcount IS the RCU
+//     read-side critical section.
+//   * Pin() hands a reader the current epoch. A query keeps the Snapshot it
+//     pinned at submit time for its whole execution, so a refreeze never
+//     moves the graph under a running traversal (snapshot isolation).
+//   * Apply() appends updates to the delta buffer. Once the buffer reaches
+//     refreeze_threshold, the background refreeze thread (if enabled)
+//     merges it into a new epoch and publishes; Refreeze()/Flush() do the
+//     same synchronously on the caller.
+//
+// Publication order: the new handle is fully built and frozen BEFORE the
+// swap under current_mutex_, so a Pin() can never observe a half-built
+// epoch. Merges are serialized by merge_mutex_; publication is a pointer
+// swap, so readers never wait on a merge.
+#ifndef SRC_SNAPSHOT_SNAPSHOT_STORE_H_
+#define SRC_SNAPSHOT_SNAPSHOT_STORE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "src/engine/graph_handle.h"
+#include "src/graph/edge_list.h"
+#include "src/snapshot/delta.h"
+
+namespace egraph::snapshot {
+
+// How a refreeze materializes the next epoch. Incremental merge is the
+// store's reason to exist; the full rebuild re-runs the paper's Table-2
+// radix build from scratch and is kept as the differential/bench baseline.
+enum class RefreezeStrategy {
+  kIncrementalMerge = 0,
+  kFullRebuild = 1,
+};
+
+struct SnapshotOptions {
+  // Build (and incrementally maintain) an in-CSR per epoch, for pull /
+  // push-pull queries over directed graphs. Ignored when `symmetric`: the
+  // in-CSR then aliases the out-CSR at zero cost (section 6.1.3).
+  bool build_in_csr = false;
+  // The edge stream is symmetric (caller mirrors updates, e.g. with
+  // MirrorUpdates, matching a MakeUndirected base graph).
+  bool symmetric = false;
+  // Builder for epoch 0 and for the kFullRebuild strategy.
+  BuildMethod method = BuildMethod::kRadixSort;
+  // Delta depth at which the background thread refreezes.
+  size_t refreeze_threshold = 4096;
+  // Run the refreeze thread. Off: epochs advance only via Refreeze()/Flush().
+  bool background_refreeze = true;
+  // > 0: merges run inside a private ExecutionContext pool of this width,
+  // so refreezes never contend with query contexts for the default pool.
+  int merge_threads = 0;
+  RefreezeStrategy strategy = RefreezeStrategy::kIncrementalMerge;
+};
+
+// A pinned epoch: the handle plus its position in the chain. Copyable and
+// cheap; holding one keeps the epoch alive.
+struct Snapshot {
+  uint64_t epoch = 0;
+  std::shared_ptr<GraphHandle> handle;
+};
+
+struct SnapshotStoreStats {
+  uint64_t epoch = 0;               // current epoch number
+  int64_t epochs_published = 0;     // refreezes that produced a new epoch
+  int64_t updates_applied = 0;      // updates accepted by Apply
+  int64_t updates_merged = 0;       // updates consumed by refreezes
+  EdgeIndex tombstones_dropped = 0; // base copies removed by deletes
+  EdgeIndex edges_inserted = 0;     // copies added by inserts
+  double merge_seconds = 0.0;       // total incremental-merge wall time
+  double full_rebuild_seconds = 0.0;// total full-rebuild wall time
+};
+
+class SnapshotStore {
+ public:
+  // Builds epoch 0 from `initial` (weights are stripped: epochs are
+  // canonical unweighted sorted-adjacency CSRs, see delta.h) and starts the
+  // background refreeze thread when options ask for it.
+  explicit SnapshotStore(EdgeList initial, SnapshotOptions options = {});
+
+  // Stops the refreeze thread. Updates still buffered are discarded —
+  // callers that need them published call Flush() first.
+  ~SnapshotStore();
+
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  // The current epoch. Thread-safe; the returned Snapshot keeps its epoch
+  // alive for as long as the caller holds it.
+  Snapshot Pin() const;
+
+  // Appends updates to the delta buffer (thread-safe, any thread). Wakes
+  // the background refreeze thread once the buffer reaches the threshold.
+  void Apply(const EdgeUpdate& update) { Apply(std::span(&update, 1)); }
+  void Apply(std::span<const EdgeUpdate> updates);
+
+  // Merges the buffered delta into a new epoch synchronously on the caller
+  // (no-op when the buffer is empty) and returns the then-current snapshot.
+  // Serialized with the background thread, so on return every update
+  // Apply()ed before the call is visible in the returned epoch.
+  Snapshot Refreeze();
+  Snapshot Flush() { return Refreeze(); }
+
+  // Updates buffered but not yet merged.
+  size_t delta_depth() const;
+
+  SnapshotStoreStats stats() const;
+
+  const SnapshotOptions& options() const { return options_; }
+
+ private:
+  void BackgroundLoop();
+  void MergeAndPublish();
+
+  const SnapshotOptions options_;
+
+  mutable std::mutex current_mutex_;  // guards current_
+  Snapshot current_;
+
+  mutable std::mutex delta_mutex_;  // guards delta_ and stop_
+  std::condition_variable delta_cv_;
+  std::vector<EdgeUpdate> delta_;
+  bool stop_ = false;
+
+  std::mutex merge_mutex_;  // serializes MergeAndPublish
+
+  mutable std::mutex stats_mutex_;  // guards stats_
+  SnapshotStoreStats stats_;
+
+  std::thread refreeze_thread_;
+};
+
+}  // namespace egraph::snapshot
+
+#endif  // SRC_SNAPSHOT_SNAPSHOT_STORE_H_

@@ -14,6 +14,8 @@
 //   3. QuerySession admission control and drain semantics.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <thread>
 #include <vector>
@@ -175,6 +177,46 @@ TEST(ConcurrentTest, PrepareHammerBuildsLayoutOnce) {
   EXPECT_LT(hammered.preprocess_seconds(), 3.0 * serial_seconds + 0.25);
 }
 
+// Freeze() must exclude an in-flight build-phase Prepare(): before the
+// shared/exclusive guard, a freeze landing mid-build returned immediately
+// and the mutation finished on a handle already observed frozen. Now the
+// freeze blocks until the build completes — observable as the build's cost
+// being accounted by the time Freeze() returns. (If the freeze wins the
+// lock race instead, the build legally runs post-freeze and the clock may
+// still read zero; the 2 ms head start makes that interleaving rare, so at
+// least one round must observe the waited case.) Under TSan this is also
+// the regression test that the freeze/build overlap is race-free.
+TEST(ConcurrentTest, FreezeWaitsForInFlightBuild) {
+  RmatOptions big;
+  big.scale = 16;  // large enough that the radix build far outlasts the 2 ms
+  big.edge_factor = 8;
+  big.seed = 5;
+  const EdgeList graph = GenerateRmat(big);
+  const RunConfig config = PushConfig();
+
+  bool observed_completed_build = false;
+  for (int round = 0; round < 6 && !observed_completed_build; ++round) {
+    GraphHandle handle(graph);
+    std::atomic<bool> started{false};
+    std::thread builder([&] {
+      started.store(true, std::memory_order_release);
+      PrepareForRun(handle, config);
+    });
+    while (!started.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    handle.Freeze();
+    observed_completed_build = handle.preprocess_seconds() > 0.0;
+    builder.join();
+    EXPECT_TRUE(handle.frozen());
+    EXPECT_TRUE(handle.has_out_csr());
+  }
+  EXPECT_TRUE(observed_completed_build)
+      << "Freeze() returned without waiting for the in-flight Prepare() in "
+         "every round";
+}
+
 // Freezing makes mutation illegal but Prepare (idempotent) legal.
 TEST(ConcurrentTest, FrozenHandleAllowsIdempotentPrepare) {
   GraphHandle handle(TestGraph());
@@ -259,6 +301,110 @@ TEST(ConcurrentTest, QuerySessionAdmissionControl) {
   EXPECT_EQ(session.Submit(query), serve::SubmitStatus::kClosed);
   EXPECT_EQ(session.stats().rejected_closed, 1);
   EXPECT_EQ(session.stats().rejected, 3);
+}
+
+// Drain() from two threads at once: exactly one performs the drain, the
+// other blocks until it finishes (no double-join, no abort) and both see
+// the same results — as does any later call.
+TEST(ConcurrentTest, DrainIsIdempotentAndConcurrent) {
+  GraphHandle handle(TestGraph());
+  const RunConfig config = PushConfig();
+  PrepareForRun(handle, config);
+
+  serve::QuerySessionOptions options;
+  options.concurrency = 2;
+  serve::QuerySession session(handle, options);
+  for (int i = 0; i < 8; ++i) {
+    serve::ServeQuery query;
+    query.id = i;
+    query.kind = serve::QueryKind::kBfs;
+    query.source = static_cast<VertexId>(i);
+    query.config = config;
+    ASSERT_EQ(session.Submit(query), serve::SubmitStatus::kAccepted);
+  }
+
+  std::vector<serve::ServeResult> first;
+  std::vector<serve::ServeResult> second;
+  std::thread a([&] { first = session.Drain(); });
+  std::thread b([&] { second = session.Drain(); });
+  a.join();
+  b.join();
+  ASSERT_EQ(first.size(), 8u);
+  ASSERT_EQ(second.size(), first.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].id, second[i].id);
+    EXPECT_EQ(first[i].checksum, second[i].checksum);
+  }
+  const std::vector<serve::ServeResult> third = session.Drain();
+  ASSERT_EQ(third.size(), first.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(third[i].checksum, first[i].checksum);
+  }
+  EXPECT_EQ(session.stats().completed, 8);
+}
+
+// Once a drain has begun, Submit must report kClosed — never kQueueFull —
+// even while the bounded queue is also at capacity: a producer racing the
+// shutdown must not be told to retry against a session that will never
+// take its query. The producer hammers a capacity-1 queue while the main
+// thread drains; in the recorded status sequence no kQueueFull may appear
+// after the first kClosed.
+TEST(ConcurrentTest, SubmitAfterDrainBeginsReportsClosedNeverQueueFull) {
+  GraphHandle handle(TestGraph());
+  const RunConfig config = PushConfig();
+  PrepareForRun(handle, config);
+
+  serve::QuerySessionOptions options;
+  options.concurrency = 1;
+  options.queue_capacity = 1;
+  serve::QuerySession session(handle, options);
+
+  std::vector<serve::SubmitStatus> statuses;
+  std::thread producer([&] {
+    serve::ServeQuery query;
+    query.kind = serve::QueryKind::kBfs;
+    query.source = 1;
+    query.config = config;
+    int closed_seen = 0;
+    for (int i = 0; i < 2'000'000 && closed_seen < 100; ++i) {
+      query.id = i;
+      const serve::SubmitStatus status = session.Submit(query);
+      statuses.push_back(status);
+      if (status == serve::SubmitStatus::kClosed) {
+        ++closed_seen;
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  session.Drain();
+  producer.join();
+
+  bool saw_closed = false;
+  bool saw_full = false;
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    if (statuses[i] == serve::SubmitStatus::kClosed) {
+      saw_closed = true;
+    } else if (statuses[i] == serve::SubmitStatus::kQueueFull) {
+      saw_full = true;
+      EXPECT_FALSE(saw_closed)
+          << "kQueueFull at status " << i << " AFTER a kClosed: a closed "
+             "session told a producer to retry";
+      if (saw_closed) {
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_closed) << "drain raced past the producer without closing";
+  // With a capacity-1 queue and one slow worker the producer must have hit
+  // genuine back-pressure before the drain; otherwise the test ran in an
+  // interleaving that proved nothing about the full+closed combination.
+  EXPECT_TRUE(saw_full);
+
+  // Deterministic coda: with the session fully drained the queue is empty,
+  // yet Submit still reports kClosed — closed wins over any queue state.
+  serve::ServeQuery late;
+  late.config = config;
+  EXPECT_EQ(session.Submit(late), serve::SubmitStatus::kClosed);
 }
 
 TEST(ConcurrentTest, ExecutionContextSeedStreamIsDeterministic) {

@@ -493,6 +493,40 @@ TEST(GraphHandle, SymmetricInputAliasesInCsrForFree) {
   EXPECT_LT(symmetric.preprocess_seconds(), 0.8 * directed_cost);
 }
 
+// The drop -> re-Prepare(symmetric -> asymmetric) transition must not leak
+// the symmetric alias: after DropLayouts, has_in_csr() reports nothing, and
+// an asymmetric re-Prepare builds a REAL in-CSR rather than handing the
+// out-CSR back through a stale in_aliases_out_ flag.
+TEST(GraphHandle, DropThenReprepareAsymmetricClearsAlias) {
+  RmatOptions options;
+  options.scale = 9;
+  const EdgeList graph = GenerateRmat(options);  // directed: in != out
+
+  GraphHandle handle(graph);
+  PrepareConfig symmetric;
+  symmetric.need_out = true;
+  symmetric.need_in = true;
+  symmetric.symmetric_input = true;  // (a lie for this graph, but legal)
+  handle.Prepare(symmetric);
+  ASSERT_TRUE(handle.has_in_csr());
+  ASSERT_EQ(&handle.in_csr(), &handle.out_csr());
+
+  handle.DropLayouts();
+  EXPECT_FALSE(handle.has_out_csr());
+  EXPECT_FALSE(handle.has_in_csr()) << "alias must not survive the drop";
+
+  PrepareConfig asymmetric;
+  asymmetric.need_out = true;
+  asymmetric.need_in = true;
+  handle.Prepare(asymmetric);
+  ASSERT_TRUE(handle.has_in_csr());
+  EXPECT_NE(&handle.in_csr(), &handle.out_csr())
+      << "asymmetric re-Prepare must build a real in-CSR, not the alias";
+  const Csr reference = BuildCsr(graph, EdgeDirection::kIn, BuildMethod::kRadixSort);
+  EXPECT_EQ(handle.in_csr().offsets(), reference.offsets());
+  EXPECT_EQ(handle.in_csr().neighbors(), reference.neighbors());
+}
+
 TEST(GraphHandle, SymmetricPushPullBfsIsCorrect) {
   RmatOptions options;
   options.scale = 9;

@@ -7,6 +7,7 @@
 //   serve     --queries=FILE --concurrency=N [--threads-per-query=K]
 //             [--queue-capacity=M] [--symmetrize]
 //             [--batch=1] [--llc-mb=N] [--batch-min=K] [--max-batch=M]
+//             [--updates=FILE] [--update-batch=N]
 //             [--layout=...] [--direction=...] [--sync=...] [--balance=...]
 //             FILE
 //   run       --algo=bfs|wcc|sssp|pagerank|spmv|kcore|triangles
@@ -29,6 +30,13 @@
 // over --llc-mb-sized CSR ranges, sharing each partition's cache residency
 // across the whole cohort; cohorts below --batch-min fall back to isolated
 // execution. Result checksums are identical in both modes.
+// `serve --updates=FILE` serves against a SnapshotStore instead of a single
+// frozen handle: the update stream (`add|del SRC DST` per line) is applied
+// in --update-batch-sized batches interleaved with query submission, each
+// batch refrozen into a new epoch by the background merge thread, and every
+// query runs against the epoch it pinned at submit time (printed per
+// result). With --symmetrize the updates are mirrored so the graph stays
+// undirected. Streaming mode serves adjacency-layout queries.
 // `run --advisor` lets the paper's section-9 roadmap pick the configuration.
 // Every run prints the end-to-end breakdown (load / preprocess / algorithm).
 // `--metrics` appends the observability tables (phase breakdown, engine
@@ -57,6 +65,8 @@
 #include "src/io/loader.h"
 #include "src/obs/export.h"
 #include "src/serve/query_session.h"
+#include "src/snapshot/delta.h"
+#include "src/snapshot/snapshot_store.h"
 #include "src/obs/phase.h"
 #include "src/obs/timeline.h"
 #include "src/util/env.h"
@@ -466,6 +476,115 @@ int CmdRun(const Flags& flags) {
   return 0;
 }
 
+// serve --updates: run the query stream against a SnapshotStore. Updates are
+// applied in batches interleaved with query submission (queries are spread
+// evenly across the gaps), so consecutive queries pin successive epochs; the
+// background refreeze thread merges each batch while earlier queries are
+// still executing against the epochs they pinned.
+int CmdServeUpdates(const Flags& flags, const RunConfig& config,
+                    const std::vector<serve::ServeQuery>& queries,
+                    EdgeList graph, serve::QuerySessionOptions options,
+                    double load_seconds) {
+  std::vector<snapshot::EdgeUpdate> updates =
+      snapshot::ReadUpdateFile(flags.GetString("updates", ""));
+  if (updates.empty()) {
+    std::fprintf(stderr, "serve: %s holds no updates\n",
+                 flags.GetString("updates", "").c_str());
+    return 2;
+  }
+  for (const serve::ServeQuery& query : queries) {
+    if (query.config.layout != Layout::kAdjacency) {
+      std::fprintf(stderr,
+                   "serve: --updates serves adjacency-layout queries only "
+                   "(epochs materialize CSRs, not grids)\n");
+      return 2;
+    }
+  }
+
+  snapshot::SnapshotOptions sopts;
+  sopts.symmetric = config.symmetric_input;
+  sopts.method = config.method;
+  for (const serve::ServeQuery& query : queries) {
+    // Pull and push-pull traversals (and pagerank's pull pass) walk the
+    // in-CSR, so every epoch must maintain one. Under --symmetrize the
+    // in-CSR aliases the out-CSR and this flag is ignored by the store.
+    if (query.config.direction != Direction::kPush ||
+        query.kind == serve::QueryKind::kPagerank) {
+      sopts.build_in_csr = true;
+    }
+  }
+  if (config.symmetric_input) {
+    updates = snapshot::MirrorUpdates(updates);
+  }
+  size_t batch = static_cast<size_t>(flags.GetInt("update-batch", 0));
+  if (batch == 0) {
+    batch = (updates.size() + 7) / 8;  // default: ~8 epochs over the stream
+  }
+  sopts.refreeze_threshold = batch;
+  sopts.background_refreeze = true;
+
+  Timer preprocess_timer;
+  snapshot::SnapshotStore store(std::move(graph), sopts);
+  const double preprocess_seconds = preprocess_timer.Seconds();
+
+  serve::QuerySession session(store, options);
+  const size_t num_batches = (updates.size() + batch - 1) / batch;
+  const size_t groups = num_batches + 1;
+  int64_t accepted = 0;
+  size_t qpos = 0;
+  for (size_t g = 0; g < groups; ++g) {
+    const size_t qend = queries.size() * (g + 1) / groups;
+    for (; qpos < qend; ++qpos) {
+      accepted +=
+          session.Submit(queries[qpos]) == serve::SubmitStatus::kAccepted ? 1 : 0;
+    }
+    if (g < num_batches) {
+      const size_t lo = g * batch;
+      const size_t hi = lo + batch < updates.size() ? lo + batch : updates.size();
+      store.Apply(std::span<const snapshot::EdgeUpdate>(updates.data() + lo,
+                                                        hi - lo));
+    }
+  }
+  store.Flush();  // publish whatever the background thread has not merged yet
+  const std::vector<serve::ServeResult> results = session.Drain();
+  const serve::QuerySessionStats& stats = session.stats();
+
+  for (const serve::ServeResult& result : results) {
+    std::printf(
+        "query %lld: %s %s in %.4fs (epoch %llu, %d iterations, worker %d%s, "
+        "checksum %016llx)\n",
+        static_cast<long long>(result.id), serve::QueryKindName(result.kind),
+        result.ok ? "ok" : "FAILED", result.seconds,
+        static_cast<unsigned long long>(result.epoch), result.iterations,
+        result.worker, result.batched ? ", batched" : "",
+        static_cast<unsigned long long>(result.checksum));
+  }
+  const snapshot::SnapshotStoreStats sstats = store.stats();
+  std::printf(
+      "serve: %lld epoch(s) published (final epoch %llu), %lld/%lld updates "
+      "merged, %lld edge(s) inserted, %lld tombstoned, merge %.3fs, "
+      "full-rebuild %.3fs\n",
+      static_cast<long long>(sstats.epochs_published),
+      static_cast<unsigned long long>(sstats.epoch),
+      static_cast<long long>(sstats.updates_merged),
+      static_cast<long long>(sstats.updates_applied),
+      static_cast<long long>(sstats.edges_inserted),
+      static_cast<long long>(sstats.tombstones_dropped), sstats.merge_seconds,
+      sstats.full_rebuild_seconds);
+  std::printf("serve: %lld/%zu queries accepted, %lld completed, %lld rejected "
+              "(%lld queue-full, %lld closed)\n",
+              static_cast<long long>(accepted), queries.size(),
+              static_cast<long long>(stats.completed),
+              static_cast<long long>(stats.rejected),
+              static_cast<long long>(stats.rejected_full),
+              static_cast<long long>(stats.rejected_closed));
+  std::printf("serve: load %.3fs, epoch-0 build %.3fs, concurrency %d -> "
+              "%.1f queries/s (%.3fs wall)\n",
+              load_seconds, preprocess_seconds, options.concurrency, stats.qps,
+              stats.wall_seconds);
+  return stats.completed == accepted ? 0 : 1;
+}
+
 int CmdServe(const Flags& flags) {
   if (flags.positional().empty()) {
     std::fprintf(stderr, "serve: expected a graph file\n");
@@ -502,6 +621,23 @@ int CmdServe(const Flags& flags) {
     graph = graph.MakeUndirected();
     config.symmetric_input = true;
   }
+
+  serve::QuerySessionOptions options;
+  options.concurrency = static_cast<int>(flags.GetInt("concurrency", 1));
+  options.threads_per_query = static_cast<int>(flags.GetInt("threads-per-query", 1));
+  options.queue_capacity = static_cast<size_t>(flags.GetInt("queue-capacity", 1024));
+  if (flags.GetBool("batch", false)) {
+    options.mode = serve::ExecutionMode::kBatched;
+    options.llc_bytes = static_cast<uint64_t>(flags.GetInt("llc-mb", 16)) << 20;
+    options.batch_min = static_cast<int>(flags.GetInt("batch-min", 2));
+    options.max_batch = static_cast<int>(flags.GetInt("max-batch", 16));
+  }
+
+  if (!flags.GetString("updates", "").empty()) {
+    return CmdServeUpdates(flags, config, queries, std::move(graph), options,
+                           load_seconds);
+  }
+
   GraphHandle handle(std::move(graph));
 
   // Build the layouts the queries will touch before starting the clock, so
@@ -517,17 +653,6 @@ int CmdServe(const Flags& flags) {
       pull.direction = Direction::kPull;  // pagerank's pull pass needs the in-CSR
       PrepareForRun(handle, pull);
     }
-  }
-
-  serve::QuerySessionOptions options;
-  options.concurrency = static_cast<int>(flags.GetInt("concurrency", 1));
-  options.threads_per_query = static_cast<int>(flags.GetInt("threads-per-query", 1));
-  options.queue_capacity = static_cast<size_t>(flags.GetInt("queue-capacity", 1024));
-  if (flags.GetBool("batch", false)) {
-    options.mode = serve::ExecutionMode::kBatched;
-    options.llc_bytes = static_cast<uint64_t>(flags.GetInt("llc-mb", 16)) << 20;
-    options.batch_min = static_cast<int>(flags.GetInt("batch-min", 2));
-    options.max_batch = static_cast<int>(flags.GetInt("max-batch", 16));
   }
 
   serve::QuerySession session(handle, options);
