@@ -20,6 +20,7 @@
 // same boundaries the scheduler would pick) must show fewer misses batched
 // than isolated. The replay is single-core and seeded — the gate is hard.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -29,12 +30,36 @@
 #include "src/cachesim/cache_model.h"
 #include "src/cachesim/trace.h"
 #include "src/engine/graph_handle.h"
+#include "src/obs/request_trace.h"
 #include "src/serve/batch_scheduler.h"
 #include "src/serve/query_session.h"
 #include "src/util/rng.h"
 #include "src/util/table.h"
 
 namespace {
+
+// Acceptance gate: every served result must carry a complete lifecycle
+// trace whose phase breakdown (admission + queue + cohort + execute) sums
+// to the measured total within 5%, in both execution modes.
+bool TraceIsConsistent(const egraph::serve::ServeResult& result) {
+  const egraph::obs::RequestTrace& trace = result.trace;
+  if (!trace.Complete()) {
+    std::fprintf(stderr, "serve bench: query %lld trace incomplete\n",
+                 static_cast<long long>(result.id));
+    return false;
+  }
+  const double phase_sum = trace.AdmissionSeconds() + trace.QueueWaitSeconds() +
+                           trace.CohortFormSeconds() + trace.ExecuteSeconds();
+  const double total = trace.TotalSeconds();
+  if (std::abs(phase_sum - total) > total * 0.05 + 1e-9) {
+    std::fprintf(stderr,
+                 "serve bench: query %lld phase sum %.9fs diverges from total "
+                 "%.9fs by more than 5%%\n",
+                 static_cast<long long>(result.id), phase_sum, total);
+    return false;
+  }
+  return true;
+}
 
 double Percentile(std::vector<double> samples, double p) {
   if (samples.empty()) {
@@ -155,6 +180,11 @@ int main() {
         std::fprintf(stderr, "serve bench: %zu/%zu queries completed\n", results.size(),
                      queries.size());
         return 1;
+      }
+      for (const serve::ServeResult& result : results) {
+        if (!TraceIsConsistent(result)) {
+          return 1;
+        }
       }
       if (reference.empty()) {
         reference = results;

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "src/obs/phase.h"
+#include "src/obs/timeline.h"
 #include "src/util/table.h"
 #include "src/util/thread_pool.h"
 
@@ -78,6 +79,7 @@ JsonValue MetricsToJson() {
     entry.Set("mean", h.mean);
     entry.Set("p50", h.p50);
     entry.Set("p90", h.p90);
+    entry.Set("p95", h.p95);
     entry.Set("p99", h.p99);
     histograms.Set(h.name, std::move(entry));
   }
@@ -120,10 +122,21 @@ JsonValue ProcessReportToJson(const std::string& name) {
   report.Set("metrics", MetricsToJson());
 
   JsonValue traces = JsonValue::Array();
-  for (const EngineTrace& trace : TraceSink::Current().Snapshot()) {
+  TraceSink& sink = TraceSink::Current();
+  for (const EngineTrace& trace : sink.Snapshot()) {
     traces.Append(TraceToJson(trace));
   }
   report.Set("traces", std::move(traces));
+
+  // Ring drop accounting: without these, a report with a full trace ring or
+  // saturated timeline buffers looks complete when it is not.
+  JsonValue trace_sink = JsonValue::Object();
+  trace_sink.Set("recorded", sink.recorded());
+  trace_sink.Set("dropped", sink.dropped());
+  trace_sink.Set("capacity", static_cast<int64_t>(sink.capacity()));
+  report.Set("trace_sink", std::move(trace_sink));
+  report.Set("timeline_dropped_events",
+             static_cast<int64_t>(Timeline::TotalDropped()));
   return report;
 }
 

@@ -170,6 +170,7 @@ std::vector<HistogramSnapshot> Registry::SnapshotHistograms() const {
     s.mean = histogram->Mean();
     s.p50 = histogram->Percentile(0.50);
     s.p90 = histogram->Percentile(0.90);
+    s.p95 = histogram->Percentile(0.95);
     s.p99 = histogram->Percentile(0.99);
     snapshot.push_back(std::move(s));
   }

@@ -172,6 +172,7 @@ struct HistogramSnapshot {
   double mean = 0.0;
   int64_t p50 = 0;
   int64_t p90 = 0;
+  int64_t p95 = 0;
   int64_t p99 = 0;
 };
 

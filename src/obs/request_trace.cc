@@ -1,0 +1,90 @@
+#include "src/obs/request_trace.h"
+
+#include <cstdio>
+
+namespace egraph::obs {
+
+const char* BatchFallbackName(BatchFallback fallback) {
+  switch (fallback) {
+    case BatchFallback::kNone:
+      return "none";
+    case BatchFallback::kIsolatedMode:
+      return "isolated-mode";
+    case BatchFallback::kNotBatchable:
+      return "not-batchable";
+    case BatchFallback::kCohortTooSmall:
+      return "cohort-too-small";
+  }
+  return "?";
+}
+
+std::string FormatSlowQuery(const SlowQueryRecord& record) {
+  const RequestTrace& t = record.trace;
+  char buffer[320];
+  int n = std::snprintf(
+      buffer, sizeof(buffer),
+      "slow query %lld: %s total %.3fms = admission %.3fms + queue %.3fms + "
+      "cohort %.3fms + execute %.3fms (worker %d, epoch %llu, delta-depth %lld",
+      static_cast<long long>(record.id), record.kind.c_str(),
+      t.TotalSeconds() * 1e3, t.AdmissionSeconds() * 1e3,
+      t.QueueWaitSeconds() * 1e3, t.CohortFormSeconds() * 1e3,
+      t.ExecuteSeconds() * 1e3, record.worker,
+      static_cast<unsigned long long>(t.epoch),
+      static_cast<long long>(t.delta_depth_at_pin));
+  std::string out(buffer, n < 0 ? 0 : static_cast<size_t>(n));
+  if (record.batched) {
+    n = std::snprintf(buffer, sizeof(buffer),
+                      ", cohort %lld of %d over %d partitions, %d rounds",
+                      static_cast<long long>(t.cohort_id), t.cohort_size,
+                      t.partitions, t.rounds);
+    out.append(buffer, n < 0 ? 0 : static_cast<size_t>(n));
+  } else if (t.fallback != BatchFallback::kIsolatedMode) {
+    n = std::snprintf(buffer, sizeof(buffer), ", fallback %s",
+                      BatchFallbackName(t.fallback));
+    out.append(buffer, n < 0 ? 0 : static_cast<size_t>(n));
+  }
+  out += ")";
+  return out;
+}
+
+SlowQueryLog::SlowQueryLog(double threshold_seconds, size_t capacity)
+    : threshold_seconds_(threshold_seconds),
+      capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool SlowQueryLog::MaybeRecord(const SlowQueryRecord& record) {
+  if (record.trace.TotalSeconds() < threshold_seconds_) {
+    return false;
+  }
+  std::lock_guard<std::mutex> guard(mutex_);
+  ++recorded_;
+  if (records_.size() < capacity_) {
+    records_.push_back(record);
+  } else {
+    records_[head_] = record;
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+  return true;
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::vector<SlowQueryRecord> out;
+  out.reserve(records_.size());
+  for (size_t i = 0; i < records_.size(); ++i) {
+    out.push_back(records_[(head_ + i) % records_.size()]);
+  }
+  return out;
+}
+
+int64_t SlowQueryLog::recorded() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return recorded_;
+}
+
+int64_t SlowQueryLog::dropped() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return dropped_;
+}
+
+}  // namespace egraph::obs

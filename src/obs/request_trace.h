@@ -1,0 +1,151 @@
+// Serve-path request observability: one RequestTrace per served query,
+// recording a monotonic timestamp at every lifecycle transition — submit,
+// admission, queue dequeue, cohort formation (batched mode), execution
+// start, completion — plus the epoch it pinned and, for batched queries,
+// which cohort ran it and how. The engine traces (trace.h) answer "what did
+// the algorithm do each round"; this answers the serving question the
+// ROADMAP's production north star needs: "where did query #4182's 40 ms go —
+// queue wait, cohort formation, partition rounds, or execution?"
+//
+// The stamps are steady-clock nanoseconds taken at phase transitions (a
+// handful of clock reads per query, never per edge or per round), so they
+// stay on even under EGRAPH_METRICS=0: the phase breakdown is part of the
+// result a caller paid for, not optional instrumentation. Everything
+// derived from the stamps — per-kind latency histograms, the slow-query
+// log, exposition — is ordinary registry traffic and compiles out with the
+// rest of the metrics layer.
+#ifndef SRC_OBS_REQUEST_TRACE_H_
+#define SRC_OBS_REQUEST_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace egraph::obs {
+
+// Steady-clock nanoseconds, same base as the timeline's span stamps so the
+// two instruments can be correlated. Always on (see header comment).
+inline uint64_t RequestNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Why a query in a batched-mode session did NOT run through the
+// fork-processing scheduler. kNone means it ran batched (or the session is
+// isolated-mode, where the question does not arise).
+enum class BatchFallback : uint8_t {
+  kNone = 0,            // executed by the batch scheduler
+  kIsolatedMode = 1,    // isolated-mode session: batching never considered
+  kNotBatchable = 2,    // layout/direction the scheduler cannot reproduce
+  kCohortTooSmall = 3,  // cohort below batch_min: bookkeeping would not pay
+};
+
+const char* BatchFallbackName(BatchFallback fallback);
+
+// Per-query lifecycle trace. Stamps are 0 until the transition happens;
+// phases are right-open intervals between consecutive stamps, so the four
+// phase durations sum to Total() exactly (the acceptance property the tests
+// and bench gate assert).
+struct RequestTrace {
+  uint64_t submit_ns = 0;       // Submit() entered
+  uint64_t admit_ns = 0;        // admission decided (query accepted + queued)
+  uint64_t dequeue_ns = 0;      // popped from the bounded queue
+  uint64_t exec_start_ns = 0;   // Run* / RunBatch round loop began
+  uint64_t done_ns = 0;         // result materialized (checksum included)
+
+  // Epoch pin (snapshot-store sessions; 0/0 for plain-handle sessions).
+  uint64_t epoch = 0;
+  int64_t delta_depth_at_pin = 0;  // updates buffered behind the pinned epoch
+
+  // Batched-mode fields. cohort_id is a session-wide sequence number (-1
+  // when the query never joined a cohort); partitions/rounds describe the
+  // fork-processing execution that produced the result.
+  int64_t cohort_id = -1;
+  int cohort_size = 0;
+  int partitions = 0;
+  int rounds = 0;
+  BatchFallback fallback = BatchFallback::kIsolatedMode;
+
+  // Derived breakdown, in seconds. Unset stamps collapse the corresponding
+  // phase to 0 rather than producing garbage.
+  double AdmissionSeconds() const { return Delta(submit_ns, admit_ns); }
+  double QueueWaitSeconds() const { return Delta(admit_ns, dequeue_ns); }
+  // Batched: dequeue -> cohort assembled + partitions resolved. Isolated:
+  // the (tiny) gap between pop and Run*.
+  double CohortFormSeconds() const { return Delta(dequeue_ns, exec_start_ns); }
+  double ExecuteSeconds() const { return Delta(exec_start_ns, done_ns); }
+  double TotalSeconds() const { return Delta(submit_ns, done_ns); }
+
+  // True when every stamp is present and monotone (submit <= admit <=
+  // dequeue <= exec_start <= done) — what a completed query must satisfy.
+  bool Complete() const {
+    return submit_ns != 0 && admit_ns >= submit_ns && dequeue_ns >= admit_ns &&
+           exec_start_ns >= dequeue_ns && done_ns >= exec_start_ns;
+  }
+
+ private:
+  static double Delta(uint64_t from_ns, uint64_t to_ns) {
+    return (from_ns == 0 || to_ns <= from_ns)
+               ? 0.0
+               : static_cast<double>(to_ns - from_ns) * 1e-9;
+  }
+};
+
+// One slow-query offender: the trace plus enough identity to act on it.
+struct SlowQueryRecord {
+  int64_t id = 0;
+  std::string kind;    // query kind name ("bfs", ...)
+  int worker = -1;
+  bool batched = false;
+  RequestTrace trace;
+};
+
+// Renders one offender as a single diagnostic line: id, kind, total, and
+// the full phase breakdown (admission / queue / cohort / execute), plus the
+// batched-mode fields when they apply.
+std::string FormatSlowQuery(const SlowQueryRecord& record);
+
+// Bounded newest-kept ring of queries whose total latency crossed a
+// threshold. Record() is called once per completed query from the serving
+// workers, so it takes a mutex (queries complete at most thousands per
+// second — this is not EdgeMap's hot path). Thread-safe throughout.
+class SlowQueryLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 128;
+
+  explicit SlowQueryLog(double threshold_seconds,
+                        size_t capacity = kDefaultCapacity);
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  double threshold_seconds() const { return threshold_seconds_; }
+
+  // Retains the record when trace.TotalSeconds() >= threshold. Returns
+  // whether it qualified (retained or, if the ring was full, overwrote the
+  // oldest offender and counted the displacement).
+  bool MaybeRecord(const SlowQueryRecord& record);
+
+  // Offenders, oldest to newest.
+  std::vector<SlowQueryRecord> Snapshot() const;
+
+  int64_t recorded() const;  // offenders seen (including overwritten ones)
+  int64_t dropped() const;   // offenders overwritten by newer ones
+
+ private:
+  const double threshold_seconds_;
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<SlowQueryRecord> records_;  // ring, at most capacity_ entries
+  size_t head_ = 0;                       // oldest retained record
+  int64_t recorded_ = 0;
+  int64_t dropped_ = 0;
+};
+
+}  // namespace egraph::obs
+
+#endif  // SRC_OBS_REQUEST_TRACE_H_

@@ -55,6 +55,7 @@ TimelineSummary SummarizeTimeline() {
     worker.label = TrackLabel(snapshot);
     worker.events = snapshot.events.size();
     worker.dropped = snapshot.dropped;
+    summary.dropped_events += snapshot.dropped;
     for (const TimelineEvent& event : snapshot.events) {
       min_start = std::min(min_start, event.start_ns);
       max_end = std::max(max_end, event.start_ns + event.dur_ns);
@@ -109,6 +110,7 @@ JsonValue TimelineSummaryToJson(const TimelineSummary& summary) {
   out.Set("critical_path_seconds", summary.critical_path_seconds);
   out.Set("utilization", summary.utilization);
   out.Set("imbalance", summary.imbalance);
+  out.Set("dropped_events", static_cast<int64_t>(summary.dropped_events));
   JsonValue workers = JsonValue::Array();
   for (const TimelineWorkerSummary& worker : summary.workers) {
     JsonValue entry = JsonValue::Object();
@@ -207,6 +209,13 @@ std::string TimelineSummaryTableString() {
                 summary.wall_seconds, summary.critical_path_seconds,
                 summary.utilization * 100.0, summary.imbalance);
   out += buffer;
+  if (summary.dropped_events != 0) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "WARNING: %llu events dropped to full buffers; totals below "
+                  "undercount (raise EG_TIMELINE_EVENTS)\n",
+                  static_cast<unsigned long long>(summary.dropped_events));
+    out += buffer;
+  }
   Table table({"track", "chunks", "steals", "busy(s)", "steal(s)", "idle(s)",
                "events", "dropped"});
   for (const TimelineWorkerSummary& worker : summary.workers) {

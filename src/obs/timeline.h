@@ -355,6 +355,9 @@ struct TimelineSummary {
                                        // on any schedule of the same chunks
   double utilization = 0.0;            // sum busy / (wall * workers)
   double imbalance = 0.0;              // max busy / mean busy (1.0 = even)
+  uint64_t dropped_events = 0;         // events lost to full buffers, all
+                                       // tracks — nonzero means the summary
+                                       // undercounts everything above
   std::vector<TimelineWorkerSummary> workers;
 };
 

@@ -158,9 +158,13 @@ bool BatchableQuery(const ServeQuery& query) {
 std::vector<ServeResult> RunBatch(GraphHandle& handle,
                                   const std::vector<ServeQuery>& queries,
                                   const std::vector<VertexId>& boundaries,
-                                  ExecutionContext& ctx) {
+                                  ExecutionContext& ctx,
+                                  const std::vector<obs::RequestTrace>& traces) {
   ExecutionContext::Scope scope(ctx);
   Timer cohort_timer;
+  // Everything before this stamp — classification, PrepareForRun, partition
+  // boundaries — is the cohort-formation phase of each query's trace.
+  const uint64_t exec_start_ns = obs::RequestNowNs();
   const VertexId n = handle.num_vertices();
   const size_t parts = boundaries.size() - 1;
   const size_t num_queries = queries.size();
@@ -183,6 +187,9 @@ std::vector<ServeResult> RunBatch(GraphHandle& handle,
     --active_count;
     r.seconds = cohort_timer.Seconds();
     r.iterations = s.rounds;
+    r.trace.done_ns = obs::RequestNowNs();
+    r.trace.rounds = s.rounds;
+    r.trace.partitions = static_cast<int>(parts);
     switch (s.query->kind) {
       case QueryKind::kBfs:
         r.checksum = ChecksumBfs(s.parent);
@@ -210,6 +217,10 @@ std::vector<ServeResult> RunBatch(GraphHandle& handle,
     r.kind = query.kind;
     r.worker = 0;
     r.batched = true;
+    if (!traces.empty()) {
+      r.trace = traces[q];
+    }
+    r.trace.exec_start_ns = exec_start_ns;
     s.frontier.resize(parts);
     s.discovered.resize(parts);
     s.active = true;

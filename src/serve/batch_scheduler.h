@@ -49,10 +49,16 @@ bool BatchableQuery(const ServeQuery& query);
 // (partition, query) tasks are dispatched on. The handle must be frozen and
 // every query's layout prepared. Results are returned in input order with
 // `batched` set and `seconds` measuring cohort-start to query-completion.
+//
+// `traces` (when non-empty; must then match `queries` in length) seeds each
+// result's lifecycle trace: the scheduler stamps exec_start_ns at round-loop
+// entry for the whole cohort, and done_ns / rounds / partitions per query as
+// it completes.
 std::vector<ServeResult> RunBatch(GraphHandle& handle,
                                   const std::vector<ServeQuery>& queries,
                                   const std::vector<VertexId>& boundaries,
-                                  ExecutionContext& ctx);
+                                  ExecutionContext& ctx,
+                                  const std::vector<obs::RequestTrace>& traces = {});
 
 }  // namespace egraph::serve
 

@@ -9,10 +9,43 @@
 #include "src/algos/pagerank.h"
 #include "src/algos/sssp.h"
 #include "src/algos/wcc.h"
+#include "src/obs/metrics.h"
 #include "src/serve/batch_scheduler.h"
 #include "src/serve/checksum.h"
 
 namespace egraph::serve {
+
+namespace {
+
+// Per-kind latency histograms, resolved once per kind (Registry lookup
+// takes a mutex; completions happen at QPS rate). Microsecond samples: the
+// log2 buckets then resolve sub-millisecond latencies to within 2x, and
+// int64 holds ~292k years.
+struct KindLatencyMetrics {
+  obs::Histogram& queue_wait_us;
+  obs::Histogram& execute_us;
+  obs::Histogram& total_us;
+
+  static const KindLatencyMetrics& ForKind(QueryKind kind) {
+    static const KindLatencyMetrics metrics[] = {
+        Make(QueryKind::kBfs), Make(QueryKind::kSssp),
+        Make(QueryKind::kPagerank), Make(QueryKind::kWcc)};
+    return metrics[static_cast<size_t>(kind)];
+  }
+
+ private:
+  static KindLatencyMetrics Make(QueryKind kind) {
+    const std::string prefix = std::string("serve.") + QueryKindName(kind);
+    return KindLatencyMetrics{
+        obs::Registry::Get().GetHistogram(prefix + ".queue_wait_us"),
+        obs::Registry::Get().GetHistogram(prefix + ".execute_us"),
+        obs::Registry::Get().GetHistogram(prefix + ".total_us")};
+  }
+};
+
+int64_t Micros(double seconds) { return static_cast<int64_t>(seconds * 1e6); }
+
+}  // namespace
 
 const char* QueryKindName(QueryKind kind) {
   switch (kind) {
@@ -82,6 +115,9 @@ std::vector<ServeQuery> ReadQueryFile(const std::string& path,
 QuerySession::QuerySession(GraphHandle& handle, QuerySessionOptions options)
     : handle_(&handle), options_(std::move(options)) {
   handle_->Freeze();
+  if (options_.slow_query_seconds > 0.0) {
+    slow_log_ = std::make_unique<obs::SlowQueryLog>(options_.slow_query_seconds);
+  }
   StartWorkers();
 }
 
@@ -89,6 +125,9 @@ QuerySession::QuerySession(snapshot::SnapshotStore& store, QuerySessionOptions o
     : store_(&store), options_(std::move(options)) {
   // Every epoch the store publishes is already frozen; there is nothing to
   // freeze here. Queries pin their epoch in Submit.
+  if (options_.slow_query_seconds > 0.0) {
+    slow_log_ = std::make_unique<obs::SlowQueryLog>(options_.slow_query_seconds);
+  }
   StartWorkers();
 }
 
@@ -119,28 +158,29 @@ SubmitStatus QuerySession::Submit(const ServeQuery& query) {
   // current when the producer submits is the epoch the query reads.
   Pending pending;
   pending.query = query;
+  pending.trace.submit_ns = obs::RequestNowNs();
   if (store_ != nullptr) {
     pending.snap = store_->Pin();
+    pending.trace.epoch = pending.snap.epoch;
+    pending.trace.delta_depth_at_pin =
+        static_cast<int64_t>(store_->delta_depth());
   }
   {
     std::lock_guard<std::mutex> guard(mutex_);
     // Closed wins over full: once a drain has begun the session will never
     // take this query, and the producer must not be told to retry.
     if (closed_) {
-      ++rejected_closed_;
-      if (drained_) {
-        // Keep the published stats truthful for late submissions too.
-        stats_.rejected_closed = rejected_closed_;
-        stats_.rejected = rejected_full_ + rejected_closed_;
-      }
+      rejected_closed_.fetch_add(1, std::memory_order_relaxed);
       return SubmitStatus::kClosed;
     }
     if (queue_.size() >= options_.queue_capacity) {
-      ++rejected_full_;
+      rejected_full_.fetch_add(1, std::memory_order_relaxed);
       return SubmitStatus::kQueueFull;
     }
+    // Admission decided: the queue-wait phase starts here.
+    pending.trace.admit_ns = obs::RequestNowNs();
     queue_.push_back(std::move(pending));
-    ++submitted_;
+    submitted_.fetch_add(1, std::memory_order_relaxed);
   }
   cv_.notify_one();
   return SubmitStatus::kAccepted;
@@ -173,24 +213,32 @@ std::vector<ServeResult> QuerySession::Drain() {
   }
   std::sort(results_.begin(), results_.end(),
             [](const ServeResult& a, const ServeResult& b) { return a.id < b.id; });
-  stats_.submitted = submitted_;
-  stats_.rejected_full = rejected_full_;
-  stats_.rejected_closed = rejected_closed_;
-  stats_.rejected = rejected_full_ + rejected_closed_;
-  stats_.completed = static_cast<int64_t>(results_.size());
-  stats_.batched = 0;
-  for (const ServeResult& result : results_) {
-    stats_.batched += result.batched ? 1 : 0;
-  }
-  stats_.batches = batches_;
-  stats_.wall_seconds = wall_timer_.Seconds();
-  stats_.qps = stats_.wall_seconds > 0.0
-                   ? static_cast<double>(stats_.completed) / stats_.wall_seconds
-                   : 0.0;
+  final_wall_seconds_ = wall_timer_.Seconds();
   drained_ = true;
   lock.unlock();
   drained_cv_.notify_all();
   return results_;
+}
+
+QuerySessionStats QuerySession::stats() const {
+  QuerySessionStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.rejected_full = rejected_full_.load(std::memory_order_relaxed);
+  stats.rejected_closed = rejected_closed_.load(std::memory_order_relaxed);
+  stats.rejected = stats.rejected_full + stats.rejected_closed;
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.batched = batched_completed_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.in_flight = in_flight_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    stats.queue_depth = static_cast<int64_t>(queue_.size());
+    stats.wall_seconds = drained_ ? final_wall_seconds_ : wall_timer_.Seconds();
+  }
+  stats.qps = stats.wall_seconds > 0.0
+                  ? static_cast<double>(stats.completed) / stats.wall_seconds
+                  : 0.0;
+  return stats;
 }
 
 void QuerySession::WorkerLoop(int worker_index) {
@@ -211,9 +259,11 @@ void QuerySession::WorkerLoop(int worker_index) {
       pending = std::move(queue_.front());
       queue_.pop_front();
     }
-    ServeResult result =
-        Execute(ResolveHandle(pending), pending.query, ctx, worker_index);
+    pending.trace.dequeue_ns = obs::RequestNowNs();
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    ServeResult result = Execute(ResolveHandle(pending), pending, ctx, worker_index);
     result.epoch = pending.snap.epoch;
+    RecordCompletion(result);
     worker_results_[static_cast<size_t>(worker_index)].push_back(result);
     // The pinned snapshot drops here: a retired epoch frees as soon as its
     // last in-flight query completes.
@@ -267,26 +317,51 @@ void QuerySession::CoordinatorLoop() {
         queue_.pop_front();
       }
     }
+    // The whole cohort left the queue together; cohort formation (classify,
+    // prepare, partition) runs from this stamp to RunBatch's exec stamp.
+    const uint64_t dequeue_ns = obs::RequestNowNs();
+    for (Pending& pending : cohort) {
+      pending.trace.dequeue_ns = dequeue_ns;
+    }
+    in_flight_.fetch_add(static_cast<int64_t>(cohort.size()),
+                         std::memory_order_relaxed);
     GraphHandle& cohort_handle = ResolveHandle(cohort.front());
     const uint64_t cohort_epoch = cohort.front().snap.epoch;
 
     std::vector<ServeQuery> batchable;
-    std::vector<ServeQuery> fallback;
-    for (const Pending& pending : cohort) {
-      (BatchableQuery(pending.query) ? batchable : fallback).push_back(pending.query);
+    std::vector<obs::RequestTrace> batchable_traces;
+    std::vector<Pending*> fallback;
+    for (Pending& pending : cohort) {
+      if (BatchableQuery(pending.query)) {
+        batchable.push_back(pending.query);
+        batchable_traces.push_back(pending.trace);
+      } else {
+        pending.trace.fallback = obs::BatchFallback::kNotBatchable;
+        fallback.push_back(&pending);
+      }
     }
     if (static_cast<int>(batchable.size()) < batch_min) {
       // Too few to amortize partition bookkeeping — run the whole cohort
       // isolated, in arrival order.
-      fallback.clear();
-      for (const Pending& pending : cohort) {
-        fallback.push_back(pending.query);
-      }
       batchable.clear();
+      batchable_traces.clear();
+      fallback.clear();
+      for (Pending& pending : cohort) {
+        if (pending.trace.fallback == obs::BatchFallback::kIsolatedMode) {
+          pending.trace.fallback = obs::BatchFallback::kCohortTooSmall;
+        }
+        fallback.push_back(&pending);
+      }
     }
 
     std::vector<ServeResult>& sink = worker_results_[0];
     if (!batchable.empty()) {
+      const int64_t cohort_id = cohort_seq_++;
+      for (obs::RequestTrace& trace : batchable_traces) {
+        trace.fallback = obs::BatchFallback::kNone;
+        trace.cohort_id = cohort_id;
+        trace.cohort_size = static_cast<int>(batchable.size());
+      }
       for (const ServeQuery& query : batchable) {
         PrepareForRun(cohort_handle, query.config);
       }
@@ -297,16 +372,18 @@ void QuerySession::CoordinatorLoop() {
         boundaries_snap = cohort.front().snap;
       }
       std::vector<ServeResult> batch_results =
-          RunBatch(cohort_handle, batchable, boundaries, ctx);
+          RunBatch(cohort_handle, batchable, boundaries, ctx, batchable_traces);
       for (ServeResult& result : batch_results) {
         result.epoch = cohort_epoch;
+        RecordCompletion(result);
       }
       sink.insert(sink.end(), batch_results.begin(), batch_results.end());
-      ++batches_;
+      batches_.fetch_add(1, std::memory_order_relaxed);
     }
-    for (const ServeQuery& query : fallback) {
-      ServeResult result = Execute(cohort_handle, query, fallback_ctx, 0);
+    for (Pending* pending : fallback) {
+      ServeResult result = Execute(cohort_handle, *pending, fallback_ctx, 0);
       result.epoch = cohort_epoch;
+      RecordCompletion(result);
       sink.push_back(result);
     }
     // `cohort` (and its pinned snapshots) drops here, retiring the epoch if
@@ -314,12 +391,15 @@ void QuerySession::CoordinatorLoop() {
   }
 }
 
-ServeResult QuerySession::Execute(GraphHandle& handle, const ServeQuery& query,
+ServeResult QuerySession::Execute(GraphHandle& handle, const Pending& pending,
                                   ExecutionContext& ctx, int worker_index) {
+  const ServeQuery& query = pending.query;
   ServeResult result;
   result.id = query.id;
   result.kind = query.kind;
   result.worker = worker_index;
+  result.trace = pending.trace;
+  result.trace.exec_start_ns = obs::RequestNowNs();
   Timer timer;
   switch (query.kind) {
     case QueryKind::kBfs: {
@@ -354,7 +434,63 @@ ServeResult QuerySession::Execute(GraphHandle& handle, const ServeQuery& query,
     }
   }
   result.seconds = timer.Seconds();
+  result.trace.done_ns = obs::RequestNowNs();
   return result;
+}
+
+void QuerySession::RecordCompletion(ServeResult& result) {
+  if (result.trace.done_ns == 0) {
+    result.trace.done_ns = obs::RequestNowNs();
+  }
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (result.batched) {
+    batched_completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const KindLatencyMetrics& metrics = KindLatencyMetrics::ForKind(result.kind);
+  metrics.queue_wait_us.Record(Micros(result.trace.QueueWaitSeconds()));
+  metrics.execute_us.Record(Micros(result.trace.ExecuteSeconds()));
+  metrics.total_us.Record(Micros(result.trace.TotalSeconds()));
+  if (slow_log_ != nullptr) {
+    obs::SlowQueryRecord record;
+    record.id = result.id;
+    record.kind = QueryKindName(result.kind);
+    record.worker = result.worker;
+    record.batched = result.batched;
+    record.trace = result.trace;
+    slow_log_->MaybeRecord(record);
+  }
+}
+
+std::vector<obs::GaugeSample> ServeGauges(const QuerySession& session,
+                                          const snapshot::SnapshotStore* store) {
+  const QuerySessionStats stats = session.stats();
+  std::vector<obs::GaugeSample> gauges = {
+      {"serve.queue_depth", static_cast<double>(stats.queue_depth)},
+      {"serve.in_flight", static_cast<double>(stats.in_flight)},
+      {"serve.submitted", static_cast<double>(stats.submitted)},
+      {"serve.completed", static_cast<double>(stats.completed)},
+      {"serve.rejected_full", static_cast<double>(stats.rejected_full)},
+      {"serve.rejected_closed", static_cast<double>(stats.rejected_closed)},
+      {"serve.batched", static_cast<double>(stats.batched)},
+      {"serve.batches", static_cast<double>(stats.batches)},
+      {"serve.qps", stats.qps},
+  };
+  if (session.slow_query_log() != nullptr) {
+    gauges.push_back({"serve.slow_queries",
+                      static_cast<double>(session.slow_query_log()->recorded())});
+  }
+  if (store != nullptr) {
+    const snapshot::SnapshotChainStats chain = store->chain_stats();
+    gauges.push_back({"snapshot.epoch", static_cast<double>(chain.newest_epoch)});
+    gauges.push_back({"snapshot.refreeze_backlog",
+                      static_cast<double>(store->delta_depth())});
+    gauges.push_back({"snapshot.chain_length",
+                      static_cast<double>(chain.chain_length)});
+    gauges.push_back({"snapshot.retained_bytes",
+                      static_cast<double>(chain.retained_bytes)});
+  }
+  return gauges;
 }
 
 }  // namespace egraph::serve

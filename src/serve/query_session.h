@@ -34,9 +34,11 @@
 #ifndef SRC_SERVE_QUERY_SESSION_H_
 #define SRC_SERVE_QUERY_SESSION_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -45,6 +47,8 @@
 #include "src/algos/common.h"
 #include "src/engine/execution_context.h"
 #include "src/engine/graph_handle.h"
+#include "src/obs/exposition.h"
+#include "src/obs/request_trace.h"
 #include "src/snapshot/snapshot_store.h"
 #include "src/util/timer.h"
 
@@ -89,6 +93,11 @@ struct ServeResult {
   // Epoch the query executed against (0 for plain-handle sessions; for
   // snapshot-store sessions, the epoch pinned at Submit time).
   uint64_t epoch = 0;
+  // Lifecycle trace: where this query's latency went (submit -> admission ->
+  // queue wait -> cohort formation -> execution), plus epoch-pin and
+  // batched-cohort detail. Always populated; trace.Complete() holds for
+  // every result a Drain returns.
+  obs::RequestTrace trace;
 };
 
 // Why Submit() bounced a query — "try again later" (kQueueFull) and "never
@@ -127,6 +136,10 @@ struct QuerySessionOptions {
   int batch_min = 2;
   // Upper bound on queries drained into one cohort.
   int max_batch = 16;
+  // > 0: completed queries whose total latency (submit to completion)
+  // reaches this many seconds are retained in the session's SlowQueryLog
+  // with their full phase breakdown. 0 disables the log.
+  double slow_query_seconds = 0.0;
 };
 
 struct QuerySessionStats {
@@ -137,7 +150,10 @@ struct QuerySessionStats {
   int64_t completed = 0;
   int64_t batched = 0;   // completed queries that ran through the batch scheduler
   int64_t batches = 0;   // cohorts the batch scheduler executed
-  double wall_seconds = 0.0;  // construction to Drain completion
+  int64_t queue_depth = 0;  // queries waiting for a worker right now
+  int64_t in_flight = 0;    // queries dequeued but not yet completed
+  double wall_seconds = 0.0;  // construction until now (post-drain: until
+                              // the drain completed)
   double qps = 0.0;           // completed / wall_seconds
 };
 
@@ -178,15 +194,24 @@ class QuerySession {
   // the same results.
   std::vector<ServeResult> Drain();
 
-  // Valid after Drain().
-  const QuerySessionStats& stats() const { return stats_; }
+  // A consistent point-in-time snapshot of the session's counters and
+  // gauges. Safe to call from any thread at any moment — including while
+  // workers are mid-query — and after Drain(), when it reports the final
+  // tallies. (It returns by value precisely so concurrent workers never
+  // mutate a struct a reader is looking at.)
+  QuerySessionStats stats() const;
+
+  // The slow-query log, or nullptr when options.slow_query_seconds == 0.
+  const obs::SlowQueryLog* slow_query_log() const { return slow_log_.get(); }
 
  private:
   // A queued query plus the snapshot it pinned at Submit time (an empty
-  // handle for plain-handle sessions, which run against *handle_).
+  // handle for plain-handle sessions, which run against *handle_) and the
+  // lifecycle trace started when Submit stamped it.
   struct Pending {
     ServeQuery query;
     snapshot::Snapshot snap;
+    obs::RequestTrace trace;
   };
 
   void StartWorkers();
@@ -196,14 +221,18 @@ class QuerySession {
   GraphHandle& ResolveHandle(const Pending& pending) {
     return pending.snap.handle ? *pending.snap.handle : *handle_;
   }
-  ServeResult Execute(GraphHandle& handle, const ServeQuery& query,
+  ServeResult Execute(GraphHandle& handle, const Pending& pending,
                       ExecutionContext& ctx, int worker_index);
+  // Completion bookkeeping every execution path funnels through: stamps
+  // done_ns if the executor did not, feeds the per-kind latency histograms,
+  // and offers the result to the slow-query log.
+  void RecordCompletion(ServeResult& result);
 
   GraphHandle* handle_ = nullptr;             // plain-handle sessions
   snapshot::SnapshotStore* store_ = nullptr;  // snapshot-store sessions
   const QuerySessionOptions options_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Pending> queue_;
   bool closed_ = false;
@@ -212,16 +241,30 @@ class QuerySession {
   std::vector<std::vector<ServeResult>> worker_results_;  // one slot per worker
 
   Timer wall_timer_;
-  int64_t submitted_ = 0;        // guarded by mutex_
-  int64_t rejected_full_ = 0;    // guarded by mutex_
-  int64_t rejected_closed_ = 0;  // guarded by mutex_
-  int64_t batches_ = 0;          // coordinator-only until Drain joins
+  // Counters are atomic so stats() can snapshot them from any thread while
+  // workers run (the old `const&`-to-plain-ints accessor was a data race).
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> rejected_full_{0};
+  std::atomic<int64_t> rejected_closed_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> batched_completed_{0};
+  std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> in_flight_{0};
+  int64_t cohort_seq_ = 0;  // coordinator-thread only
+  std::unique_ptr<obs::SlowQueryLog> slow_log_;
   bool draining_ = false;        // guarded by mutex_: a Drain is in flight
-  bool drained_ = false;
+  bool drained_ = false;         // guarded by mutex_
+  double final_wall_seconds_ = 0.0;  // guarded by mutex_; set when drained_
   std::condition_variable drained_cv_;  // signals drained_
   std::vector<ServeResult> results_;
-  QuerySessionStats stats_;
 };
+
+// The serving layer's gauge provider for obs::StatsSampler / exposition:
+// the session's live queue/in-flight/throughput gauges plus, when `store`
+// is non-null, the snapshot-store epoch gauges (current epoch, delta depth
+// a.k.a. refreeze backlog, live chain length, retained bytes).
+std::vector<obs::GaugeSample> ServeGauges(const QuerySession& session,
+                                          const snapshot::SnapshotStore* store);
 
 }  // namespace egraph::serve
 

@@ -78,6 +78,7 @@ SnapshotStore::SnapshotStore(EdgeList initial, SnapshotOptions options)
   handle->Freeze();
 
   current_ = Snapshot{0, std::move(handle)};
+  chain_.push_back(ChainEntry{0, current_.handle});
   if (options_.background_refreeze) {
     refreeze_thread_ = std::thread([this] { BackgroundLoop(); });
   }
@@ -132,6 +133,47 @@ size_t SnapshotStore::delta_depth() const {
 SnapshotStoreStats SnapshotStore::stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   return stats_;
+}
+
+namespace {
+
+// Bytes a live epoch keeps resident: its CSRs (skipping a symmetric in-CSR
+// that merely aliases the out-CSR) plus its canonical edge list.
+int64_t HandleRetainedBytes(const GraphHandle& handle) {
+  int64_t bytes = 0;
+  if (handle.has_out_csr()) {
+    bytes += static_cast<int64_t>(handle.out_csr().MemoryBytes());
+  }
+  if (handle.has_in_csr() && &handle.in_csr() != &handle.out_csr()) {
+    bytes += static_cast<int64_t>(handle.in_csr().MemoryBytes());
+  }
+  const EdgeList& edges = handle.edges();
+  bytes += static_cast<int64_t>(edges.edges().capacity() * sizeof(Edge) +
+                                edges.weights().capacity() * sizeof(float));
+  return bytes;
+}
+
+}  // namespace
+
+SnapshotChainStats SnapshotStore::chain_stats() const {
+  SnapshotChainStats out;
+  std::lock_guard<std::mutex> lock(current_mutex_);
+  out.newest_epoch = current_.epoch;
+  size_t kept = 0;
+  for (ChainEntry& entry : chain_) {
+    const std::shared_ptr<GraphHandle> handle = entry.handle.lock();
+    if (!handle) {
+      continue;  // retired: its last Snapshot dropped
+    }
+    if (out.chain_length == 0) {
+      out.oldest_live_epoch = entry.epoch;
+    }
+    ++out.chain_length;
+    out.retained_bytes += HandleRetainedBytes(*handle);
+    chain_[kept++] = std::move(entry);
+  }
+  chain_.resize(kept);
+  return out;
 }
 
 void SnapshotStore::BackgroundLoop() {
@@ -243,6 +285,7 @@ void SnapshotStore::MergeAndPublish() {
     std::lock_guard<std::mutex> lock(current_mutex_);
     epoch = current_.epoch + 1;
     current_ = Snapshot{epoch, std::move(next)};
+    chain_.push_back(ChainEntry{epoch, current_.handle});
   }
 
   {

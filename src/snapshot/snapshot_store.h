@@ -77,6 +77,18 @@ struct Snapshot {
   std::shared_ptr<GraphHandle> handle;
 };
 
+// Liveness of the epoch chain at one instant: how many published epochs are
+// still reachable (current, or pinned by at least one outstanding Snapshot)
+// and the graph bytes they keep resident. A chain_length stuck above 2 means
+// some reader is holding old epochs alive — the retained-bytes gauge the
+// serve-path exposition surfaces.
+struct SnapshotChainStats {
+  int64_t chain_length = 0;     // live epochs (>= 1: current is always live)
+  int64_t retained_bytes = 0;   // CSRs + canonical edge lists of live epochs
+  uint64_t newest_epoch = 0;    // == current epoch number
+  uint64_t oldest_live_epoch = 0;
+};
+
 struct SnapshotStoreStats {
   uint64_t epoch = 0;               // current epoch number
   int64_t epochs_published = 0;     // refreezes that produced a new epoch
@@ -123,6 +135,10 @@ class SnapshotStore {
 
   SnapshotStoreStats stats() const;
 
+  // Prunes retired epochs from the chain index and reports what is still
+  // live. Thread-safe; O(published epochs not yet pruned).
+  SnapshotChainStats chain_stats() const;
+
   const SnapshotOptions& options() const { return options_; }
 
  private:
@@ -131,8 +147,15 @@ class SnapshotStore {
 
   const SnapshotOptions options_;
 
-  mutable std::mutex current_mutex_;  // guards current_
+  mutable std::mutex current_mutex_;  // guards current_ and chain_
   Snapshot current_;
+  // Chain index: every published epoch, weakly held so the index itself
+  // never extends an epoch's life. chain_stats() prunes expired entries.
+  struct ChainEntry {
+    uint64_t epoch = 0;
+    std::weak_ptr<GraphHandle> handle;
+  };
+  mutable std::vector<ChainEntry> chain_;
 
   mutable std::mutex delta_mutex_;  // guards delta_ and stop_
   std::condition_variable delta_cv_;

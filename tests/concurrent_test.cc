@@ -27,6 +27,7 @@
 #include "src/engine/execution_context.h"
 #include "src/engine/graph_handle.h"
 #include "src/gen/rmat.h"
+#include "src/obs/request_trace.h"
 #include "src/serve/query_session.h"
 
 namespace egraph {
@@ -270,6 +271,134 @@ TEST(ConcurrentTest, QuerySessionRunsMixedQueries) {
   ASSERT_EQ(serial_results.size(), results.size());
   for (size_t i = 0; i < results.size(); ++i) {
     EXPECT_EQ(results[i].checksum, serial_results[i].checksum) << "query " << i;
+  }
+}
+
+// Every drained result carries a complete lifecycle trace whose phase
+// breakdown (admission + queue wait + cohort formation + execute) sums to
+// the total exactly — the stamps are consecutive right-open intervals, so
+// nothing can leak between phases. Isolated-mode sessions must report the
+// isolated fallback and no cohort.
+TEST(ConcurrentTest, RequestTraceBreakdownIsConsistent) {
+  GraphHandle handle(TestGraph());
+  const RunConfig config = PushConfig();
+  PrepareForRun(handle, config);
+
+  serve::QuerySessionOptions options;
+  options.concurrency = 4;
+  options.threads_per_query = 1;
+  serve::QuerySession session(handle, options);
+  for (int i = 0; i < 12; ++i) {
+    serve::ServeQuery query;
+    query.id = i;
+    query.kind = i % 2 == 0 ? serve::QueryKind::kBfs : serve::QueryKind::kSssp;
+    query.source = static_cast<VertexId>(i);
+    query.config = config;
+    ASSERT_EQ(session.Submit(query), serve::SubmitStatus::kAccepted);
+  }
+  const std::vector<serve::ServeResult> results = session.Drain();
+  ASSERT_EQ(results.size(), 12u);
+  for (const serve::ServeResult& result : results) {
+    const obs::RequestTrace& trace = result.trace;
+    EXPECT_TRUE(trace.Complete()) << "query " << result.id;
+    EXPECT_GE(trace.AdmissionSeconds(), 0.0);
+    EXPECT_GE(trace.QueueWaitSeconds(), 0.0);
+    EXPECT_GE(trace.CohortFormSeconds(), 0.0);
+    EXPECT_GT(trace.ExecuteSeconds(), 0.0) << "query " << result.id;
+    const double phase_sum = trace.AdmissionSeconds() + trace.QueueWaitSeconds() +
+                             trace.CohortFormSeconds() + trace.ExecuteSeconds();
+    const double total = trace.TotalSeconds();
+    EXPECT_GT(total, 0.0) << "query " << result.id;
+    // Exact by construction; 5% is the acceptance bound, 1e-9 the slack for
+    // the double conversions.
+    EXPECT_NEAR(phase_sum, total, total * 0.05 + 1e-9) << "query " << result.id;
+    // The execute phase wraps the result's own timer, so it can only be a
+    // hair longer than result.seconds, never shorter.
+    EXPECT_GE(trace.ExecuteSeconds(), result.seconds) << "query " << result.id;
+    EXPECT_GE(total, result.seconds) << "query " << result.id;
+    // Isolated mode: batching was never considered, no cohort, no epoch pin
+    // (plain-handle session).
+    EXPECT_EQ(trace.fallback, obs::BatchFallback::kIsolatedMode);
+    EXPECT_EQ(trace.cohort_id, -1);
+    EXPECT_EQ(trace.epoch, 0u);
+    EXPECT_FALSE(result.batched);
+  }
+}
+
+// stats() and ServeGauges() are read concurrently with the serving workers
+// (this is exactly what the StatsSampler thread does): 4 workers + 2
+// submitting producers + 2 pollers = 8+ threads hammering the counters,
+// the queue mutex, and the slow-query log at once. TSan runs this under
+// the `serve` label; the assertions pin the final counts.
+TEST(ConcurrentTest, StatsPollingDuringServeIsRaceFree) {
+  GraphHandle handle(TestGraph());
+  const RunConfig config = PushConfig();
+  PrepareForRun(handle, config);
+
+  serve::QuerySessionOptions options;
+  options.concurrency = 4;
+  options.threads_per_query = 1;
+  options.slow_query_seconds = 1e-9;  // everything qualifies: hammer the log
+  serve::QuerySession session(handle, options);
+
+  constexpr int kProducers = 2;
+  constexpr int kQueriesPerProducer = 8;
+  std::atomic<bool> stop_polling{false};
+  std::atomic<int64_t> accepted{0};
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kQueriesPerProducer; ++i) {
+        serve::ServeQuery query;
+        query.id = p * kQueriesPerProducer + i;
+        query.kind = i % 2 == 0 ? serve::QueryKind::kBfs : serve::QueryKind::kSssp;
+        query.source = static_cast<VertexId>(query.id);
+        query.config = config;
+        if (session.Submit(query) == serve::SubmitStatus::kAccepted) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> pollers;
+  for (int t = 0; t < 2; ++t) {
+    pollers.emplace_back([&] {
+      while (!stop_polling.load(std::memory_order_acquire)) {
+        const serve::QuerySessionStats stats = session.stats();
+        EXPECT_GE(stats.submitted, 0);
+        EXPECT_GE(stats.queue_depth, 0);
+        EXPECT_GE(stats.in_flight, 0);
+        EXPECT_LE(stats.completed, stats.submitted);
+        for (const obs::GaugeSample& sample : serve::ServeGauges(session, nullptr)) {
+          EXPECT_FALSE(sample.name.empty());
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  for (std::thread& producer : producers) {
+    producer.join();
+  }
+  const std::vector<serve::ServeResult> results = session.Drain();
+  stop_polling.store(true, std::memory_order_release);
+  for (std::thread& poller : pollers) {
+    poller.join();
+  }
+
+  EXPECT_EQ(static_cast<int64_t>(results.size()), accepted.load());
+  const serve::QuerySessionStats final_stats = session.stats();
+  EXPECT_EQ(final_stats.completed, accepted.load());
+  EXPECT_EQ(final_stats.queue_depth, 0);
+  EXPECT_EQ(final_stats.in_flight, 0);
+  ASSERT_NE(session.slow_query_log(), nullptr);
+  // Every completed query crossed the 1ns threshold.
+  EXPECT_EQ(session.slow_query_log()->recorded(), accepted.load());
+  for (const obs::SlowQueryRecord& record : session.slow_query_log()->Snapshot()) {
+    EXPECT_TRUE(record.trace.Complete()) << "slow query " << record.id;
+    EXPECT_FALSE(obs::FormatSlowQuery(record).empty());
   }
 }
 

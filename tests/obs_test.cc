@@ -8,6 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -16,9 +19,11 @@
 #include "src/algos/pagerank.h"
 #include "src/gen/rmat.h"
 #include "src/obs/export.h"
+#include "src/obs/exposition.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
 #include "src/obs/phase.h"
+#include "src/obs/request_trace.h"
 #include "src/obs/trace.h"
 #include "src/util/parallel.h"
 #include "src/util/timer.h"
@@ -389,6 +394,245 @@ TEST_F(ObsTest, MetricsTableListsPhasesCountersAndHistograms) {
     EXPECT_NE(table.find("test.table.counter"), std::string::npos);
     EXPECT_NE(table.find("test.table.hist"), std::string::npos);
   }
+}
+
+// --- Request traces / slow-query log ---------------------------------------
+
+RequestTrace MakeTrace(uint64_t submit_ns, uint64_t admission_ns, uint64_t queue_ns,
+                       uint64_t cohort_ns, uint64_t execute_ns) {
+  RequestTrace trace;
+  trace.submit_ns = submit_ns;
+  trace.admit_ns = trace.submit_ns + admission_ns;
+  trace.dequeue_ns = trace.admit_ns + queue_ns;
+  trace.exec_start_ns = trace.dequeue_ns + cohort_ns;
+  trace.done_ns = trace.exec_start_ns + execute_ns;
+  return trace;
+}
+
+TEST_F(ObsTest, RequestTracePhaseBreakdownSumsExactly) {
+  const RequestTrace trace =
+      MakeTrace(1'000'000'000ull, 200, 600, 100, 4'000);
+  EXPECT_TRUE(trace.Complete());
+  EXPECT_DOUBLE_EQ(trace.AdmissionSeconds(), 200e-9);
+  EXPECT_DOUBLE_EQ(trace.QueueWaitSeconds(), 600e-9);
+  EXPECT_DOUBLE_EQ(trace.CohortFormSeconds(), 100e-9);
+  EXPECT_DOUBLE_EQ(trace.ExecuteSeconds(), 4'000e-9);
+  EXPECT_DOUBLE_EQ(trace.AdmissionSeconds() + trace.QueueWaitSeconds() +
+                       trace.CohortFormSeconds() + trace.ExecuteSeconds(),
+                   trace.TotalSeconds());
+
+  // Unset stamps collapse their phase to zero instead of going negative,
+  // and an incomplete trace says so.
+  RequestTrace partial;
+  partial.submit_ns = 100;
+  EXPECT_FALSE(partial.Complete());
+  EXPECT_DOUBLE_EQ(partial.QueueWaitSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(partial.TotalSeconds(), 0.0);
+  RequestTrace never_submitted;
+  EXPECT_FALSE(never_submitted.Complete());
+}
+
+TEST_F(ObsTest, SlowQueryLogThresholdAndRingAccounting) {
+  SlowQueryLog log(/*threshold_seconds=*/0.010, /*capacity=*/3);
+  EXPECT_DOUBLE_EQ(log.threshold_seconds(), 0.010);
+
+  SlowQueryRecord fast;
+  fast.id = 0;
+  fast.trace = MakeTrace(1'000, 0, 0, 0, 5'000'000);  // 5ms < 10ms
+  EXPECT_FALSE(log.MaybeRecord(fast));
+  EXPECT_EQ(log.recorded(), 0);
+
+  for (int64_t id = 1; id <= 5; ++id) {
+    SlowQueryRecord slow;
+    slow.id = id;
+    slow.kind = "bfs";
+    slow.trace = MakeTrace(1'000, 0, 0, 0, 20'000'000);  // 20ms
+    EXPECT_TRUE(log.MaybeRecord(slow));
+  }
+  EXPECT_EQ(log.recorded(), 5);
+  EXPECT_EQ(log.dropped(), 2);  // ids 1 and 2 overwritten by 4 and 5
+  const std::vector<SlowQueryRecord> snapshot = log.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].id, 3);  // oldest retained ...
+  EXPECT_EQ(snapshot[2].id, 5);  // ... to newest
+}
+
+TEST_F(ObsTest, FormatSlowQueryReportsBreakdownAndCohort) {
+  SlowQueryRecord record;
+  record.id = 42;
+  record.kind = "bfs";
+  record.worker = 3;
+  record.batched = true;
+  record.trace = MakeTrace(1'000'000'000ull, 2'000'000, 3'000'000,
+                           1'000'000, 4'000'000);  // 10ms total
+  record.trace.epoch = 2;
+  record.trace.cohort_id = 7;
+  record.trace.cohort_size = 5;
+  record.trace.partitions = 4;
+  record.trace.rounds = 9;
+  record.trace.fallback = BatchFallback::kNone;
+  const std::string batched_line = FormatSlowQuery(record);
+  for (const char* piece : {"slow query 42", "bfs", "total 10.000ms",
+                            "admission 2.000ms", "queue 3.000ms", "cohort 1.000ms",
+                            "execute 4.000ms", "worker 3", "epoch 2",
+                            "cohort 7 of 5 over 4 partitions, 9 rounds"}) {
+    EXPECT_NE(batched_line.find(piece), std::string::npos)
+        << "missing \"" << piece << "\" in: " << batched_line;
+  }
+
+  record.batched = false;
+  record.trace.fallback = BatchFallback::kNotBatchable;
+  EXPECT_NE(FormatSlowQuery(record).find("fallback not-batchable"), std::string::npos);
+
+  EXPECT_STREQ(BatchFallbackName(BatchFallback::kNone), "none");
+  EXPECT_STREQ(BatchFallbackName(BatchFallback::kIsolatedMode), "isolated-mode");
+  EXPECT_STREQ(BatchFallbackName(BatchFallback::kNotBatchable), "not-batchable");
+  EXPECT_STREQ(BatchFallbackName(BatchFallback::kCohortTooSmall), "cohort-too-small");
+}
+
+// --- Exposition ------------------------------------------------------------
+
+TEST_F(ObsTest, PrometheusMetricNameSanitizesAndPrefixes) {
+  EXPECT_EQ(PrometheusMetricName("serve.bfs.total_us"), "egraph_serve_bfs_total_us");
+  EXPECT_EQ(PrometheusMetricName("a-b/c d"), "egraph_a_b_c_d");
+  EXPECT_EQ(PrometheusMetricName("snapshot.epoch"), "egraph_snapshot_epoch");
+}
+
+TEST_F(ObsTest, ExpositionTextEmitsWellFormedFamilies) {
+  if (!kMetricsCompiled) {
+    GTEST_SKIP() << "built with EGRAPH_METRICS=0";
+  }
+  Registry::Get().GetCounter("test.expo.counter").Add(3);
+  Histogram& hist = Registry::Get().GetHistogram("test.expo.hist");
+  for (int64_t v = 1; v <= 100; ++v) {
+    hist.Record(v);
+  }
+  const std::vector<GaugeSample> gauges = {{"test.expo.gauge", 2.5}};
+  const std::string text = ExpositionText(gauges);
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n') << "exposition must end with a newline";
+  for (const char* piece :
+       {"# TYPE egraph_test_expo_counter counter", "egraph_test_expo_counter 3",
+        "# TYPE egraph_test_expo_hist summary",
+        "egraph_test_expo_hist{quantile=\"0.5\"} 64",
+        "egraph_test_expo_hist{quantile=\"0.95\"} 128",
+        "egraph_test_expo_hist{quantile=\"0.99\"} 128",
+        "egraph_test_expo_hist_sum 5050", "egraph_test_expo_hist_count 100",
+        "# TYPE egraph_test_expo_gauge gauge", "egraph_test_expo_gauge 2.5"}) {
+    EXPECT_NE(text.find(piece), std::string::npos)
+        << "missing \"" << piece << "\"";
+  }
+}
+
+TEST_F(ObsTest, ExpositionJsonRoundTripsAndCarriesPercentiles) {
+  if (!kMetricsCompiled) {
+    GTEST_SKIP() << "built with EGRAPH_METRICS=0";
+  }
+  Histogram& hist = Registry::Get().GetHistogram("test.expo.json.hist");
+  for (int64_t v = 1; v <= 100; ++v) {
+    hist.Record(v);
+  }
+  const JsonValue doc = ExpositionJson({{"test.expo.json.gauge", 1.0}});
+  const JsonValue parsed = JsonValue::Parse(doc.Dump(2));
+  EXPECT_EQ(parsed, doc);
+  EXPECT_EQ(parsed.Find("schema")->string_value(), "egraph-stats-v1");
+  EXPECT_EQ(parsed.Find("metrics_compiled")->bool_value(), true);
+
+  const JsonValue* h = parsed.Find("histograms")->Find("test.expo.json.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->Find("count")->number(), 100.0);
+  EXPECT_EQ(h->Find("sum")->number(), 5050.0);
+  EXPECT_EQ(h->Find("p50")->number(), 64.0);
+  EXPECT_EQ(h->Find("p95")->number(), 128.0);
+  EXPECT_EQ(h->Find("p99")->number(), 128.0);
+  const JsonValue* gauge = parsed.Find("gauges")->Find("test.expo.json.gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->number(), 1.0);
+}
+
+TEST_F(ObsTest, HistogramSnapshotIncludesP95) {
+  if (!kMetricsCompiled) {
+    GTEST_SKIP() << "built with EGRAPH_METRICS=0";
+  }
+  Histogram& hist = Registry::Get().GetHistogram("test.p95.hist");
+  for (int64_t v = 1; v <= 100; ++v) {
+    hist.Record(v);
+  }
+  bool found = false;
+  for (const HistogramSnapshot& s : Registry::Get().SnapshotHistograms()) {
+    if (s.name == "test.p95.hist") {
+      found = true;
+      EXPECT_EQ(s.p50, 64);
+      EXPECT_EQ(s.p95, 128);
+      EXPECT_EQ(s.p99, 128);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ObsTest, ObsSelfGaugesReportRingAccounting) {
+  bool saw_recorded = false;
+  bool saw_dropped = false;
+  bool saw_timeline = false;
+  for (const GaugeSample& sample : ObsSelfGauges()) {
+    EXPECT_GE(sample.value, 0.0) << sample.name;
+    saw_recorded |= sample.name == "obs.trace_sink.recorded";
+    saw_dropped |= sample.name == "obs.trace_sink.dropped";
+    saw_timeline |= sample.name == "obs.timeline.dropped_events";
+  }
+  EXPECT_TRUE(saw_recorded);
+  EXPECT_TRUE(saw_dropped);
+  EXPECT_TRUE(saw_timeline);
+}
+
+TEST_F(ObsTest, StatsSamplerWritesBothExpositionFiles) {
+  const std::string path = ::testing::TempDir() + "obs_test_stats.prom";
+  const std::string json_path = path + ".json";
+  std::remove(path.c_str());
+  std::remove(json_path.c_str());
+  {
+    StatsSampler::Options options;
+    options.path = path;
+    options.interval_ms = 1;
+    options.gauges = [] {
+      return std::vector<GaugeSample>{{"test.sampler.gauge", 4.0}};
+    };
+    StatsSampler sampler(options);
+    EXPECT_TRUE(sampler.SampleNow());
+    sampler.Stop();  // final sample + join; idempotent
+    sampler.Stop();
+    EXPECT_GE(sampler.samples(), 2);
+  }
+  std::ifstream prom(path);
+  ASSERT_TRUE(prom.good()) << path;
+  std::stringstream prom_text;
+  prom_text << prom.rdbuf();
+  EXPECT_NE(prom_text.str().find("egraph_test_sampler_gauge 4"), std::string::npos);
+
+  std::ifstream json(json_path);
+  ASSERT_TRUE(json.good()) << json_path;
+  std::stringstream json_text;
+  json_text << json.rdbuf();
+  const JsonValue parsed = JsonValue::Parse(json_text.str());
+  EXPECT_EQ(parsed.Find("schema")->string_value(), "egraph-stats-v1");
+  ASSERT_NE(parsed.Find("gauges")->Find("test.sampler.gauge"), nullptr);
+  std::remove(path.c_str());
+  std::remove(json_path.c_str());
+}
+
+TEST_F(ObsTest, ProcessReportSurfacesDropAccounting) {
+  // Satellite: ring-drop accounting must ride along in exported summaries,
+  // not vanish silently when buffers overflow.
+  const JsonValue report = ProcessReportToJson("drops");
+  const JsonValue* sink = report.Find("trace_sink");
+  ASSERT_NE(sink, nullptr);
+  for (const char* key : {"recorded", "dropped", "capacity"}) {
+    ASSERT_NE(sink->Find(key), nullptr) << key;
+    EXPECT_GE(sink->Find(key)->number(), 0.0) << key;
+  }
+  const JsonValue* timeline_dropped = report.Find("timeline_dropped_events");
+  ASSERT_NE(timeline_dropped, nullptr);
+  EXPECT_GE(timeline_dropped->number(), 0.0);
 }
 
 // --- Overhead guard --------------------------------------------------------

@@ -19,6 +19,7 @@
 #include "src/engine/graph_handle.h"
 #include "src/gen/erdos_renyi.h"
 #include "src/gen/rmat.h"
+#include "src/obs/request_trace.h"
 #include "src/serve/batch_scheduler.h"
 #include "src/serve/checksum.h"
 #include "src/serve/query_session.h"
@@ -213,6 +214,116 @@ TEST_F(ServeBatchTest, NonBatchableQueriesFallBackIsolated) {
     if (result.kind == QueryKind::kPagerank) {
       EXPECT_FALSE(result.batched) << "query " << result.id;
     }
+  }
+}
+
+// --- Lifecycle traces: batched vs isolated ---------------------------------
+
+// A batched session's results must carry cohort-annotated traces (cohort id,
+// size, partitions, rounds, fallback == kNone) while an isolated session's
+// traces report kIsolatedMode and no cohort — and in both modes the phase
+// breakdown sums to the total.
+TEST_F(ServeBatchTest, TraceFieldsDistinguishBatchedFromIsolated) {
+  const ServeGraph& g = (*graphs_)[0];
+  GraphHandle handle(g.edges);
+  std::vector<ServeQuery> queries = MakeQueryStream(42, /*count=*/12, g.edges.num_vertices());
+  for (ServeQuery& query : queries) {
+    if (query.kind == QueryKind::kPagerank) {
+      query.config.direction = Direction::kPull;  // keep every query batchable
+    }
+  }
+
+  QuerySessionOptions isolated;
+  isolated.concurrency = 4;
+  const std::vector<ServeResult> iso_results = RunSession(handle, queries, isolated);
+  ASSERT_EQ(iso_results.size(), queries.size());
+  for (const ServeResult& result : iso_results) {
+    EXPECT_TRUE(result.trace.Complete()) << "isolated query " << result.id;
+    EXPECT_EQ(result.trace.fallback, obs::BatchFallback::kIsolatedMode);
+    EXPECT_EQ(result.trace.cohort_id, -1);
+    EXPECT_EQ(result.trace.cohort_size, 0);
+  }
+
+  QuerySessionOptions batched;
+  batched.mode = ExecutionMode::kBatched;
+  batched.concurrency = 4;
+  batched.llc_bytes = 128 << 10;
+  const std::vector<ServeResult> batch_results = RunSession(handle, queries, batched);
+  ASSERT_EQ(batch_results.size(), queries.size());
+  bool saw_batched = false;
+  for (const ServeResult& result : batch_results) {
+    EXPECT_TRUE(result.trace.Complete()) << "batched query " << result.id;
+    const double phase_sum =
+        result.trace.AdmissionSeconds() + result.trace.QueueWaitSeconds() +
+        result.trace.CohortFormSeconds() + result.trace.ExecuteSeconds();
+    EXPECT_NEAR(phase_sum, result.trace.TotalSeconds(),
+                result.trace.TotalSeconds() * 0.05 + 1e-9)
+        << "batched query " << result.id;
+    if (result.batched) {
+      saw_batched = true;
+      EXPECT_EQ(result.trace.fallback, obs::BatchFallback::kNone);
+      EXPECT_GE(result.trace.cohort_id, 0);
+      EXPECT_GT(result.trace.cohort_size, 0);
+      EXPECT_GT(result.trace.partitions, 0);
+      EXPECT_GT(result.trace.rounds, 0);
+    }
+  }
+  EXPECT_TRUE(saw_batched) << "no query ran through the batch scheduler";
+}
+
+// Fallback reasons are specific, not a catch-all: a push-direction PageRank
+// in a batched session reports kNotBatchable, and a cohort below batch_min
+// reports kCohortTooSmall — both distinguishable from plain isolated mode.
+TEST_F(ServeBatchTest, TraceRecordsFallbackReasons) {
+  const ServeGraph& g = (*graphs_)[0];
+  GraphHandle handle(g.edges);
+  std::vector<ServeQuery> queries = MakeQueryStream(7, /*count=*/10, g.edges.num_vertices());
+  bool have_pagerank = false;
+  for (ServeQuery& query : queries) {
+    if (query.kind == QueryKind::kPagerank) {
+      query.config.direction = Direction::kPush;  // batch-ineligible
+      have_pagerank = true;
+    }
+  }
+  ASSERT_TRUE(have_pagerank) << "seed 7 must yield at least one pagerank";
+
+  QuerySessionOptions batched;
+  batched.mode = ExecutionMode::kBatched;
+  batched.concurrency = 4;
+  batched.llc_bytes = 128 << 10;
+  const std::vector<ServeResult> results = RunSession(handle, queries, batched);
+  ASSERT_EQ(results.size(), queries.size());
+  for (const ServeResult& result : results) {
+    if (result.kind == QueryKind::kPagerank) {
+      EXPECT_FALSE(result.batched) << "query " << result.id;
+      EXPECT_EQ(result.trace.fallback, obs::BatchFallback::kNotBatchable)
+          << "query " << result.id;
+      EXPECT_EQ(result.trace.cohort_id, -1) << "query " << result.id;
+    } else if (result.batched) {
+      EXPECT_EQ(result.trace.fallback, obs::BatchFallback::kNone)
+          << "query " << result.id;
+    }
+  }
+
+  // batch_min above the query count: every cohort is too small, everything
+  // falls back isolated with the specific reason.
+  QuerySessionOptions starved;
+  starved.mode = ExecutionMode::kBatched;
+  starved.concurrency = 1;  // single coordinator: cohorts form predictably
+  starved.llc_bytes = 128 << 10;
+  starved.batch_min = 64;
+  std::vector<ServeQuery> small = MakeQueryStream(3, /*count=*/4, g.edges.num_vertices());
+  for (ServeQuery& query : small) {
+    if (query.kind == QueryKind::kPagerank) {
+      query.config.direction = Direction::kPull;
+    }
+  }
+  const std::vector<ServeResult> starved_results = RunSession(handle, small, starved);
+  ASSERT_EQ(starved_results.size(), small.size());
+  for (const ServeResult& result : starved_results) {
+    EXPECT_FALSE(result.batched) << "query " << result.id;
+    EXPECT_EQ(result.trace.fallback, obs::BatchFallback::kCohortTooSmall)
+        << "query " << result.id;
   }
 }
 

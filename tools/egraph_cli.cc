@@ -8,6 +8,7 @@
 //             [--queue-capacity=M] [--symmetrize]
 //             [--batch=1] [--llc-mb=N] [--batch-min=K] [--max-batch=M]
 //             [--updates=FILE] [--update-batch=N]
+//             [--stats-out=FILE] [--stats-interval-ms=N] [--slow-query-ms=N]
 //             [--layout=...] [--direction=...] [--sync=...] [--balance=...]
 //             FILE
 //   run       --algo=bfs|wcc|sssp|pagerank|spmv|kcore|triangles
@@ -37,6 +38,16 @@
 // query runs against the epoch it pinned at submit time (printed per
 // result). With --symmetrize the updates are mirrored so the graph stays
 // undirected. Streaming mode serves adjacency-layout queries.
+// `serve --stats-out=FILE` runs a background StatsSampler that rewrites FILE
+// (Prometheus text exposition format) and FILE.json every --stats-interval-ms
+// (default 1000) with the full metrics registry — per-query-kind
+// queue-wait/execute/total latency histograms — plus live gauges: queue
+// depth, in-flight queries, rejection counts, and (with --updates) the
+// snapshot store's epoch, refreeze backlog, chain length and retained bytes.
+// A final sample is written after the drain. `serve --slow-query-ms=N`
+// retains every query whose submit-to-completion latency reaches N ms and
+// prints its full phase breakdown (admission / queue wait / cohort formation
+// / execute) after the run.
 // `run --advisor` lets the paper's section-9 roadmap pick the configuration.
 // Every run prints the end-to-end breakdown (load / preprocess / algorithm).
 // `--metrics` appends the observability tables (phase breakdown, engine
@@ -46,6 +57,7 @@
 // writes a Chrome-trace/Perfetto-compatible file plus a per-worker summary.
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
@@ -64,6 +76,8 @@
 #include "src/io/formats.h"
 #include "src/io/loader.h"
 #include "src/obs/export.h"
+#include "src/obs/exposition.h"
+#include "src/obs/request_trace.h"
 #include "src/serve/query_session.h"
 #include "src/snapshot/delta.h"
 #include "src/snapshot/snapshot_store.h"
@@ -476,6 +490,46 @@ int CmdRun(const Flags& flags) {
   return 0;
 }
 
+// Starts the background exposition sampler when --stats-out was given. The
+// session (and store, when present) must outlive the returned sampler.
+std::unique_ptr<obs::StatsSampler> StartStatsSampler(
+    const Flags& flags, serve::QuerySession& session,
+    const snapshot::SnapshotStore* store) {
+  const std::string stats_out = flags.GetString("stats-out", "");
+  if (stats_out.empty()) {
+    return nullptr;
+  }
+  obs::StatsSampler::Options options;
+  options.path = stats_out;
+  options.interval_ms = static_cast<int>(flags.GetInt("stats-interval-ms", 1000));
+  options.gauges = [&session, store] { return serve::ServeGauges(session, store); };
+  return std::make_unique<obs::StatsSampler>(std::move(options));
+}
+
+// Post-drain observability output: stops the sampler (its final write is the
+// post-drain state) and prints the slow-query offenders' phase breakdowns.
+void FinishServeObservability(serve::QuerySession& session,
+                              obs::StatsSampler* sampler,
+                              const std::string& stats_out) {
+  if (sampler != nullptr) {
+    sampler->Stop();
+    std::printf("stats: %s (Prometheus) + %s.json (%lld samples)\n",
+                stats_out.c_str(), stats_out.c_str(),
+                static_cast<long long>(sampler->samples()));
+  }
+  const obs::SlowQueryLog* log = session.slow_query_log();
+  if (log == nullptr) {
+    return;
+  }
+  std::printf("slow-query log: %lld offender(s) over %.0f ms (%lld displaced)\n",
+              static_cast<long long>(log->recorded()),
+              log->threshold_seconds() * 1e3,
+              static_cast<long long>(log->dropped()));
+  for (const obs::SlowQueryRecord& record : log->Snapshot()) {
+    std::printf("%s\n", obs::FormatSlowQuery(record).c_str());
+  }
+}
+
 // serve --updates: run the query stream against a SnapshotStore. Updates are
 // applied in batches interleaved with query submission (queries are spread
 // evenly across the gaps), so consecutive queries pin successive epochs; the
@@ -528,6 +582,8 @@ int CmdServeUpdates(const Flags& flags, const RunConfig& config,
   const double preprocess_seconds = preprocess_timer.Seconds();
 
   serve::QuerySession session(store, options);
+  std::unique_ptr<obs::StatsSampler> sampler =
+      StartStatsSampler(flags, session, &store);
   const size_t num_batches = (updates.size() + batch - 1) / batch;
   const size_t groups = num_batches + 1;
   int64_t accepted = 0;
@@ -547,7 +603,8 @@ int CmdServeUpdates(const Flags& flags, const RunConfig& config,
   }
   store.Flush();  // publish whatever the background thread has not merged yet
   const std::vector<serve::ServeResult> results = session.Drain();
-  const serve::QuerySessionStats& stats = session.stats();
+  FinishServeObservability(session, sampler.get(), flags.GetString("stats-out", ""));
+  const serve::QuerySessionStats stats = session.stats();
 
   for (const serve::ServeResult& result : results) {
     std::printf(
@@ -626,6 +683,8 @@ int CmdServe(const Flags& flags) {
   options.concurrency = static_cast<int>(flags.GetInt("concurrency", 1));
   options.threads_per_query = static_cast<int>(flags.GetInt("threads-per-query", 1));
   options.queue_capacity = static_cast<size_t>(flags.GetInt("queue-capacity", 1024));
+  options.slow_query_seconds =
+      static_cast<double>(flags.GetInt("slow-query-ms", 0)) * 1e-3;
   if (flags.GetBool("batch", false)) {
     options.mode = serve::ExecutionMode::kBatched;
     options.llc_bytes = static_cast<uint64_t>(flags.GetInt("llc-mb", 16)) << 20;
@@ -656,12 +715,15 @@ int CmdServe(const Flags& flags) {
   }
 
   serve::QuerySession session(handle, options);
+  std::unique_ptr<obs::StatsSampler> sampler =
+      StartStatsSampler(flags, session, nullptr);
   int64_t accepted = 0;
   for (const serve::ServeQuery& query : queries) {
     accepted += session.Submit(query) == serve::SubmitStatus::kAccepted ? 1 : 0;
   }
   const std::vector<serve::ServeResult> results = session.Drain();
-  const serve::QuerySessionStats& stats = session.stats();
+  FinishServeObservability(session, sampler.get(), flags.GetString("stats-out", ""));
+  const serve::QuerySessionStats stats = session.stats();
 
   for (const serve::ServeResult& result : results) {
     std::printf("query %lld: %s %s in %.4fs (%d iterations, worker %d%s, checksum %016llx)\n",

@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition file written by `egraph_cli serve
+--stats-out` (src/obs/exposition.cc).
+
+Usage:
+  metrics_lint.py FILE [--require NAME]...
+  metrics_lint.py --self-test
+
+Checks the text-format contract the exposition writer promises:
+  * every line is a comment, a `# TYPE` / `# HELP` declaration, or a sample
+    `name{labels} value`;
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]* (what the sanitizer emits);
+  * a family's TYPE line appears exactly once, before its first sample, and
+    names a known type (counter / gauge / summary / histogram / untyped);
+  * counter and gauge samples use the bare family name; summary families
+    consist of quantile-labeled samples (quantile as a float in [0, 1])
+    plus `_sum` and `_count`, with `_count` a non-negative integer;
+  * every value parses as a float (+Inf / -Inf / NaN included);
+  * no duplicate (name, labels) sample;
+  * the file ends with a newline, as the format requires.
+
+--require NAME (repeatable) additionally fails unless a family named NAME
+is present — CI uses it to pin the serve gauges and per-kind histograms.
+
+Stdlib only; exit 0 on a clean file, 1 on any violation.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+SAMPLE_RE = re.compile(r"^(?P<name>[^\s{]+)(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)(?:\s+(?P<ts>-?\d+))?$")
+KNOWN_TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+
+
+def parse_value(text):
+    """Returns the float value or None when unparseable."""
+    try:
+        return float(text)  # accepts +Inf / -Inf / NaN spellings too
+    except ValueError:
+        return None
+
+
+def family_of(name):
+    """Strips the summary/histogram suffix to get the declared family."""
+    for suffix in ("_sum", "_count", "_bucket"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def lint(text, require=()):
+    """Returns a list of violation strings (empty = clean)."""
+    errors = []
+    if text and not text.endswith("\n"):
+        errors.append("file does not end with a newline")
+
+    types = {}          # family -> declared type
+    samples_seen = {}   # family -> number of samples
+    keys_seen = set()   # (name, labels) duplicates
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("TYPE", "HELP"):
+                if len(parts) < 3:
+                    errors.append("line %d: %s without a metric name" % (lineno, parts[1]))
+                    continue
+                name = parts[2]
+                if not NAME_RE.match(name):
+                    errors.append("line %d: invalid metric name %r" % (lineno, name))
+                if parts[1] == "TYPE":
+                    if len(parts) < 4 or parts[3] not in KNOWN_TYPES:
+                        errors.append("line %d: unknown metric type in %r" % (lineno, line))
+                        continue
+                    if name in types:
+                        errors.append("line %d: duplicate TYPE for %s" % (lineno, name))
+                    if samples_seen.get(name):
+                        errors.append("line %d: TYPE for %s after its samples" % (lineno, name))
+                    types[name] = parts[3]
+            # other comments are legal and ignored
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append("line %d: unparseable sample line %r" % (lineno, line))
+            continue
+        name = m.group("name")
+        if not NAME_RE.match(name):
+            errors.append("line %d: invalid metric name %r" % (lineno, name))
+            continue
+        value = parse_value(m.group("value"))
+        if value is None:
+            errors.append("line %d: unparseable value %r" % (lineno, m.group("value")))
+            continue
+
+        labels = {}
+        raw_labels = m.group("labels")
+        if raw_labels is not None:
+            for pair in filter(None, raw_labels.split(",")):
+                lm = LABEL_RE.match(pair.strip())
+                if not lm:
+                    errors.append("line %d: malformed label %r" % (lineno, pair))
+                    continue
+                labels[lm.group(1)] = lm.group(2)
+
+        key = (name, tuple(sorted(labels.items())))
+        if key in keys_seen:
+            errors.append("line %d: duplicate sample %r" % (lineno, line))
+        keys_seen.add(key)
+
+        # An exact TYPE match wins so a counter legitimately named *_count
+        # is not misread as a summary member of an undeclared family.
+        if name in types:
+            family, declared = name, types[name]
+        else:
+            family = family_of(name)
+            declared = types.get(family)
+        if declared is None:
+            errors.append("line %d: sample %s has no preceding TYPE" % (lineno, name))
+            continue
+        samples_seen[family] = samples_seen.get(family, 0) + 1
+
+        if declared in ("counter", "gauge"):
+            if name != family:
+                errors.append("line %d: %s sample %s does not match its family"
+                              % (lineno, declared, name))
+            if declared == "counter" and not math.isnan(value) and value < 0:
+                errors.append("line %d: counter %s is negative" % (lineno, name))
+        elif declared == "summary":
+            if name == family:
+                q = parse_value(labels.get("quantile", ""))
+                if q is None or not 0.0 <= q <= 1.0:
+                    errors.append("line %d: summary %s quantile %r outside [0, 1]"
+                                  % (lineno, name, labels.get("quantile")))
+            elif name.endswith("_count"):
+                if value < 0 or value != int(value):
+                    errors.append("line %d: %s must be a non-negative integer, got %r"
+                                  % (lineno, name, m.group("value")))
+            elif not name.endswith("_sum"):
+                errors.append("line %d: %s is not a legal summary member" % (lineno, name))
+
+    for name in require:
+        if name not in types:
+            errors.append("required metric family %s is missing" % name)
+    return errors
+
+
+GOOD = """\
+# TYPE egraph_serve_completed counter
+egraph_serve_completed 24
+# TYPE egraph_serve_bfs_total_us summary
+egraph_serve_bfs_total_us{quantile="0.5"} 4096
+egraph_serve_bfs_total_us{quantile="0.95"} 8192
+egraph_serve_bfs_total_us{quantile="0.99"} 8192
+egraph_serve_bfs_total_us_sum 31337
+egraph_serve_bfs_total_us_count 6
+# TYPE egraph_serve_queue_depth gauge
+egraph_serve_queue_depth 0
+# TYPE egraph_snapshot_retained_bytes gauge
+egraph_snapshot_retained_bytes 1605712
+"""
+
+BAD_CASES = [
+    ("missing newline", GOOD.rstrip("\n")),
+    ("bad name", "# TYPE egraph_x counter\negraph_x 1\nbad-name 2\n"),
+    ("no TYPE", "egraph_orphan 3\n"),
+    ("TYPE after sample", "# TYPE egraph_y counter\negraph_y 1\n# TYPE egraph_y counter\n"),
+    ("unknown type", "# TYPE egraph_z flavor\n"),
+    ("bad value", "# TYPE egraph_v counter\negraph_v notanumber\n"),
+    ("negative counter", "# TYPE egraph_n counter\negraph_n -5\n"),
+    ("quantile out of range", "# TYPE egraph_s summary\n"
+     'egraph_s{quantile="1.5"} 1\negraph_s_sum 1\negraph_s_count 1\n'),
+    ("fractional count", "# TYPE egraph_s summary\n"
+     'egraph_s{quantile="0.5"} 1\negraph_s_sum 1\negraph_s_count 1.5\n'),
+    ("illegal summary member", "# TYPE egraph_s summary\negraph_s_max 9\n"),
+    ("duplicate sample", "# TYPE egraph_d gauge\negraph_d 1\negraph_d 2\n"),
+    ("missing required", GOOD),  # checked with require=("egraph_absent",)
+]
+
+
+def self_test():
+    errors = lint(GOOD, require=("egraph_serve_completed", "egraph_serve_bfs_total_us"))
+    if errors:
+        print("self-test: clean exposition flagged:\n  " + "\n  ".join(errors),
+              file=sys.stderr)
+        return 1
+    for label, text in BAD_CASES:
+        require = ("egraph_absent",) if label == "missing required" else ()
+        if not lint(text, require=require):
+            print("self-test: %r not flagged" % label, file=sys.stderr)
+            return 1
+    print("metrics_lint self-test: %d bad cases flagged, clean case passes"
+          % len(BAD_CASES))
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file", nargs="?", help="Prometheus text file to lint")
+    parser.add_argument("--require", action="append", default=[],
+                        help="fail unless this metric family is present")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.file:
+        parser.error("FILE is required unless --self-test")
+    try:
+        with open(args.file, "r") as handle:
+            text = handle.read()
+    except OSError as error:
+        print("metrics_lint: %s" % error, file=sys.stderr)
+        return 1
+    errors = lint(text, require=args.require)
+    if errors:
+        for error in errors:
+            print("metrics_lint: %s: %s" % (args.file, error), file=sys.stderr)
+        return 1
+    print("metrics_lint: %s: OK (%d lines)" % (args.file, text.count("\n")))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
