@@ -1,89 +1,263 @@
-// Ablation: delta-compressed adjacency lists (Ligra+ technique). Reports
-// memory footprint and Pagerank-pull time over plain vs compressed in-CSRs,
-// with and without BFS reordering — compression is yet another pre-processing
-// investment whose payoff depends on what it buys back (bandwidth) vs its
-// decode overhead.
+// Ablation: the first-class compressed EdgeMap backend vs plain CSR.
+//
+// For a power-law graph (twitter proxy) and a high-diameter road network it
+// reports, per dataset:
+//   - encode cost and bytes/edge (chunked delta-varint stream + the three
+//     metadata tables vs plain offsets + neighbor array),
+//   - traversal time for all four kernels (BFS push, SSSP push on weights,
+//     WCC push on the symmetrized graph, PageRank pull lock-free) on the
+//     plain and compressed layouts,
+//   - the selective loader's decoded-vs-skipped byte split for a quarter
+//     vertex range.
+//
+// Hard gates (exit 1): the compressed layout must be strictly smaller than
+// the plain CSR on BOTH datasets (the road lattice is the adversarial case
+// for chunk metadata); every kernel's result checksum must be identical
+// across layouts; decode overhead must stay within a bounded slowdown; and
+// the selective loader must decode strictly fewer bytes than the full
+// stream while producing exactly the requested adjacencies.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "bench/bench_common.h"
+#include "src/algos/bfs.h"
 #include "src/algos/pagerank.h"
-#include "src/graph/stats.h"
-#include "src/engine/scan.h"
+#include "src/algos/sssp.h"
+#include "src/algos/wcc.h"
+#include "src/io/compressed_io.h"
 #include "src/layout/compressed_csr.h"
 #include "src/layout/csr_builder.h"
-#include "src/layout/reorder.h"
-#include "src/util/timer.h"
+#include "src/serve/checksum.h"
 
 namespace {
 
 using namespace egraph;
+using namespace egraph::bench;
 
-// Pagerank pull over a compressed in-CSR (decode per gather).
-double PagerankCompressedSeconds(const CompressedCsr& in, const std::vector<uint32_t>& degree,
-                                 int iterations) {
-  const VertexId n = in.num_vertices();
-  std::vector<float> rank(n, 1.0f / static_cast<float>(n));
-  std::vector<float> contrib(n, 0.0f);
-  std::vector<float> next(n, 0.0f);
-  Timer timer;
-  for (int iter = 0; iter < iterations; ++iter) {
-    VertexMap(n, [&](VertexId v) {
-      contrib[v] = degree[v] == 0 ? 0.0f : rank[v] / static_cast<float>(degree[v]);
-    });
-    ParallelForGrain(0, static_cast<int64_t>(n), 256, [&](int64_t v) {
-      float sum = 0.0f;
-      in.ForEachNeighbor(static_cast<VertexId>(v), [&](VertexId src) { sum += contrib[src]; });
-      next[static_cast<size_t>(v)] = 0.15f / static_cast<float>(n) + 0.85f * sum;
-    });
-    rank.swap(next);
+constexpr int kReps = 3;
+// Decode overhead gate: generous multiplier plus an absolute grace so that
+// micro-second cells at smoke scales don't trip on scheduler noise.
+constexpr double kMaxSlowdown = 5.0;
+constexpr double kSlowdownGraceSeconds = 0.005;
+
+int failures = 0;
+
+void Gate(bool ok, const std::string& what) {
+  if (!ok) {
+    std::fprintf(stderr, "GATE FAILED: %s\n", what.c_str());
+    ++failures;
   }
-  return timer.Seconds();
+}
+
+std::string Ratio(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2fx", value);
+  return buffer;
+}
+
+// One kernel cell: run on plain adjacency and on the compressed layout,
+// record both timings, gate checksum identity and bounded slowdown.
+struct CellResult {
+  double plain_seconds = 0.0;
+  double compressed_seconds = 0.0;
+};
+
+template <typename RunFn>
+CellResult RunCell(const std::string& cell, const std::string& dataset,
+                   const EdgeList& graph, RunConfig config, RunFn run,
+                   bool sort_plain_neighbors = false) {
+  CellResult result;
+  uint64_t plain_checksum = 0;
+  uint64_t compressed_checksum = 0;
+  for (const Layout layout : {Layout::kAdjacency, Layout::kCompressed}) {
+    config.layout = layout;
+    GraphHandle handle(graph);
+    if (layout == Layout::kAdjacency && sort_plain_neighbors) {
+      // The compressed stream stores each adjacency sorted; PageRank's pull
+      // gather is a float sum in neighbor order, so the plain cell must
+      // gather in the same canonical order for bit-identical ranks.
+      PrepareConfig prepare;
+      prepare.layout = Layout::kAdjacency;
+      prepare.symmetric_input = config.symmetric_input;
+      prepare.need_out = true;
+      prepare.need_in = true;
+      prepare.sort_neighbors = true;
+      handle.Prepare(prepare);
+    }
+    const bool compressed = layout == Layout::kCompressed;
+    const std::string name = cell + (compressed ? " compressed" : " plain");
+    double seconds = 0.0;
+    uint64_t checksum = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      seconds = run(handle, config, &checksum);
+      RecordResult(name, seconds, dataset);
+    }
+    (compressed ? result.compressed_seconds : result.plain_seconds) = seconds;
+    (compressed ? compressed_checksum : plain_checksum) = checksum;
+  }
+  Gate(plain_checksum == compressed_checksum,
+       cell + " on " + dataset + ": checksum mismatch plain vs compressed");
+  Gate(result.compressed_seconds <=
+           kMaxSlowdown * result.plain_seconds + kSlowdownGraceSeconds,
+       cell + " on " + dataset + ": compressed decode slowdown out of bounds");
+  return result;
+}
+
+void SelectiveLoaderCell(const std::string& dataset, const CompressedCsr& compressed,
+                         Table& table) {
+  const std::string path = "ablation_compression_" + dataset + ".egc";
+  WriteCompressedCsr(path, compressed);
+  {
+    SelectiveCompressedLoader loader(path);
+    const VertexId n = loader.num_vertices();
+    const DecodedRange range = loader.LoadRange(n / 4, n / 2);
+    uint64_t range_edges = 0;
+    for (VertexId v = n / 4; v < n / 2; ++v) {
+      range_edges += compressed.Degree(v);
+    }
+    const auto& stats = loader.stats();
+    Gate(range.neighbors.size() == range_edges,
+         dataset + ": selective loader edge count mismatch");
+    Gate(stats.bytes_decoded < loader.stream_bytes(),
+         dataset + ": selective loader decoded the whole stream");
+    Gate(stats.bytes_decoded + stats.bytes_skipped == loader.stream_bytes(),
+         dataset + ": selective loader byte accounting broken");
+    // Spot-check decoded adjacencies against the in-memory layout.
+    for (VertexId v = n / 4; v < n / 2; v += 97) {
+      const size_t i = v - n / 4;
+      const std::vector<VertexId> want = compressed.Neighbors(v);
+      Gate(range.offsets[i + 1] - range.offsets[i] == want.size() &&
+               std::vector<VertexId>(
+                   range.neighbors.begin() + static_cast<int64_t>(range.offsets[i]),
+                   range.neighbors.begin() + static_cast<int64_t>(range.offsets[i + 1])) ==
+                   want,
+           dataset + ": selective loader neighbor mismatch at vertex " +
+               std::to_string(v));
+    }
+    table.AddRow({"selective load [n/4, n/2)", dataset,
+                  Table::FormatCount(static_cast<int64_t>(stats.bytes_decoded)) +
+                      " of " +
+                      Table::FormatCount(static_cast<int64_t>(loader.stream_bytes())) +
+                      " bytes",
+                  "-",
+                  Ratio(static_cast<double>(stats.bytes_decoded) /
+                        static_cast<double>(loader.stream_bytes()))});
+  }
+  std::remove(path.c_str());
+}
+
+void RunDataset(const std::string& dataset, const EdgeList& graph, Table& layout_table,
+                Table& kernel_table) {
+  // Layout footprint + encode cost: plain sorted out-CSR vs its compressed
+  // re-encoding (same neighbor order, so kernels are comparable).
+  const Csr out = BuildCsr(graph, EdgeDirection::kOut, BuildMethod::kRadixSort);
+  double encode_seconds = 0.0;
+  const CompressedCsr compressed = CompressedCsr::FromCsr(out, &encode_seconds);
+  RecordResult("encode", encode_seconds, dataset);
+  // Bytes/edge is machine-independent, so recording it as a cell lets the
+  // CI regression gate catch a compression-ratio blowup too.
+  RecordResult("bytes per edge compressed", compressed.BytesPerEdge(), dataset);
+  layout_table.AddRow(
+      {dataset, Table::FormatCount(static_cast<int64_t>(out.MemoryBytes())),
+       Table::FormatCount(static_cast<int64_t>(compressed.MemoryBytes())),
+       Ratio(compressed.RatioVsPlain()), Sec(encode_seconds)});
+  Gate(compressed.MemoryBytes() < out.MemoryBytes(),
+       dataset + ": compressed layout not smaller than plain CSR");
+
+  // The four kernels, plain vs compressed.
+  const VertexId source = GoodSource(graph);
+  {
+    RunConfig config;
+    config.direction = Direction::kPush;
+    const CellResult r =
+        RunCell("bfs push", dataset, graph, config,
+                [&](GraphHandle& handle, const RunConfig& c, uint64_t* checksum) {
+                  const BfsResult result = RunBfs(handle, source, c);
+                  *checksum = serve::ChecksumBfs(result.parent);
+                  return result.stats.algorithm_seconds;
+                });
+    kernel_table.AddRow({"bfs push", dataset, Sec(r.plain_seconds),
+                         Sec(r.compressed_seconds),
+                         Ratio(r.compressed_seconds / r.plain_seconds)});
+  }
+  {
+    EdgeList weighted = graph;
+    weighted.AssignRandomWeights(0.1f, 2.0f, 0x5eed);
+    RunConfig config;
+    config.direction = Direction::kPush;
+    const CellResult r =
+        RunCell("sssp push", dataset, weighted, config,
+                [&](GraphHandle& handle, const RunConfig& c, uint64_t* checksum) {
+                  const SsspResult result = RunSssp(handle, source, c);
+                  *checksum = serve::ChecksumSssp(result.dist);
+                  return result.stats.algorithm_seconds;
+                });
+    kernel_table.AddRow({"sssp push", dataset, Sec(r.plain_seconds),
+                         Sec(r.compressed_seconds),
+                         Ratio(r.compressed_seconds / r.plain_seconds)});
+  }
+  {
+    const EdgeList undirected = graph.MakeUndirected();
+    RunConfig config;
+    config.direction = Direction::kPush;
+    config.symmetric_input = true;
+    const CellResult r =
+        RunCell("wcc push", dataset, undirected, config,
+                [&](GraphHandle& handle, const RunConfig& c, uint64_t* checksum) {
+                  const WccResult result = RunWcc(handle, c);
+                  *checksum = serve::ChecksumWcc(result.label);
+                  return result.stats.algorithm_seconds;
+                });
+    kernel_table.AddRow({"wcc push", dataset, Sec(r.plain_seconds),
+                         Sec(r.compressed_seconds),
+                         Ratio(r.compressed_seconds / r.plain_seconds)});
+  }
+  {
+    RunConfig config;
+    config.direction = Direction::kPull;
+    config.sync = Sync::kLockFree;
+    PagerankOptions options;
+    options.iterations = 5;
+    const CellResult r =
+        RunCell("pagerank pull", dataset, graph, config,
+                [&](GraphHandle& handle, const RunConfig& c, uint64_t* checksum) {
+                  const PagerankResult result = RunPagerank(handle, options, c);
+                  *checksum = serve::ChecksumPagerank(result.rank);
+                  return result.stats.algorithm_seconds;
+                },
+                /*sort_plain_neighbors=*/true);
+    kernel_table.AddRow({"pagerank pull", dataset, Sec(r.plain_seconds),
+                         Sec(r.compressed_seconds),
+                         Ratio(r.compressed_seconds / r.plain_seconds)});
+  }
+
+  SelectiveLoaderCell(dataset, compressed, kernel_table);
 }
 
 }  // namespace
 
 int main() {
-  using namespace egraph::bench;
-  const EdgeList graph = Twitter();
-  PrintBanner("Ablation: compressed adjacency lists (Pagerank pull)",
-              "compression shrinks memory (more with BFS reordering) at decode cost",
-              DescribeDataset("twitter-proxy", graph));
+  const EdgeList twitter = Twitter();
+  const EdgeList road = UsRoad();
+  PrintBanner("Ablation compression: chunked delta-varint adjacency vs plain CSR",
+              "smaller layout on both graph shapes, identical kernel results, "
+              "bounded decode overhead, selective loads touch only their bytes",
+              DescribeDataset("twitter-proxy", twitter) + "; " +
+                  DescribeDataset("us-road", road));
 
-  const std::vector<uint32_t> degree = OutDegrees(graph);
-  const Csr in = BuildCsr(graph, EdgeDirection::kIn, BuildMethod::kRadixSort);
+  Table layout_table({"dataset", "plain bytes", "compressed bytes", "ratio", "encode"});
+  Table kernel_table({"cell", "dataset", "plain", "compressed", "slowdown"});
+  RunDataset("twitter-proxy", twitter, layout_table, kernel_table);
+  RunDataset("us-road", road, layout_table, kernel_table);
 
-  Table table({"structure", "bytes", "build/encode(s)", "pagerank algo(s)"});
-
-  {
-    GraphHandle handle(graph);
-    RunConfig config;
-    config.direction = Direction::kPull;
-    config.sync = Sync::kLockFree;
-    const PagerankResult result = RunPagerank(handle, PagerankOptions{}, config);
-    RecordResult("pagerank plain csr", result.stats.algorithm_seconds, "twitter-proxy");
-    table.AddRow({"plain CSR", Table::FormatCount(static_cast<int64_t>(in.MemoryBytes())),
-                  Sec(handle.preprocess_seconds()), Sec(result.stats.algorithm_seconds)});
+  layout_table.Print("Layout footprint");
+  kernel_table.Print("Kernels: plain vs compressed (+ selective loading)");
+  if (failures != 0) {
+    std::fprintf(stderr, "%d compression-ablation gate(s) failed\n", failures);
+    return 1;
   }
-  {
-    double encode = 0.0;
-    const CompressedCsr compressed = CompressedCsr::FromCsr(in, &encode);
-    const double seconds = PagerankCompressedSeconds(compressed, degree, 10);
-    RecordResult("pagerank compressed csr", seconds, "twitter-proxy");
-    table.AddRow({"compressed CSR",
-                  Table::FormatCount(static_cast<int64_t>(compressed.MemoryBytes())),
-                  Sec(encode), Sec(seconds)});
-  }
-  {
-    const Reordering reordering = ComputeReordering(graph, ReorderMethod::kBfsOrder);
-    const EdgeList relabeled = ApplyReordering(graph, reordering);
-    const Csr in_reordered = BuildCsr(relabeled, EdgeDirection::kIn, BuildMethod::kRadixSort);
-    double encode = 0.0;
-    const CompressedCsr compressed = CompressedCsr::FromCsr(in_reordered, &encode);
-    const std::vector<uint32_t> degree_reordered = OutDegrees(relabeled);
-    const double seconds = PagerankCompressedSeconds(compressed, degree_reordered, 10);
-    RecordResult("pagerank compressed csr + reorder", seconds, "twitter-proxy");
-    table.AddRow({"compressed CSR + BFS reorder",
-                  Table::FormatCount(static_cast<int64_t>(compressed.MemoryBytes())),
-                  Sec(reordering.seconds + encode), Sec(seconds)});
-  }
-  table.Print("Compression ablation");
+  std::printf("all compression gates passed\n");
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "src/algos/bfs.h"
 
 #include "src/engine/edge_map.h"
+#include "src/engine/edge_map_compressed.h"
 #include "src/obs/phase.h"
 #include "src/obs/trace.h"
 #include "src/util/atomics.h"
@@ -75,6 +76,26 @@ BfsResult RunBfs(GraphHandle& handle, VertexId source, const RunConfig& config,
             bool used_pull = false;
             next = EdgeMapCsrPushPull(handle.out_csr(), handle.in_csr(), frontier, func,
                                       edge_map, config.pushpull, &used_pull);
+            result.stats.used_pull.push_back(used_pull);
+            used = used_pull ? Direction::kPull : Direction::kPush;
+            break;
+          }
+        }
+        break;
+      }
+      case Layout::kCompressed: {
+        switch (config.direction) {
+          case Direction::kPush:
+            next = EdgeMapCompressedPush(handle.compressed_out(), frontier, func, edge_map);
+            break;
+          case Direction::kPull:
+            next = EdgeMapCompressedPull(handle.compressed_in(), frontier, func, edge_map);
+            break;
+          case Direction::kPushPull: {
+            bool used_pull = false;
+            next = EdgeMapCompressedPushPull(handle.compressed_out(), handle.compressed_in(),
+                                             frontier, func, edge_map, config.pushpull,
+                                             &used_pull);
             result.stats.used_pull.push_back(used_pull);
             used = used_pull ? Direction::kPull : Direction::kPush;
             break;

@@ -33,6 +33,10 @@ PagerankResult RunPagerank(GraphHandle& handle, const PagerankOptions& options,
     degree.resize(n);
     const Csr& out = handle.out_csr();
     VertexMap(n, [&](VertexId v) { degree[v] = out.Degree(v); });
+  } else if (handle.has_compressed_out() && config.layout == Layout::kCompressed) {
+    degree.resize(n);
+    const CompressedCsr& out = handle.compressed_out();
+    VertexMap(n, [&](VertexId v) { degree[v] = out.Degree(v); });
   } else {
     degree = OutDegrees(handle.edges());
   }
@@ -94,6 +98,25 @@ PagerankResult RunPagerank(GraphHandle& handle, const PagerankOptions& options,
           ScanCsrBySource(handle.out_csr(), config.balance, add_locked);
         } else {
           ScanCsrBySource(handle.out_csr(), config.balance, add_atomic);
+        }
+        break;
+      case Layout::kCompressed:
+        if (config.direction == Direction::kPull) {
+          // Gather from compressed in-chunks, decoded in ascending neighbor
+          // order — the same order a sorted plain CSR gathers in, so the
+          // float sums (and thus the ranks) match it bit for bit.
+          ScanCompressedByDestination(handle.compressed_in(), config.balance,
+                                      [&](VertexId dst, auto&& decode) {
+                                        float sum = 0.0f;
+                                        decode([&](VertexId src, float /*w*/) {
+                                          sum += contrib[src];
+                                        });
+                                        next[dst] = sum;
+                                      });
+        } else if (config.sync == Sync::kLocks) {
+          ScanCompressedBySource(handle.compressed_out(), config.balance, add_locked);
+        } else {
+          ScanCompressedBySource(handle.compressed_out(), config.balance, add_atomic);
         }
         break;
       case Layout::kEdgeArray:

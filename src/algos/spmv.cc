@@ -45,6 +45,22 @@ SpmvResult RunSpmv(GraphHandle& handle, const std::vector<float>& x, const RunCo
         ScanCsrBySource(handle.out_csr(), add_atomic);
       }
       break;
+    case Layout::kCompressed:
+      if (config.direction == Direction::kPull) {
+        ScanCompressedByDestination(handle.compressed_in(), config.balance,
+                                    [&](VertexId dst, auto&& decode) {
+                                      float sum = 0.0f;
+                                      decode([&](VertexId src, float w) {
+                                        sum += w * xv[src];
+                                      });
+                                      y[dst] = sum;
+                                    });
+      } else if (config.sync == Sync::kLocks) {
+        ScanCompressedBySource(handle.compressed_out(), config.balance, add_locked);
+      } else {
+        ScanCompressedBySource(handle.compressed_out(), config.balance, add_atomic);
+      }
+      break;
     case Layout::kEdgeArray:
       if (config.sync == Sync::kLocks) {
         ScanEdgeArray(handle.edges(), add_locked);

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "src/engine/edge_map.h"
+#include "src/engine/edge_map_compressed.h"
 #include "src/obs/phase.h"
 #include "src/obs/trace.h"
 #include "src/util/atomics.h"
@@ -78,6 +79,27 @@ SsspResult RunSssp(GraphHandle& handle, VertexId source, const RunConfig& config
             bool used_pull = false;
             next = EdgeMapCsrPushPull(handle.out_csr(), handle.in_csr(), frontier, func,
                                       edge_map, config.pushpull, &used_pull);
+            result.stats.used_pull.push_back(used_pull);
+            used = used_pull ? Direction::kPull : Direction::kPush;
+            break;
+          }
+        }
+        break;
+      case Layout::kCompressed:
+        // Weights decode from the interleaved varint stream, so weighted
+        // graphs relax true distances here, not hop counts.
+        switch (config.direction) {
+          case Direction::kPush:
+            next = EdgeMapCompressedPush(handle.compressed_out(), frontier, func, edge_map);
+            break;
+          case Direction::kPull:
+            next = EdgeMapCompressedPull(handle.compressed_in(), frontier, func, edge_map);
+            break;
+          case Direction::kPushPull: {
+            bool used_pull = false;
+            next = EdgeMapCompressedPushPull(handle.compressed_out(), handle.compressed_in(),
+                                             frontier, func, edge_map, config.pushpull,
+                                             &used_pull);
             result.stats.used_pull.push_back(used_pull);
             used = used_pull ? Direction::kPull : Direction::kPush;
             break;

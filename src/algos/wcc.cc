@@ -1,6 +1,7 @@
 #include "src/algos/wcc.h"
 
 #include "src/engine/edge_map.h"
+#include "src/engine/edge_map_compressed.h"
 #include "src/engine/scan.h"
 #include "src/obs/phase.h"
 #include "src/obs/trace.h"
@@ -45,9 +46,11 @@ WccResult RunWcc(GraphHandle& handle, const RunConfig& config, ExecutionContext&
                           config.sync);
   VertexMap(n, [&](VertexId v) { result.label[v] = v; });
 
-  if (config.layout == Layout::kAdjacency) {
+  if (config.layout == Layout::kAdjacency || config.layout == Layout::kCompressed) {
     // Frontier-driven label propagation over the (symmetrized) adjacency
-    // lists: only re-labeled vertices propagate next round.
+    // lists — plain or chunk-compressed: only re-labeled vertices propagate
+    // next round.
+    const bool compressed = config.layout == Layout::kCompressed;
     WccFunctor func{result.label.data()};
     Frontier frontier = Frontier::All(n);
     EdgeMapOptions edge_map;
@@ -63,15 +66,25 @@ WccResult RunWcc(GraphHandle& handle, const RunConfig& config, ExecutionContext&
       Frontier next;
       switch (config.direction) {
         case Direction::kPush:
-          next = EdgeMapCsrPush(handle.out_csr(), frontier, func, edge_map);
+          next = compressed
+                     ? EdgeMapCompressedPush(handle.compressed_out(), frontier, func,
+                                             edge_map)
+                     : EdgeMapCsrPush(handle.out_csr(), frontier, func, edge_map);
           break;
         case Direction::kPull:
-          next = EdgeMapCsrPull(handle.in_csr(), frontier, func, edge_map);
+          next = compressed
+                     ? EdgeMapCompressedPull(handle.compressed_in(), frontier, func,
+                                             edge_map)
+                     : EdgeMapCsrPull(handle.in_csr(), frontier, func, edge_map);
           break;
         case Direction::kPushPull: {
           bool used_pull = false;
-          next = EdgeMapCsrPushPull(handle.out_csr(), handle.in_csr(), frontier, func,
-                                    edge_map, config.pushpull, &used_pull);
+          next = compressed
+                     ? EdgeMapCompressedPushPull(handle.compressed_out(),
+                                                 handle.compressed_in(), frontier, func,
+                                                 edge_map, config.pushpull, &used_pull)
+                     : EdgeMapCsrPushPull(handle.out_csr(), handle.in_csr(), frontier,
+                                          func, edge_map, config.pushpull, &used_pull);
           result.stats.used_pull.push_back(used_pull);
           used = used_pull ? Direction::kPull : Direction::kPush;
           break;

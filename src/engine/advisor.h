@@ -31,6 +31,11 @@ AlgorithmTraits TraitsAls();
 
 struct MachineTraits {
   int numa_nodes = 1;
+  // Memory available for graph layouts, in bytes; 0 means unconstrained.
+  // When an adjacency recommendation's plain CSR footprint would not fit,
+  // the advisor downgrades it to the compressed layout, trading decode time
+  // for memory (the paper's pre-processing-vs-memory currency).
+  uint64_t memory_budget_bytes = 0;
 };
 
 struct Recommendation {
@@ -49,7 +54,9 @@ struct Recommendation {
 //   2. NUMA partitioning only on large NUMA machines for long-running
 //      all-active algorithms,
 //   3. lock removal whenever the layout/direction permits,
-//   4. never push-pull on directed graphs (its pre-processing never pays).
+//   4. never push-pull on directed graphs (its pre-processing never pays),
+//   5. under a memory budget the plain CSR cannot fit, compressed adjacency
+//      replaces it (chunked decode keeps traversal parallel).
 Recommendation Advise(const AlgorithmTraits& algorithm, const GraphStats& graph,
                       const MachineTraits& machine);
 

@@ -1,55 +1,320 @@
-// EdgeMap over delta-compressed adjacency lists (Ligra+ integration): the
-// same functor contract as edge_map.h, with neighbors decoded on the fly.
-// Push-mode only — compressed lists are forward-decoded, which matches
-// push's access pattern; pull's early exit would decode prefixes anyway.
+// EdgeMap over the chunked delta-compressed CSR — the full kernel contract
+// (EdgeMapOptions{sync, balance, locks, scratch}, push, pull, dynamic
+// push-pull), not a side extension. The compressed layout's per-chunk byte
+// offsets and first-neighbor anchors are what make this possible:
+//
+//   - Push with Balance::kEdge partitions the frontier's concatenated edge
+//     positions exactly like the plain-CSR kernel; a position range landing
+//     mid-hub enters the list through ForEachNeighborSlice, which decodes at
+//     most one partial chunk of skipped prefix before the requested slice —
+//     so a mega-hub's adjacency splits across workers without sequential
+//     decode of everything before the split point.
+//   - Pull iterates a destination's chunks with per-chunk early exit: when
+//     Cond(dst) turns false mid-gather the current chunk stops decoding and
+//     the remaining chunks are never touched.
+//
+// Weights ride in the interleaved varint stream, so weighted traversals
+// (SSSP) see real weights — the decode callback receives (neighbor, weight)
+// with weight == 1.0f only on genuinely unweighted graphs.
 #ifndef SRC_ENGINE_EDGE_MAP_COMPRESSED_H_
 #define SRC_ENGINE_EDGE_MAP_COMPRESSED_H_
 
+#include <algorithm>
+#include <span>
+#include <type_traits>
 #include <vector>
 
 #include "src/engine/edge_map.h"
+#include "src/engine/edge_map_scratch.h"
+#include "src/engine/frontier.h"
+#include "src/engine/options.h"
 #include "src/layout/compressed_csr.h"
+#include "src/obs/metrics.h"
+#include "src/obs/timeline.h"
+#include "src/util/parallel.h"
+#include "src/util/spinlock.h"
 
 namespace egraph {
 
-// Applies F over the frontier's out-edges, decoding each active vertex's
-// neighbor stream. Returns the (sparse, deduplicated) next frontier.
+namespace edge_map_internal {
+
+// Push-mode inner loop over decoded neighbors [j_lo, j_hi) of `src` —
+// chunk-spanning positions within the vertex's full list. The weighted/
+// unweighted branch lives inside the decoder (hoisted per chunk), so only
+// the sync mode needs a compile-time tag.
+template <bool kUseLocks, typename F>
+inline void PushSliceCompressed(const CompressedCsr& out, VertexId src, uint64_t j_lo,
+                                uint64_t j_hi, F& func, StripedLocks* locks,
+                                Bitmap& next, std::vector<VertexId>& buffer,
+                                int64_t& relaxed) {
+  out.ForEachNeighborSlice(src, j_lo, j_hi, [&](VertexId dst, float w) {
+    if (!func.Cond(dst)) {
+      return;
+    }
+    bool updated;
+    if constexpr (kUseLocks) {
+      SpinlockGuard guard(locks->For(dst));
+      updated = func.Update(src, dst, w);
+    } else {
+      updated = func.UpdateAtomic(src, dst, w);
+    }
+    if (updated) {
+      ++relaxed;
+      if (next.TestAndSet(dst)) {
+        buffer.push_back(dst);
+      }
+    }
+  });
+}
+
+// Core of the compressed push kernel: relaxes the out-edges of `active`
+// under the selected balance mode, marking discoveries in `next` and
+// appending them to per-worker `buffers`. Mirrors PushActive for plain CSR.
+template <typename F>
+void PushActiveCompressed(const CompressedCsr& out, std::span<const VertexId> active,
+                          F& func, const EdgeMapOptions& options, Bitmap& next,
+                          std::vector<std::vector<VertexId>>& buffers) {
+  const int64_t m = static_cast<int64_t>(active.size());
+  obs::EngineCounters& metrics = obs::EngineCounters::Get();
+  auto run = [&](auto ltag) {
+    constexpr bool kUseLocks = decltype(ltag)::value;
+    if (options.balance == Balance::kEdge) {
+      std::vector<uint64_t> local_prefix;
+      std::vector<uint64_t>& prefix =
+          options.scratch != nullptr ? options.scratch->PrefixStorage() : local_prefix;
+      prefix.resize(static_cast<size_t>(m));
+      ParallelFor(0, m, [&](int64_t i) {
+        prefix[static_cast<size_t>(i)] = out.Degree(active[static_cast<size_t>(i)]);
+      });
+      const uint64_t total = ParallelExclusiveScan(prefix);
+      const int64_t num_chunks = BalancedChunkCount(total, kEdgeMapMinChunkCost);
+      const uint64_t target = (total + static_cast<uint64_t>(num_chunks) - 1) /
+                              static_cast<uint64_t>(num_chunks);
+      ParallelForChunks(
+          0, num_chunks, /*grain=*/1,
+          [&](int64_t chunk_lo, int64_t chunk_hi, int worker) {
+            auto& buffer = buffers[static_cast<size_t>(worker)];
+            for (int64_t c = chunk_lo; c < chunk_hi; ++c) {
+              const uint64_t p0 = static_cast<uint64_t>(c) * target;
+              const uint64_t p1 = std::min<uint64_t>(p0 + target, total);
+              if (p0 >= p1) {
+                continue;
+              }
+              obs::TimelineSpan chunk_span("engine", "edgemap.chunk",
+                                           static_cast<int64_t>(p1 - p0));
+              // Vertex containing position p0: last i with prefix[i] <= p0
+              // (skips any zero-degree plateau ending at p0).
+              int64_t i =
+                  std::upper_bound(prefix.begin(), prefix.end(), p0) - prefix.begin() - 1;
+              uint64_t pos = p0;
+              int64_t relaxed = 0;
+              while (pos < p1) {
+                const VertexId src = active[static_cast<size_t>(i)];
+                const uint64_t base = prefix[static_cast<size_t>(i)];
+                const uint64_t degree = out.Degree(src);
+                const uint64_t j_lo = pos - base;
+                const uint64_t j_hi = std::min<uint64_t>(degree, p1 - base);
+                if (j_lo < j_hi) {
+                  PushSliceCompressed<kUseLocks>(out, src, j_lo, j_hi, func,
+                                                 options.locks, next, buffer, relaxed);
+                }
+                pos = base + j_hi;
+                ++i;
+              }
+              metrics.edges_scanned.Add(static_cast<int64_t>(p1 - p0));
+              metrics.edges_relaxed.Add(relaxed);
+            }
+          });
+    } else {
+      ParallelForChunks(0, m, /*grain=*/64, [&](int64_t lo, int64_t hi, int worker) {
+        auto& buffer = buffers[static_cast<size_t>(worker)];
+        const uint64_t span_start = obs::TimelineNow();
+        int64_t scanned = 0;
+        int64_t relaxed = 0;
+        for (int64_t i = lo; i < hi; ++i) {
+          const VertexId src = active[static_cast<size_t>(i)];
+          const uint64_t degree = out.Degree(src);
+          PushSliceCompressed<kUseLocks>(out, src, 0, degree, func, options.locks, next,
+                                         buffer, relaxed);
+          scanned += static_cast<int64_t>(degree);
+        }
+        metrics.edges_scanned.Add(scanned);
+        metrics.edges_relaxed.Add(relaxed);
+        obs::TimelineEndSpan("engine", "edgemap.chunk", span_start, scanned);
+      });
+    }
+  };
+  if (options.sync == Sync::kLocks) {
+    run(std::true_type{});
+  } else {
+    run(std::false_type{});
+  }
+}
+
+}  // namespace edge_map_internal
+
+// --- Compressed adjacency, push --------------------------------------------
+//
+// Same contract and balance semantics as EdgeMapCsrPush; the only difference
+// is that neighbor slices are decoded from the chunked varint stream instead
+// of read from an array.
 template <typename F>
 Frontier EdgeMapCompressedPush(const CompressedCsr& out, Frontier& frontier, F& func,
-                               Sync sync, StripedLocks* locks) {
+                               const EdgeMapOptions& options) {
   const VertexId n = out.num_vertices();
   frontier.EnsureSparse();
   const auto& active = frontier.Vertices();
+  const int64_t m = static_cast<int64_t>(active.size());
 
-  Bitmap next(n);
+  obs::EngineCounters& metrics = obs::EngineCounters::Get();
+  metrics.edgemap_calls.Add(1);
+  obs::TimelineSpan timeline_span("engine", "edgemap.push", m);
+
   const int workers = ThreadPool::Current().num_threads();
-  std::vector<std::vector<VertexId>> buffers(static_cast<size_t>(workers));
+  Bitmap local_next;
+  std::vector<std::vector<VertexId>> local_buffers;
+  Bitmap* next_ptr;
+  std::vector<std::vector<VertexId>>* buffers_ptr;
+  if (options.scratch != nullptr) {
+    next_ptr = &options.scratch->RoundBitmap(n);
+    buffers_ptr = &options.scratch->WorkerBuffers(workers);
+  } else {
+    local_next.Resize(static_cast<int64_t>(n));
+    local_buffers.resize(static_cast<size_t>(workers));
+    next_ptr = &local_next;
+    buffers_ptr = &local_buffers;
+  }
+  Bitmap& next = *next_ptr;
+  std::vector<std::vector<VertexId>>& buffers = *buffers_ptr;
 
-  ParallelForChunks(
-      0, static_cast<int64_t>(active.size()), /*grain=*/64,
-      [&](int64_t lo, int64_t hi, int worker) {
-        auto& buffer = buffers[static_cast<size_t>(worker)];
-        for (int64_t i = lo; i < hi; ++i) {
-          const VertexId src = active[static_cast<size_t>(i)];
-          out.ForEachNeighbor(src, [&](VertexId dst) {
-            if (!func.Cond(dst)) {
-              return;
-            }
-            bool updated;
-            if (sync == Sync::kLocks) {
-              SpinlockGuard guard(locks->For(dst));
-              updated = func.Update(src, dst, 1.0f);
-            } else {
-              updated = func.UpdateAtomic(src, dst, 1.0f);
-            }
-            if (updated && next.TestAndSet(dst)) {
-              buffer.push_back(dst);
-            }
-          });
-        }
-      });
+  edge_map_internal::PushActiveCompressed(out, std::span<const VertexId>(active), func,
+                                          options, next, buffers);
+
   return Frontier::FromVector(
-      n, edge_map_internal::ConcatBuffers(buffers, /*retain_capacity=*/false));
+      n, edge_map_internal::ConcatBuffers(
+             buffers, /*retain_capacity=*/options.scratch != nullptr));
+}
+
+// --- Compressed adjacency, pull --------------------------------------------
+//
+// Gathers each destination from its compressed in-chunks. Chunks decode
+// independently (each re-anchors at the owner), so the per-destination scan
+// early-exits at chunk granularity: once Cond(dst) turns false the current
+// chunk's DecodeChunkWhile stops and the remaining chunks are skipped
+// entirely — the compressed analogue of the paper's mid-iteration pull exit.
+//
+// Balance::kEdge stays vertex-aligned (one writer per destination) with
+// boundaries from the byte prefix: cost(v) = encoded-bytes(v) + 1.
+template <typename F>
+Frontier EdgeMapCompressedPull(const CompressedCsr& in, Frontier& frontier, F& func,
+                               const EdgeMapOptions& options) {
+  const VertexId n = in.num_vertices();
+  frontier.EnsureDense();
+
+  obs::EngineCounters& metrics = obs::EngineCounters::Get();
+  metrics.edgemap_calls.Add(1);
+  obs::TimelineSpan timeline_span("engine", "edgemap.pull", frontier.Count());
+
+  Bitmap next(n);  // ownership moves into the result; scratch cannot serve it
+  const int workers = ThreadPool::Current().num_threads();
+  std::vector<int64_t> counts(static_cast<size_t>(workers), 0);
+  const Bitmap& active_bits = frontier.bitmap();
+
+  auto chunk_body = [&](int64_t lo, int64_t hi, int worker) {
+    const uint64_t span_start = obs::TimelineNow();
+    int64_t local = 0;
+    int64_t scanned = 0;
+    int64_t relaxed = 0;
+    int64_t cached_word_index = -1;
+    uint64_t cached_word = 0;
+    for (int64_t v = lo; v < hi; ++v) {
+      const VertexId dst = static_cast<VertexId>(v);
+      if (!func.Cond(dst)) {
+        continue;
+      }
+      bool updated = false;
+      const uint32_t chunk_count = in.NumChunksOf(dst);
+      for (uint32_t k = 0; k < chunk_count; ++k) {
+        const bool completed = in.DecodeChunkWhile(dst, k, [&](VertexId src, float w) {
+          ++scanned;
+          const int64_t word_index = static_cast<int64_t>(src >> 6);
+          if (word_index != cached_word_index) {
+            cached_word_index = word_index;
+            cached_word = active_bits.Word(word_index);
+          }
+          if (((cached_word >> (src & 63)) & 1ULL) == 0) {
+            return true;
+          }
+          if (func.Update(src, dst, w)) {
+            updated = true;
+            ++relaxed;
+          }
+          return func.Cond(dst);  // false stops this chunk mid-decode
+        });
+        if (!completed) {
+          break;  // early exit: dst is done for this round
+        }
+      }
+      if (updated) {
+        next.Set(v);
+        ++local;
+      }
+    }
+    counts[static_cast<size_t>(worker)] += local;
+    metrics.edges_scanned.Add(scanned);
+    metrics.edges_relaxed.Add(relaxed);
+    obs::TimelineEndSpan("engine", "edgemap.chunk", span_start, scanned);
+  };
+
+  if (options.balance == Balance::kEdge) {
+    // Balance by stream bytes (the byte prefix is the only per-vertex cost
+    // table kept); bytes per edge are bounded, so this tracks edge balance.
+    const uint64_t total =
+        static_cast<uint64_t>(in.stream_bytes().size()) + static_cast<uint64_t>(n);
+    const int64_t num_chunks = BalancedChunkCount(total, kEdgeMapMinChunkCost);
+    const std::vector<int64_t> bounds =
+        BalancedChunkBoundaries(static_cast<int64_t>(n), num_chunks, [&in](int64_t v) {
+          return in.ByteOffset(static_cast<VertexId>(v)) + static_cast<uint64_t>(v);
+        });
+    ParallelForBalancedChunks(bounds, chunk_body);
+  } else {
+    ParallelForChunks(0, static_cast<int64_t>(n), /*grain=*/256, chunk_body);
+  }
+
+  int64_t total = 0;
+  for (const int64_t c : counts) {
+    total += c;
+  }
+  return Frontier::FromBitmap(n, std::move(next), total);
+}
+
+// --- Compressed adjacency, dynamic push-pull (Beamer/Ligra) ----------------
+template <typename F>
+Frontier EdgeMapCompressedPushPull(const CompressedCsr& out, const CompressedCsr& in,
+                                   Frontier& frontier, F& func,
+                                   const EdgeMapOptions& options,
+                                   const PushPullConfig& config,
+                                   bool* used_pull = nullptr) {
+  const uint64_t work = frontier.WorkEstimate(out);
+  const bool pull = static_cast<double>(work) >
+                    static_cast<double>(out.num_edges()) / config.threshold_den;
+  if (used_pull != nullptr) {
+    *used_pull = pull;
+  }
+  if (pull) {
+    return EdgeMapCompressedPull(in, frontier, func, options);
+  }
+  return EdgeMapCompressedPush(out, frontier, func, options);
+}
+
+// --- Legacy signature (pre-EdgeMapOptions call sites and tests) ------------
+template <typename F>
+Frontier EdgeMapCompressedPush(const CompressedCsr& out, Frontier& frontier, F& func,
+                               Sync sync, StripedLocks* locks) {
+  EdgeMapOptions options;
+  options.sync = sync;
+  options.locks = locks;
+  return EdgeMapCompressedPush(out, frontier, func, options);
 }
 
 }  // namespace egraph

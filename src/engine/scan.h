@@ -18,6 +18,7 @@
 
 #include "src/engine/options.h"
 #include "src/graph/edge_list.h"
+#include "src/layout/compressed_csr.h"
 #include "src/layout/csr.h"
 #include "src/layout/grid.h"
 #include "src/obs/metrics.h"
@@ -124,6 +125,96 @@ void ScanCsrByDestination(const Csr& in, Balance balance, Body&& body) {
 template <typename Body>
 void ScanCsrByDestination(const Csr& in, Body&& body) {
   ScanCsrByDestination(in, Balance::kVertex, std::forward<Body>(body));
+}
+
+// Vertex-centric push scan over a compressed out-CSR: body(src, dst, weight)
+// for every decoded edge. Balance::kEdge iterates *chunks*, not vertices,
+// with boundaries from the per-chunk byte prefix — a hub's fixed-size decode
+// chunks spread across workers for free, no per-vertex prefix sum needed.
+// Each worker binary-searches its first chunk's owner once, then walks
+// forward. Caller synchronizes destination writes.
+template <typename Body>
+void ScanCompressedBySource(const CompressedCsr& out, Balance balance, Body&& body) {
+  obs::TimelineSpan timeline_span("engine", "scan.compressed.src",
+                                  static_cast<int64_t>(out.num_edges()));
+  obs::Counter& scanned = obs::EngineCounters::Get().edges_scanned;
+  if (balance == Balance::kEdge) {
+    const int64_t num_chunks = out.num_chunks();
+    const std::vector<int64_t> bounds = BalancedChunkBoundaries(
+        num_chunks,
+        BalancedChunkCount(static_cast<uint64_t>(out.stream_bytes().size()) +
+                               static_cast<uint64_t>(num_chunks),
+                           scan_internal::kScanMinChunkCost),
+        [&out](int64_t c) {
+          return out.ChunkByteOffset(c) + static_cast<uint64_t>(c);
+        });
+    ParallelForBalancedChunks(bounds, [&](int64_t lo, int64_t hi, int /*worker*/) {
+      if (lo >= hi) {
+        return;
+      }
+      int64_t local = 0;
+      VertexId src = out.OwnerOf(lo);
+      uint32_t k = static_cast<uint32_t>(lo - out.ChunkBegin(src));
+      for (int64_t c = lo; c < hi; ++c) {
+        while (k == out.NumChunksOf(src)) {
+          ++src;
+          k = 0;
+        }
+        local += static_cast<int64_t>(out.ChunkSizeOf(src, k));
+        out.DecodeChunk(src, k,
+                        [&body, src](VertexId dst, float w) { body(src, dst, w); });
+        ++k;
+      }
+      scanned.Add(local);
+    });
+  } else {
+    ParallelForChunks(0, static_cast<int64_t>(out.num_vertices()), /*grain=*/256,
+                      [&](int64_t lo, int64_t hi, int /*worker*/) {
+                        int64_t local = 0;
+                        for (int64_t v = lo; v < hi; ++v) {
+                          const VertexId src = static_cast<VertexId>(v);
+                          local += static_cast<int64_t>(out.Degree(src));
+                          out.ForEachNeighborWeighted(
+                              src, [&body, src](VertexId dst, float w) { body(src, dst, w); });
+                        }
+                        scanned.Add(local);
+                      });
+  }
+}
+
+// Vertex-centric pull scan over a compressed in-CSR: body(dst, decode) once
+// per destination, where decode(fn) invokes fn(src, weight) for each
+// in-neighbor in ascending order. Stays vertex-aligned — dst is written by
+// exactly one thread (lock-free) — with Balance::kEdge boundaries from the
+// compressed byte prefix (cost(v) = encoded-bytes(v) + 1).
+template <typename Body>
+void ScanCompressedByDestination(const CompressedCsr& in, Balance balance, Body&& body) {
+  obs::TimelineSpan timeline_span("engine", "scan.compressed.dst",
+                                  static_cast<int64_t>(in.num_edges()));
+  obs::Counter& scanned = obs::EngineCounters::Get().edges_scanned;
+  auto chunk = [&](int64_t lo, int64_t hi, int /*worker*/) {
+    int64_t local = 0;
+    for (int64_t v = lo; v < hi; ++v) {
+      const VertexId dst = static_cast<VertexId>(v);
+      local += static_cast<int64_t>(in.Degree(dst));
+      body(dst, [&in, dst](auto&& fn) { in.ForEachNeighborWeighted(dst, fn); });
+    }
+    scanned.Add(local);
+  };
+  if (balance == Balance::kEdge) {
+    const int64_t n = static_cast<int64_t>(in.num_vertices());
+    const uint64_t total =
+        static_cast<uint64_t>(in.stream_bytes().size()) + static_cast<uint64_t>(n);
+    ParallelForBalancedChunks(
+        BalancedChunkBoundaries(
+            n, BalancedChunkCount(total, scan_internal::kScanMinChunkCost),
+            [&in](int64_t v) {
+              return in.ByteOffset(static_cast<VertexId>(v)) + static_cast<uint64_t>(v);
+            }),
+        chunk);
+  } else {
+    ParallelForChunks(0, static_cast<int64_t>(in.num_vertices()), /*grain=*/256, chunk);
+  }
 }
 
 // Grid scan, row-major cells: body(src, dst, weight); best source-block

@@ -1,0 +1,137 @@
+// Persistence for the chunked delta-compressed CSR, plus a ParaGrapher-style
+// selective loader that decompresses only requested vertex ranges.
+//
+// Binary layout (little endian), magic "EGCMPR01":
+//   uint64 magic
+//   uint32 num_vertices
+//   uint32 flags            bit 0: interleaved weight stream
+//   uint64 num_edges
+//   uint64 num_chunks
+//   uint32 chunk_edges      split threshold the encoder used
+//   uint32 reserved
+//   uint64 stream_bytes
+//   uint32[num_vertices]        degrees
+//   uint32[num_vertices + 1]    chunk_begin   (per-vertex first chunk index)
+//   uint64[num_chunks + 1]      chunk_bytes   (byte offset per chunk — the seek table)
+//   uint8[stream_bytes]         varint stream
+//
+// The per-chunk byte offsets are what make selective loading possible: any
+// vertex range [v_lo, v_hi) maps to a contiguous byte span
+// [chunk_bytes[chunk_begin[v_lo]], chunk_bytes[chunk_begin[v_hi]]), and
+// nothing outside that span is ever read or decoded.
+#ifndef SRC_IO_COMPRESSED_IO_H_
+#define SRC_IO_COMPRESSED_IO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/graph/types.h"
+#include "src/layout/compressed_csr.h"
+
+namespace egraph {
+
+inline constexpr uint64_t kCompressedFileMagic = 0x313052504D434745ULL;  // "EGCMPR01"
+
+struct CompressedFileHeader {
+  uint64_t magic = kCompressedFileMagic;
+  uint32_t num_vertices = 0;
+  uint32_t flags = 0;
+  uint64_t num_edges = 0;
+  uint64_t num_chunks = 0;
+  uint32_t chunk_edges = 0;
+  uint32_t reserved = 0;
+  uint64_t stream_bytes = 0;
+
+  bool has_weights() const { return (flags & 1u) != 0; }
+};
+static_assert(sizeof(CompressedFileHeader) == 48);
+
+// Throws std::runtime_error if a file of `file_bytes` bytes cannot contain
+// the sections the header declares (overflow-safe), or if the header is
+// internally inconsistent (zero chunk_edges with nonzero edges, chunk count
+// not matching what the degrees could produce is caught later by Validate).
+void ValidateCompressedFileSize(const CompressedFileHeader& header, uint64_t file_bytes,
+                                const std::string& path);
+
+// Writes `compressed` to `path`. Throws std::runtime_error on I/O failure.
+void WriteCompressedCsr(const std::string& path, const CompressedCsr& compressed);
+
+// Reads a whole compressed graph and runs CompressedCsr::Validate on it —
+// corrupt tables or a corrupt stream throw instead of decoding garbage.
+CompressedCsr ReadCompressedCsr(const std::string& path);
+
+// Reads just the header.
+CompressedFileHeader ReadCompressedFileHeader(const std::string& path);
+
+// A vertex range decoded by the selective loader: local CSR over vertices
+// [v_lo, v_hi), with offsets[i] indexing neighbors/weights for vertex
+// v_lo + i. `weights` is empty when the file has no weight stream.
+struct DecodedRange {
+  VertexId v_lo = 0;
+  VertexId v_hi = 0;
+  std::vector<uint64_t> offsets;  // size (v_hi - v_lo) + 1
+  std::vector<VertexId> neighbors;
+  std::vector<float> weights;
+};
+
+// ParaGrapher-style selective loader: opens the file once, keeps the chunk
+// tables resident (they are the cheap part), and decodes only the byte spans
+// the requested ranges cover. Decode is chunk-parallel — each chunk's output
+// slot is derived from the degrees prefix, so no sequential stitching.
+//
+// Counters (obs registry): io.compressed.bytes_decoded accumulates the byte
+// spans actually read+decoded; io.compressed.bytes_skipped the rest of the
+// stream; io.compressed.chunks_decoded the chunk count. The same numbers are
+// available per-loader through stats().
+class SelectiveCompressedLoader {
+ public:
+  struct Stats {
+    uint64_t bytes_decoded = 0;
+    uint64_t bytes_skipped = 0;
+    uint64_t chunks_decoded = 0;
+    uint64_t ranges_loaded = 0;
+  };
+
+  // Opens `path`, reads the header and chunk tables. Throws on bad magic,
+  // truncation, or inconsistent tables.
+  explicit SelectiveCompressedLoader(const std::string& path);
+  ~SelectiveCompressedLoader();
+
+  SelectiveCompressedLoader(const SelectiveCompressedLoader&) = delete;
+  SelectiveCompressedLoader& operator=(const SelectiveCompressedLoader&) = delete;
+
+  VertexId num_vertices() const { return header_.num_vertices; }
+  uint64_t num_edges() const { return header_.num_edges; }
+  bool has_weights() const { return header_.has_weights(); }
+  uint64_t stream_bytes() const { return header_.stream_bytes; }
+  uint32_t Degree(VertexId v) const { return degrees_[v]; }
+
+  // Decodes the adjacency of vertices [v_lo, v_hi). Reads exactly the byte
+  // span covering those vertices' chunks; decode errors (corrupt stream)
+  // throw. Thread-compatible, not thread-safe (the FILE* seek is shared).
+  DecodedRange LoadRange(VertexId v_lo, VertexId v_hi);
+
+  // Splits [0, num_vertices) into `partitions` equal vertex ranges and
+  // decodes partition `index` — the query-driven entry point: a
+  // partition-scoped computation loads only its own slice.
+  DecodedRange LoadPartition(uint32_t index, uint32_t partitions);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  CompressedFileHeader header_;
+  uint64_t stream_start_ = 0;  // byte offset of the varint stream in the file
+  std::vector<uint32_t> degrees_;
+  std::vector<uint32_t> chunk_begin_;
+  std::vector<uint64_t> chunk_bytes_;
+  Stats stats_;
+};
+
+}  // namespace egraph
+
+#endif  // SRC_IO_COMPRESSED_IO_H_

@@ -1,6 +1,11 @@
 #include "src/layout/compressed_csr.h"
 
 #include <algorithm>
+#include <bit>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "src/util/parallel.h"
 #include "src/util/timer.h"
@@ -22,53 +27,200 @@ uint64_t ZigZag(int64_t value) {
 
 }  // namespace
 
-CompressedCsr CompressedCsr::FromCsr(const Csr& csr, double* seconds) {
+CompressedCsr CompressedCsr::FromCsr(const Csr& csr, double* seconds,
+                                     uint32_t chunk_edges) {
   Timer timer;
   CompressedCsr out;
   const VertexId n = csr.num_vertices();
+  const uint32_t ce = chunk_edges == 0 ? kDefaultChunkEdges : chunk_edges;
   out.num_vertices_ = n;
   out.num_edges_ = csr.num_edges();
+  out.has_weights_ = csr.has_weights();
+  out.chunk_edges_ = ce;
   out.degrees_.resize(n);
-  out.offsets_.resize(static_cast<size_t>(n) + 1);
+  out.chunk_begin_.resize(static_cast<size_t>(n) + 1);
 
-  // Per-worker byte buffers would complicate offset assembly; encode in two
-  // passes: (1) parallel per-vertex encode into per-vertex scratch sizes,
-  // (2) serial layout + parallel copy. For simplicity and because encoding
-  // is measured as pre-processing anyway, encode per vertex into thread
-  // scratch and splice.
-  std::vector<std::vector<uint8_t>> per_vertex(n);
+  // Chunk index layout: ceil(degree / chunk_edges) chunks per vertex. The
+  // chunk index space is u32 to keep the per-vertex table narrow.
+  uint64_t chunk_total = 0;
+  out.chunk_begin_[0] = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const uint32_t degree = static_cast<uint32_t>(csr.Degree(v));
+    out.degrees_[v] = degree;
+    chunk_total += (static_cast<uint64_t>(degree) + ce - 1) / ce;
+    if (chunk_total > UINT32_MAX) {
+      throw std::runtime_error("compressed CSR chunk count overflows u32");
+    }
+    out.chunk_begin_[static_cast<size_t>(v) + 1] = static_cast<uint32_t>(chunk_total);
+  }
+  const size_t num_chunks = static_cast<size_t>(chunk_total);
+  out.chunk_bytes_.resize(num_chunks + 1);
+
+  // Pass 1: parallel per-vertex encode into one scratch buffer per chunk so
+  // offsets assemble without re-walking the stream. Neighbor lists are
+  // sorted first (weights permuted alongside when present) — sorted order
+  // is what makes the deltas small and the decode order deterministic.
+  std::vector<std::vector<uint8_t>> chunk_scratch(num_chunks);
   ParallelFor(0, static_cast<int64_t>(n), [&](int64_t vi) {
     const VertexId v = static_cast<VertexId>(vi);
     auto span = csr.Neighbors(v);
-    out.degrees_[v] = static_cast<uint32_t>(span.size());
     if (span.empty()) {
       return;
     }
-    std::vector<VertexId> sorted(span.begin(), span.end());
-    std::sort(sorted.begin(), sorted.end());
-    auto& bytes = per_vertex[static_cast<size_t>(vi)];
-    EncodeVarint(ZigZag(static_cast<int64_t>(sorted[0]) - static_cast<int64_t>(v)), bytes);
-    for (size_t i = 1; i < sorted.size(); ++i) {
-      EncodeVarint(sorted[i] - sorted[i - 1], bytes);
+    const size_t degree = span.size();
+    std::vector<size_t> order(degree);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&span](size_t a, size_t b) { return span[a] < span[b]; });
+    auto weights = csr.Weights(v);
+    const bool weighted = out.has_weights_ && !weights.empty();
+    const size_t first_chunk = out.chunk_begin_[v];
+    VertexId prev = 0;
+    for (size_t i = 0; i < degree; ++i) {
+      const VertexId neighbor = span[order[i]];
+      auto& bytes = chunk_scratch[first_chunk + i / ce];
+      if (i % ce == 0) {
+        // Chunk start: re-anchor against the owning vertex so the chunk
+        // decodes with no dependency on preceding chunks.
+        EncodeVarint(ZigZag(static_cast<int64_t>(neighbor) - static_cast<int64_t>(v)),
+                     bytes);
+      } else {
+        EncodeVarint(neighbor - prev, bytes);
+      }
+      if (out.has_weights_) {
+        const float w = weighted ? weights[order[i]] : 1.0f;
+        EncodeVarint(std::bit_cast<uint32_t>(w), bytes);
+      }
+      prev = neighbor;
     }
   });
 
-  uint64_t total = 0;
-  for (VertexId v = 0; v < n; ++v) {
-    out.offsets_[v] = total;
-    total += per_vertex[v].size();
+  // Pass 2: serial byte-offset assembly over chunks, then parallel splice.
+  uint64_t total_bytes = 0;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    out.chunk_bytes_[c] = total_bytes;
+    total_bytes += chunk_scratch[c].size();
   }
-  out.offsets_[n] = total;
-  out.bytes_.resize(total);
-  ParallelFor(0, static_cast<int64_t>(n), [&](int64_t vi) {
-    const auto& bytes = per_vertex[static_cast<size_t>(vi)];
-    std::copy(bytes.begin(), bytes.end(), out.bytes_.begin() + static_cast<int64_t>(out.offsets_[static_cast<size_t>(vi)]));
+  out.chunk_bytes_[num_chunks] = total_bytes;
+  out.bytes_.resize(total_bytes);
+  ParallelFor(0, static_cast<int64_t>(num_chunks), [&](int64_t c) {
+    const auto& bytes = chunk_scratch[static_cast<size_t>(c)];
+    std::copy(bytes.begin(), bytes.end(),
+              out.bytes_.begin() +
+                  static_cast<int64_t>(out.chunk_bytes_[static_cast<size_t>(c)]));
   });
 
   if (seconds != nullptr) {
     *seconds = timer.Seconds();
   }
   return out;
+}
+
+bool CompressedCsr::Validate(std::string* error) const {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return false;
+  };
+  const size_t n = num_vertices_;
+  if (chunk_edges_ == 0) {
+    return fail("chunk_edges is zero");
+  }
+  if (degrees_.size() != n || chunk_begin_.size() != n + 1) {
+    return fail("vertex table sizes do not match num_vertices");
+  }
+  if (chunk_begin_[0] != 0) {
+    return fail("chunk_begin does not start at zero");
+  }
+  const size_t num_chunks = n == 0 ? 0 : chunk_begin_[n];
+  if (chunk_bytes_.size() != num_chunks + 1) {
+    return fail("chunk_bytes size does not match chunk count");
+  }
+  if (chunk_bytes_[num_chunks] != bytes_.size()) {
+    return fail("chunk_bytes does not span the byte stream");
+  }
+  uint64_t edge_total = 0;
+  for (size_t v = 0; v < n; ++v) {
+    if (chunk_begin_[v] > chunk_begin_[v + 1]) {
+      return fail("chunk_begin is not monotone at vertex " + std::to_string(v));
+    }
+    const uint64_t chunks = chunk_begin_[v + 1] - chunk_begin_[v];
+    const uint64_t expected =
+        (static_cast<uint64_t>(degrees_[v]) + chunk_edges_ - 1) / chunk_edges_;
+    if (chunks != expected) {
+      return fail("chunk count disagrees with degree at vertex " + std::to_string(v));
+    }
+    edge_total += degrees_[v];
+  }
+  if (edge_total != num_edges_) {
+    return fail("degree sum does not equal num_edges");
+  }
+
+  // Owner per chunk for the parallel pass below — derived by one serial
+  // walk, never trusted from the input.
+  std::vector<VertexId> owner_of(num_chunks);
+  for (size_t v = 0; v < n; ++v) {
+    for (uint32_t c = chunk_begin_[v]; c < chunk_begin_[v + 1]; ++c) {
+      owner_of[c] = static_cast<VertexId>(v);
+    }
+  }
+
+  // Checked parallel decode: every chunk must consume exactly its byte span
+  // and produce exactly its entry count, with every neighbor in range.
+  std::vector<uint8_t> chunk_ok(num_chunks, 1);
+  ParallelFor(0, static_cast<int64_t>(num_chunks), [&](int64_t c) {
+    const size_t ci = static_cast<size_t>(c);
+    if (chunk_bytes_[ci] > chunk_bytes_[ci + 1] || chunk_bytes_[ci + 1] > bytes_.size()) {
+      chunk_ok[ci] = 0;
+      return;
+    }
+    const VertexId owner = owner_of[ci];
+    const uint32_t k = static_cast<uint32_t>(c - chunk_begin_[owner]);
+    const uint64_t consumed = static_cast<uint64_t>(k) * chunk_edges_;
+    const uint64_t size =
+        std::min<uint64_t>(chunk_edges_, degrees_[owner] - consumed);
+    const uint8_t* cursor = bytes_.data() + chunk_bytes_[ci];
+    const uint8_t* end = bytes_.data() + chunk_bytes_[ci + 1];
+    VertexId neighbor = 0;
+    for (uint64_t i = 0; i < size; ++i) {
+      uint64_t raw = 0;
+      if (!DecodeVarintChecked(cursor, end, &raw)) {
+        chunk_ok[ci] = 0;
+        return;
+      }
+      int64_t candidate;
+      if (i == 0) {
+        const int64_t delta =
+            static_cast<int64_t>(raw >> 1) ^ -static_cast<int64_t>(raw & 1);
+        candidate = static_cast<int64_t>(owner) + delta;
+      } else {
+        candidate = static_cast<int64_t>(neighbor) + static_cast<int64_t>(raw);
+      }
+      if (candidate < 0 || candidate >= static_cast<int64_t>(num_vertices_)) {
+        chunk_ok[ci] = 0;
+        return;
+      }
+      neighbor = static_cast<VertexId>(candidate);
+      if (has_weights_) {
+        uint64_t weight_bits = 0;
+        if (!DecodeVarintChecked(cursor, end, &weight_bits) ||
+            weight_bits > 0xFFFFFFFFULL) {
+          chunk_ok[ci] = 0;
+          return;
+        }
+      }
+    }
+    if (cursor != end) {
+      chunk_ok[ci] = 0;
+    }
+  });
+  for (size_t c = 0; c < num_chunks; ++c) {
+    if (!chunk_ok[c]) {
+      return fail("chunk " + std::to_string(c) + " failed checked decode");
+    }
+  }
+  return true;
 }
 
 }  // namespace egraph

@@ -21,6 +21,8 @@ const char* LayoutString(Layout layout) {
       return "adjacency";
     case Layout::kGrid:
       return "grid";
+    case Layout::kCompressed:
+      return "compressed";
   }
   return "?";
 }

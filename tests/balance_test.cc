@@ -14,6 +14,7 @@
 #include "src/algos/bfs.h"
 #include "src/algos/reference.h"
 #include "src/engine/edge_map.h"
+#include "src/engine/edge_map_compressed.h"
 #include "src/engine/execution_context.h"
 #include "src/engine/graph_handle.h"
 #include "src/gen/rmat.h"
@@ -66,6 +67,11 @@ Frontier Step(GraphHandle& handle, Layout layout, Direction direction, Frontier&
         return EdgeMapCsrPull(handle.in_csr(), frontier, func, options);
       }
       return EdgeMapCsrPush(handle.out_csr(), frontier, func, options);
+    case Layout::kCompressed:
+      if (direction == Direction::kPull) {
+        return EdgeMapCompressedPull(handle.compressed_in(), frontier, func, options);
+      }
+      return EdgeMapCompressedPush(handle.compressed_out(), frontier, func, options);
     case Layout::kEdgeArray:
       return EdgeMapEdgeArray(handle.edges(), frontier, func, options);
     case Layout::kGrid:
@@ -88,7 +94,8 @@ void ExpectBalanceEquivalence(const EdgeList& graph, const BalanceCell& cell,
   PrepareConfig prepare;
   prepare.layout = cell.layout;
   prepare.need_out = true;
-  prepare.need_in = cell.layout == Layout::kAdjacency;
+  prepare.need_in =
+      cell.layout == Layout::kAdjacency || cell.layout == Layout::kCompressed;
   handle.Prepare(prepare);
 
   const VertexId n = handle.num_vertices();
@@ -129,6 +136,7 @@ std::vector<BalanceCell> AllCells(bool include_lockfree_grid) {
   for (const Direction direction : {Direction::kPush, Direction::kPull}) {
     for (const Sync sync : {Sync::kAtomics, Sync::kLocks}) {
       cells.push_back({Layout::kAdjacency, direction, sync});
+      cells.push_back({Layout::kCompressed, direction, sync});
       cells.push_back({Layout::kEdgeArray, direction, sync});
       cells.push_back({Layout::kGrid, direction, sync});
     }

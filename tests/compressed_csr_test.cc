@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/gen/erdos_renyi.h"
 #include "src/gen/rmat.h"
@@ -82,6 +86,177 @@ TEST(CompressedCsr, SelfLoopAndDuplicateNeighbors) {
   const Csr csr = BuildCsr(graph, EdgeDirection::kOut, BuildMethod::kCountSort);
   const CompressedCsr compressed = CompressedCsr::FromCsr(csr);
   EXPECT_EQ(compressed.Neighbors(2), (std::vector<VertexId>{1, 2, 2, 3}));
+}
+
+// Degrees straddling the chunk threshold: ce-1, ce, ce+1, 2*ce, plus empty
+// and degree-1 vertices. With chunk_edges=4 every boundary case is hit.
+TEST(CompressedCsr, ChunkBoundaryRoundTrip) {
+  constexpr uint32_t kChunkEdges = 4;
+  const std::vector<uint32_t> degrees = {0, 1, 3, 4, 5, 8, 0, 9};
+  EdgeList graph;
+  graph.set_num_vertices(16);
+  for (VertexId v = 0; v < degrees.size(); ++v) {
+    for (uint32_t i = 0; i < degrees[v]; ++i) {
+      graph.AddEdge(v, (v * 7 + i * 3) % 16);  // scattered, unsorted targets
+    }
+  }
+  const Csr csr = BuildCsr(graph, EdgeDirection::kOut, BuildMethod::kCountSort);
+  const CompressedCsr compressed =
+      CompressedCsr::FromCsr(csr, nullptr, kChunkEdges);
+  ASSERT_TRUE(compressed.Validate());
+  ExpectDecodesTo(compressed, csr);
+  for (VertexId v = 0; v < degrees.size(); ++v) {
+    EXPECT_EQ(compressed.NumChunksOf(v), (degrees[v] + kChunkEdges - 1) / kChunkEdges)
+        << "vertex " << v;
+  }
+}
+
+// A mega hub splits into many chunks; every chunk re-anchors at the owner,
+// so the whole list must still decode in sorted order, and sub-range decode
+// through ForEachNeighborSlice must agree with the full list at every
+// boundary-crossing window.
+TEST(CompressedCsr, MegaHubSplitsAndSlices) {
+  constexpr uint32_t kChunkEdges = 8;
+  const VertexId leaves = 1000;
+  EdgeList graph(leaves + 1, {});
+  for (VertexId v = 1; v <= leaves; ++v) {
+    graph.AddEdge(0, ((v * 37) % leaves) + 1);  // scattered insertion order
+  }
+  const Csr csr = BuildCsr(graph, EdgeDirection::kOut, BuildMethod::kRadixSort);
+  const CompressedCsr compressed =
+      CompressedCsr::FromCsr(csr, nullptr, kChunkEdges);
+  ASSERT_TRUE(compressed.Validate());
+  EXPECT_EQ(compressed.NumChunksOf(0), (leaves + kChunkEdges - 1) / kChunkEdges);
+  const std::vector<VertexId> full = compressed.Neighbors(0);
+  ASSERT_EQ(full.size(), leaves);
+  EXPECT_TRUE(std::is_sorted(full.begin(), full.end()));
+  // Windows that start mid-chunk, end mid-chunk, and span several chunks.
+  for (const auto& [lo, hi] : std::vector<std::pair<uint64_t, uint64_t>>{
+           {0, leaves}, {3, 5}, {6, 19}, {kChunkEdges, 2 * kChunkEdges},
+           {kChunkEdges - 1, kChunkEdges + 1}, {995, 1000}, {500, 500}}) {
+    std::vector<VertexId> slice;
+    compressed.ForEachNeighborSlice(
+        0, lo, hi, [&slice](VertexId n, float) { slice.push_back(n); });
+    EXPECT_EQ(slice, std::vector<VertexId>(full.begin() + static_cast<long>(lo),
+                                           full.begin() + static_cast<long>(hi)))
+        << "slice [" << lo << ", " << hi << ")";
+  }
+}
+
+// Weighted graphs must round-trip their weights bit-exactly through the
+// interleaved varint stream, permuted alongside the sorted neighbors.
+TEST(CompressedCsr, WeightedRoundTripIsBitExact) {
+  RmatOptions options;
+  options.scale = 8;
+  EdgeList graph = GenerateRmat(options);
+  graph.AssignRandomWeights(0.1f, 3.0f, 99);
+  const Csr csr = BuildCsr(graph, EdgeDirection::kOut, BuildMethod::kRadixSort);
+  const CompressedCsr compressed = CompressedCsr::FromCsr(csr);
+  ASSERT_TRUE(compressed.has_weights());
+  ASSERT_TRUE(compressed.Validate());
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    auto span = csr.Neighbors(v);
+    auto weights = csr.Weights(v);
+    ASSERT_EQ(span.size(), weights.size());
+    std::vector<std::pair<VertexId, float>> expected;
+    for (size_t i = 0; i < span.size(); ++i) {
+      expected.emplace_back(span[i], weights[i]);
+    }
+    const std::vector<VertexId> got_n = compressed.Neighbors(v);
+    const std::vector<float> got_w = compressed.NeighborWeights(v);
+    ASSERT_EQ(got_n.size(), expected.size()) << "vertex " << v;
+    ASSERT_TRUE(std::is_sorted(got_n.begin(), got_n.end())) << "vertex " << v;
+    // Multi-edges with equal neighbor ids can land in either order, so the
+    // comparison is on (neighbor, weight-bit-pattern) multisets — bit-exact:
+    // the stream stores each float's bit pattern verbatim.
+    std::vector<std::pair<VertexId, uint32_t>> got;
+    for (size_t i = 0; i < got_n.size(); ++i) {
+      got.emplace_back(got_n[i], std::bit_cast<uint32_t>(got_w[i]));
+    }
+    std::vector<std::pair<VertexId, uint32_t>> want;
+    for (const auto& [neighbor, weight] : expected) {
+      want.emplace_back(neighbor, std::bit_cast<uint32_t>(weight));
+    }
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "vertex " << v;
+  }
+}
+
+TEST(CompressedCsr, ValidateAcceptsGoodRejectsCorrupt) {
+  RmatOptions options;
+  options.scale = 8;
+  const EdgeList graph = GenerateRmat(options);
+  const Csr csr = BuildCsr(graph, EdgeDirection::kOut, BuildMethod::kRadixSort);
+  const CompressedCsr good = CompressedCsr::FromCsr(csr);
+  std::string error;
+  ASSERT_TRUE(good.Validate(&error)) << error;
+
+  // Corrupt stream: flip a continuation bit mid-stream so some chunk either
+  // truncates or overruns its byte span.
+  {
+    std::vector<uint8_t> bytes = good.stream_bytes();
+    ASSERT_FALSE(bytes.empty());
+    bytes[bytes.size() / 2] ^= 0x80;
+    CompressedCsr bad;
+    bad.Init(good.num_vertices(), good.num_edges(), good.has_weights(),
+             good.chunk_edges(), good.degrees(), good.chunk_begin(),
+             good.chunk_bytes(), std::move(bytes));
+    EXPECT_FALSE(bad.Validate(&error));
+    EXPECT_FALSE(error.empty());
+  }
+  // Degree table lies about a vertex: chunk count check must fire.
+  {
+    std::vector<uint32_t> degrees = good.degrees();
+    degrees[0] += good.chunk_edges();  // claims one more chunk than exists
+    CompressedCsr bad;
+    bad.Init(good.num_vertices(), good.num_edges(), good.has_weights(),
+             good.chunk_edges(), std::move(degrees), good.chunk_begin(),
+             good.chunk_bytes(), good.stream_bytes());
+    EXPECT_FALSE(bad.Validate(&error));
+  }
+  // Byte table does not span the stream.
+  {
+    std::vector<uint64_t> chunk_bytes = good.chunk_bytes();
+    chunk_bytes.back() += 1;
+    CompressedCsr bad;
+    bad.Init(good.num_vertices(), good.num_edges(), good.has_weights(),
+             good.chunk_edges(), good.degrees(), good.chunk_begin(),
+             std::move(chunk_bytes), good.stream_bytes());
+    EXPECT_FALSE(bad.Validate(&error));
+  }
+}
+
+// Adversarial varint: a run of continuation bytes longer than any valid
+// 64-bit varint. The unchecked decoder must stop shifting before UB (shift
+// capped below 64) and the checked decoder must report failure rather than
+// read past the end.
+TEST(CompressedCsr, DecodeVarintBoundsCorruptContinuationRun) {
+  const std::vector<uint8_t> hostile(16, 0x80);  // never terminates
+  const uint8_t* cursor = hostile.data();
+  (void)CompressedCsr::DecodeVarint(cursor);
+  // Bounded: consumed at most 10 bytes (64/7 rounded up), well inside the
+  // buffer — no out-of-bounds read, no UB-range shift.
+  EXPECT_LE(cursor - hostile.data(), 10);
+
+  cursor = hostile.data();
+  uint64_t value = 0;
+  EXPECT_FALSE(CompressedCsr::DecodeVarintChecked(
+      cursor, hostile.data() + hostile.size(), &value));
+
+  // Truncated buffer: continuation bit set on the last byte.
+  const std::vector<uint8_t> truncated = {0xFF, 0xFF};
+  cursor = truncated.data();
+  EXPECT_FALSE(CompressedCsr::DecodeVarintChecked(
+      cursor, truncated.data() + truncated.size(), &value));
+
+  // A maximal valid varint still decodes.
+  const std::vector<uint8_t> max_varint = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                                           0xFF, 0xFF, 0xFF, 0xFF, 0x01};
+  cursor = max_varint.data();
+  ASSERT_TRUE(CompressedCsr::DecodeVarintChecked(
+      cursor, max_varint.data() + max_varint.size(), &value));
+  EXPECT_EQ(value, UINT64_MAX);
 }
 
 TEST(CompressedCsr, LocalNeighborhoodsCompressWell) {

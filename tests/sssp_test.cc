@@ -41,13 +41,36 @@ TEST_P(SsspLayoutTest, MatchesDijkstraOnWeightedRmat) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Layouts, SsspLayoutTest,
-                         ::testing::Values(Layout::kAdjacency, Layout::kEdgeArray,
-                                           Layout::kGrid),
+                         ::testing::Values(Layout::kAdjacency, Layout::kCompressed,
+                                           Layout::kEdgeArray, Layout::kGrid),
                          [](const ::testing::TestParamInfo<Layout>& info) {
                            std::string name = LayoutName(info.param);
                            std::replace(name.begin(), name.end(), '-', '_');
                            return name;
                          });
+
+// Regression: the compressed push kernel used to hardcode weight 1.0f, so
+// SSSP on the compressed layout silently computed hop counts. With weights
+// interleaved in the varint stream, the light two-hop path must beat the
+// heavy one-hop edge — a hop-count traversal would report 1.0 for vertex 1.
+TEST(Sssp, CompressedUsesStreamWeightsNotHopCounts) {
+  EdgeList graph(4, {});
+  graph.AddWeightedEdge(0, 1, 5.0f);  // one hop, heavy
+  graph.AddWeightedEdge(0, 2, 1.0f);
+  graph.AddWeightedEdge(2, 1, 1.0f);  // two hops, light
+  graph.AddWeightedEdge(1, 3, 1.0f);
+  for (const Direction direction :
+       {Direction::kPush, Direction::kPull, Direction::kPushPull}) {
+    GraphHandle handle(graph);
+    RunConfig config;
+    config.layout = Layout::kCompressed;
+    config.direction = direction;
+    const SsspResult result = RunSssp(handle, 0, config);
+    EXPECT_FLOAT_EQ(result.dist[1], 2.0f) << DirectionName(direction);
+    EXPECT_FLOAT_EQ(result.dist[2], 1.0f) << DirectionName(direction);
+    EXPECT_FLOAT_EQ(result.dist[3], 3.0f) << DirectionName(direction);
+  }
+}
 
 TEST(Sssp, PullMatchesPush) {
   RmatOptions options;

@@ -11,11 +11,14 @@
 #   bench_binary  path to a bench executable (default build/bench/bench_fig08_pagerank_sync)
 #   scale         EG_SCALE for the run (default 10)
 #
-# ctest registers this three times: bench_json_smoke (pagerank sync sweep),
-# bench_balance_smoke (vertex- vs edge-balanced ablation, which also proves
-# the per-chunk timeline spans and imbalance summary survive the pipeline),
-# and bench_serve_smoke (QuerySession throughput over a frozen handle, which
-# also cross-checks result checksums across concurrency levels).
+# ctest registers this for several benches: bench_json_smoke (pagerank sync
+# sweep), bench_balance_smoke (vertex- vs edge-balanced ablation, which also
+# proves the per-chunk timeline spans and imbalance summary survive the
+# pipeline), bench_serve_smoke (QuerySession throughput over a frozen
+# handle, which also cross-checks result checksums across concurrency
+# levels), bench_snapshot_smoke (incremental refreeze vs radix rebuild), and
+# bench_compression_smoke (compressed vs plain layouts, whose internal gates
+# cover footprint, checksum identity and selective loading).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"

@@ -12,13 +12,14 @@
 //             [--layout=...] [--direction=...] [--sync=...] [--balance=...]
 //             FILE
 //   run       --algo=bfs|wcc|sssp|pagerank|spmv|kcore|triangles
-//             [--layout=adjacency|edge-array|grid]
+//             [--layout=adjacency|compressed|edge-array|grid]
 //             [--direction=push|pull|push-pull] [--sync=atomics|locks|lock-free]
 //             [--balance=vertex|edge]
 //             [--method=radix|count|dynamic] [--source=V] [--iterations=N]
 //             [--loader=sequential|pipelined] [--medium=memory|ssd|hdd]
 //             [--chunk-mb=N]
-//             [--advisor] [--numa-nodes=K] [--metrics] [--metrics-json=FILE]
+//             [--advisor] [--numa-nodes=K] [--memory-budget-mb=N]
+//             [--metrics] [--metrics-json=FILE]
 //             [--timeline=FILE]
 //             FILE
 //
@@ -101,6 +102,9 @@ int Usage() {
 Layout ParseLayout(const std::string& name) {
   if (name == "adjacency") {
     return Layout::kAdjacency;
+  }
+  if (name == "compressed") {
+    return Layout::kCompressed;
   }
   if (name == "edge-array") {
     return Layout::kEdgeArray;
@@ -363,6 +367,8 @@ int CmdRun(const Flags& flags) {
     }
     MachineTraits machine;
     machine.numa_nodes = static_cast<int>(flags.GetInt("numa-nodes", 1));
+    machine.memory_budget_bytes =
+        static_cast<uint64_t>(flags.GetInt("memory-budget-mb", 0)) << 20;
     const Recommendation rec = Advise(traits, stats, machine);
     config.layout = rec.layout;
     config.direction = rec.direction;
@@ -378,8 +384,10 @@ int CmdRun(const Flags& flags) {
   std::string summary;
   char buffer[128];
 
-  if (algo == "wcc" && config.layout == Layout::kAdjacency) {
+  if (algo == "wcc" && (config.layout == Layout::kAdjacency ||
+                        config.layout == Layout::kCompressed)) {
     graph = graph.MakeUndirected();
+    config.symmetric_input = true;
   }
   if (algo == "kcore" || algo == "triangles") {
     graph = graph.MakeUndirected();
