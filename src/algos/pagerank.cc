@@ -3,6 +3,7 @@
 #include "src/engine/scan.h"
 #include "src/graph/stats.h"
 #include "src/obs/phase.h"
+#include "src/shard/edge_map_sharded.h"
 #include "src/obs/trace.h"
 #include "src/util/atomics.h"
 #include "src/util/parallel.h"
@@ -29,7 +30,8 @@ PagerankResult RunPagerank(GraphHandle& handle, const PagerankOptions& options,
   // no pre-processing, so everything it needs beyond the raw input counts
   // as computation (consistent with the paper's 0.0s pre-processing rows).
   std::vector<uint32_t> degree;
-  if (handle.has_out_csr() && config.layout == Layout::kAdjacency) {
+  if (handle.has_out_csr() &&
+      (config.layout == Layout::kAdjacency || config.layout == Layout::kSharded)) {
     degree.resize(n);
     const Csr& out = handle.out_csr();
     VertexMap(n, [&](VertexId v) { degree[v] = out.Degree(v); });
@@ -135,6 +137,25 @@ PagerankResult RunPagerank(GraphHandle& handle, const PagerankOptions& options,
           ScanGridRowMajor(handle.grid(), config.balance, add_locked);
         } else {
           ScanGridRowMajor(handle.grid(), config.balance, add_atomic);
+        }
+        break;
+      case Layout::kSharded:
+        if (config.direction == Direction::kPull) {
+          // Owner-partitioned gather in the same per-destination order as
+          // the adjacency pull, so the ranks match it bit for bit.
+          ShardScanByDestination(handle.in_csr(), handle.sharded(),
+                                 [&](VertexId dst, std::span<const VertexId> sources,
+                                     std::span<const float> /*weights*/) {
+                                   float sum = 0.0f;
+                                   for (const VertexId src : sources) {
+                                     sum += contrib[src];
+                                   }
+                                   next[dst] = sum;
+                                 });
+        } else {
+          // Shard ownership makes every apply exclusive in both phases —
+          // plain adds, no locks, remote mass rides the aggregation buffers.
+          ShardScanBySource(handle.out_csr(), handle.sharded(), add_plain);
         }
         break;
     }

@@ -1,6 +1,7 @@
 #include "src/algos/spmv.h"
 
 #include "src/engine/scan.h"
+#include "src/shard/edge_map_sharded.h"
 #include "src/util/atomics.h"
 #include "src/util/spinlock.h"
 #include "src/util/timer.h"
@@ -75,6 +76,23 @@ SpmvResult RunSpmv(GraphHandle& handle, const std::vector<float>& x, const RunCo
         ScanGridRowMajor(handle.grid(), add_locked);
       } else {
         ScanGridRowMajor(handle.grid(), add_atomic);
+      }
+      break;
+    case Layout::kSharded:
+      if (config.direction == Direction::kPull) {
+        ShardScanByDestination(handle.in_csr(), handle.sharded(),
+                               [&](VertexId dst, std::span<const VertexId> sources,
+                                   std::span<const float> weights) {
+                                 float sum = 0.0f;
+                                 for (size_t j = 0; j < sources.size(); ++j) {
+                                   const float w = weights.empty() ? 1.0f : weights[j];
+                                   sum += w * xv[sources[j]];
+                                 }
+                                 y[dst] = sum;
+                               });
+      } else {
+        // Ownership makes both phases' adds exclusive: plain stores.
+        ShardScanBySource(handle.out_csr(), handle.sharded(), add_plain);
       }
       break;
   }

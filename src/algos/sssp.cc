@@ -5,6 +5,7 @@
 #include "src/engine/edge_map.h"
 #include "src/engine/edge_map_compressed.h"
 #include "src/obs/phase.h"
+#include "src/shard/edge_map_sharded.h"
 #include "src/obs/trace.h"
 #include "src/util/atomics.h"
 #include "src/util/timer.h"
@@ -111,6 +112,29 @@ SsspResult RunSssp(GraphHandle& handle, VertexId source, const RunConfig& config
         break;
       case Layout::kGrid:
         next = EdgeMapGrid(handle.grid(), frontier, func, edge_map);
+        break;
+      case Layout::kSharded:
+        // Shards slice the plain weighted CSRs, so true distances relax here
+        // exactly as in the adjacency backends.
+        switch (config.direction) {
+          case Direction::kPush:
+            next = EdgeMapShardedPush(handle.out_csr(), handle.sharded(), frontier, func,
+                                      edge_map);
+            break;
+          case Direction::kPull:
+            next = EdgeMapShardedPull(handle.in_csr(), handle.sharded(), frontier, func,
+                                      edge_map);
+            break;
+          case Direction::kPushPull: {
+            bool used_pull = false;
+            next = EdgeMapShardedPushPull(handle.out_csr(), handle.in_csr(), handle.sharded(),
+                                          frontier, func, edge_map, config.pushpull,
+                                          &used_pull);
+            result.stats.used_pull.push_back(used_pull);
+            used = used_pull ? Direction::kPull : Direction::kPush;
+            break;
+          }
+        }
         break;
     }
     frontier = std::move(next);

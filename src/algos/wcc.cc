@@ -3,6 +3,7 @@
 #include "src/engine/edge_map.h"
 #include "src/engine/edge_map_compressed.h"
 #include "src/engine/scan.h"
+#include "src/shard/edge_map_sharded.h"
 #include "src/obs/phase.h"
 #include "src/obs/trace.h"
 #include "src/util/atomics.h"
@@ -46,11 +47,13 @@ WccResult RunWcc(GraphHandle& handle, const RunConfig& config, ExecutionContext&
                           config.sync);
   VertexMap(n, [&](VertexId v) { result.label[v] = v; });
 
-  if (config.layout == Layout::kAdjacency || config.layout == Layout::kCompressed) {
+  if (config.layout == Layout::kAdjacency || config.layout == Layout::kCompressed ||
+      config.layout == Layout::kSharded) {
     // Frontier-driven label propagation over the (symmetrized) adjacency
-    // lists — plain or chunk-compressed: only re-labeled vertices propagate
-    // next round.
+    // lists — plain, chunk-compressed, or shard-owned: only re-labeled
+    // vertices propagate next round.
     const bool compressed = config.layout == Layout::kCompressed;
+    const bool sharded = config.layout == Layout::kSharded;
     WccFunctor func{result.label.data()};
     Frontier frontier = Frontier::All(n);
     EdgeMapOptions edge_map;
@@ -66,25 +69,39 @@ WccResult RunWcc(GraphHandle& handle, const RunConfig& config, ExecutionContext&
       Frontier next;
       switch (config.direction) {
         case Direction::kPush:
-          next = compressed
-                     ? EdgeMapCompressedPush(handle.compressed_out(), frontier, func,
-                                             edge_map)
-                     : EdgeMapCsrPush(handle.out_csr(), frontier, func, edge_map);
+          if (compressed) {
+            next = EdgeMapCompressedPush(handle.compressed_out(), frontier, func, edge_map);
+          } else if (sharded) {
+            next = EdgeMapShardedPush(handle.out_csr(), handle.sharded(), frontier, func,
+                                      edge_map);
+          } else {
+            next = EdgeMapCsrPush(handle.out_csr(), frontier, func, edge_map);
+          }
           break;
         case Direction::kPull:
-          next = compressed
-                     ? EdgeMapCompressedPull(handle.compressed_in(), frontier, func,
-                                             edge_map)
-                     : EdgeMapCsrPull(handle.in_csr(), frontier, func, edge_map);
+          if (compressed) {
+            next = EdgeMapCompressedPull(handle.compressed_in(), frontier, func, edge_map);
+          } else if (sharded) {
+            next = EdgeMapShardedPull(handle.in_csr(), handle.sharded(), frontier, func,
+                                      edge_map);
+          } else {
+            next = EdgeMapCsrPull(handle.in_csr(), frontier, func, edge_map);
+          }
           break;
         case Direction::kPushPull: {
           bool used_pull = false;
-          next = compressed
-                     ? EdgeMapCompressedPushPull(handle.compressed_out(),
-                                                 handle.compressed_in(), frontier, func,
-                                                 edge_map, config.pushpull, &used_pull)
-                     : EdgeMapCsrPushPull(handle.out_csr(), handle.in_csr(), frontier,
-                                          func, edge_map, config.pushpull, &used_pull);
+          if (compressed) {
+            next = EdgeMapCompressedPushPull(handle.compressed_out(), handle.compressed_in(),
+                                             frontier, func, edge_map, config.pushpull,
+                                             &used_pull);
+          } else if (sharded) {
+            next = EdgeMapShardedPushPull(handle.out_csr(), handle.in_csr(), handle.sharded(),
+                                          frontier, func, edge_map, config.pushpull,
+                                          &used_pull);
+          } else {
+            next = EdgeMapCsrPushPull(handle.out_csr(), handle.in_csr(), frontier, func,
+                                      edge_map, config.pushpull, &used_pull);
+          }
           result.stats.used_pull.push_back(used_pull);
           used = used_pull ? Direction::kPull : Direction::kPush;
           break;

@@ -1,82 +1,54 @@
-// Polymer/Gemini-style NUMA partitioning (paper section 7.1): vertices are
-// split into contiguous ranges, one per node, balancing vertices + edges;
-// each edge is colocated with its *target* vertex so push-mode writes are
-// always node-local ("the outgoing edges of vertices are colocated with
-// their target vertices. This approach avoids random remote writes").
-//
-// Per node we materialize:
-//   out_csr - edges with local destination, keyed by source (BFS-style
-//             frontier expansion: walk a source's local targets)
-//   in_csr  - the same edges keyed by destination (pull-style gather into
-//             local vertices, e.g. Pagerank)
-// Building these is the partitioning cost the paper measures (the dominant
-// bar in Fig. 9a).
+// NUMA partitioning (paper section 7.1), expressed over the generic
+// contiguous-range partition in src/layout/range_partition.h. The
+// construction used to live here; it moved to the layout layer when the
+// sharded execution substrate (src/shard/) became a second consumer, so the
+// NUMA cost model is now just one client of BuildRangePartition. This
+// header keeps the node-flavored vocabulary the cost model and benches use.
 #ifndef SRC_NUMA_PARTITION_H_
 #define SRC_NUMA_PARTITION_H_
 
+#include <utility>
 #include <vector>
 
 #include "src/graph/edge_list.h"
 #include "src/layout/csr.h"
+#include "src/layout/range_partition.h"
 
 namespace egraph {
 
-// Which per-node CSR keyings to materialize. Building only what the target
-// algorithm needs (out for BFS-style frontier expansion, in for pull-style
-// gathers) halves the partitioning cost, exactly as a production system
-// would; kBoth serves mixed workloads.
-enum class PartitionCsrs { kOutOnly, kInOnly, kBoth };
+// Which per-node CSR keyings to materialize (see RangeCsrs).
+using PartitionCsrs = RangeCsrs;
 
-class NumaPartition {
+class NumaPartition : public RangePartition {
  public:
-  int num_nodes() const { return static_cast<int>(boundaries_.size()) - 1; }
-  VertexId num_vertices() const { return boundaries_.back(); }
+  NumaPartition() = default;
+  explicit NumaPartition(RangePartition&& partition)
+      : RangePartition(std::move(partition)) {}
 
-  // Node owning vertex v (linear scan over <= 8 boundaries).
-  int NodeOf(VertexId v) const {
-    int node = 0;
-    while (v >= boundaries_[static_cast<size_t>(node) + 1]) {
-      ++node;
-    }
-    return node;
-  }
+  int num_nodes() const { return num_ranges(); }
 
-  const std::vector<VertexId>& boundaries() const { return boundaries_; }
+  // Node owning vertex v (binary search over boundaries).
+  int NodeOf(VertexId v) const { return RangeOf(v); }
 
   // Edges whose destination is local to `node`, keyed by source vertex
   // (global ids; sources may be remote).
-  const Csr& NodeOutCsr(int node) const { return out_csrs_[static_cast<size_t>(node)]; }
+  const Csr& NodeOutCsr(int node) const { return RangeOutCsr(node); }
 
   // Same edges keyed by (local) destination.
-  const Csr& NodeInCsr(int node) const { return in_csrs_[static_cast<size_t>(node)]; }
+  const Csr& NodeInCsr(int node) const { return RangeInCsr(node); }
 
-  uint64_t NodeEdgeCount(int node) const {
-    return node_edge_counts_[static_cast<size_t>(node)];
-  }
-
-  // Global out-degree of every vertex (needed by Pagerank regardless of
-  // which CSR keying was materialized).
-  const std::vector<uint32_t>& out_degrees() const { return out_degrees_; }
+  uint64_t NodeEdgeCount(int node) const { return RangeEdgeCount(node); }
 
   // Wall time of the whole partitioning step (boundaries + bucketing + CSRs).
-  double partition_seconds() const { return partition_seconds_; }
-
-  friend NumaPartition PartitionGraph(const EdgeList& graph, int num_nodes,
-                                      PartitionCsrs csrs);
-
- private:
-  std::vector<VertexId> boundaries_;  // num_nodes + 1, contiguous ranges
-  std::vector<uint64_t> node_edge_counts_;
-  std::vector<uint32_t> out_degrees_;
-  std::vector<Csr> out_csrs_;
-  std::vector<Csr> in_csrs_;
-  double partition_seconds_ = 0.0;
+  double partition_seconds() const { return build_seconds(); }
 };
 
 // Partitions `graph` over `num_nodes` NUMA nodes, balancing
 // vertices + in-edges per node (Gemini's hybrid balance).
-NumaPartition PartitionGraph(const EdgeList& graph, int num_nodes,
-                             PartitionCsrs csrs = PartitionCsrs::kBoth);
+inline NumaPartition PartitionGraph(const EdgeList& graph, int num_nodes,
+                                    PartitionCsrs csrs = PartitionCsrs::kBoth) {
+  return NumaPartition(BuildRangePartition(graph, num_nodes, csrs));
+}
 
 }  // namespace egraph
 

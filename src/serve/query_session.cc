@@ -1,6 +1,7 @@
 #include "src/serve/query_session.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -287,9 +288,10 @@ void QuerySession::CoordinatorLoop() {
   fallback_options.seed = options_.seed;
   ExecutionContext fallback_ctx(fallback_options);
 
-  const int batch_min = std::max(1, options_.batch_min);
+  const int batch_min_floor = std::max(1, options_.batch_min);
   const size_t max_batch =
       static_cast<size_t>(std::max(1, options_.max_batch));
+  batch_min_effective_.store(batch_min_floor, std::memory_order_relaxed);
   // Partition boundaries are a function of the cohort's CSR, so they are
   // cached per epoch handle and recomputed when the cohort's epoch moves.
   // Holding the snapshot the cache was computed for keeps that epoch alive,
@@ -301,12 +303,14 @@ void QuerySession::CoordinatorLoop() {
 
   while (true) {
     std::vector<Pending> cohort;
+    size_t observed_depth = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
       if (queue_.empty()) {
         return;  // closed and drained
       }
+      observed_depth = queue_.size();
       // A cohort shares one partition residency, so it must share one
       // graph: pop only consecutive queries pinned to the same snapshot.
       cohort.push_back(std::move(queue_.front()));
@@ -317,6 +321,16 @@ void QuerySession::CoordinatorLoop() {
         queue_.pop_front();
       }
     }
+    // Adaptive cohort minimum: under a deep backlog cohorts are large
+    // anyway, so demanding more batchable queries (half the smoothed depth)
+    // before paying partition bookkeeping filters out mostly-unbatchable
+    // cohorts; when the queue runs shallow the floor preserves latency.
+    queue_depth_ema_ =
+        0.75 * queue_depth_ema_ + 0.25 * static_cast<double>(observed_depth);
+    const int batch_min =
+        std::clamp(static_cast<int>(std::lround(queue_depth_ema_ / 2.0)),
+                   batch_min_floor, static_cast<int>(max_batch));
+    batch_min_effective_.store(batch_min, std::memory_order_relaxed);
     // The whole cohort left the queue together; cohort formation (classify,
     // prepare, partition) runs from this stamp to RunBatch's exec stamp.
     const uint64_t dequeue_ns = obs::RequestNowNs();
@@ -366,8 +380,14 @@ void QuerySession::CoordinatorLoop() {
         PrepareForRun(cohort_handle, query.config);
       }
       if (boundaries_handle != &cohort_handle) {
-        boundaries =
-            ComputeLlcPartitionBoundaries(cohort_handle.out_csr(), options_.llc_bytes);
+        // When the handle carries the sharded layout, partition-major
+        // rounds follow shard ownership: every scoped push/pull slice then
+        // writes only vertices its shard owns, and the cohort's partition
+        // residency coincides with the shards the sharded EdgeMap warms.
+        boundaries = cohort_handle.has_sharded()
+                         ? cohort_handle.sharded().boundaries()
+                         : ComputeLlcPartitionBoundaries(cohort_handle.out_csr(),
+                                                         options_.llc_bytes);
         boundaries_handle = &cohort_handle;
         boundaries_snap = cohort.front().snap;
       }
@@ -474,6 +494,7 @@ std::vector<obs::GaugeSample> ServeGauges(const QuerySession& session,
       {"serve.rejected_closed", static_cast<double>(stats.rejected_closed)},
       {"serve.batched", static_cast<double>(stats.batched)},
       {"serve.batches", static_cast<double>(stats.batches)},
+      {"serve.batch_min_effective", static_cast<double>(session.batch_min_effective())},
       {"serve.qps", stats.qps},
   };
   if (session.slow_query_log() != nullptr) {

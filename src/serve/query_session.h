@@ -133,6 +133,10 @@ struct QuerySessionOptions {
   uint64_t llc_bytes = 16ull << 20;
   // Cohorts smaller than this run isolated — partition bookkeeping only
   // pays for itself when several queries share each partition's residency.
+  // This is the FLOOR of an adaptive minimum: the coordinator tracks an EMA
+  // of the queue depth it observes at cohort formation and demands half of
+  // that backlog be batchable before paying partition bookkeeping (clamped
+  // to [batch_min, max_batch]), exposed as serve.batch_min_effective.
   int batch_min = 2;
   // Upper bound on queries drained into one cohort.
   int max_batch = 16;
@@ -204,6 +208,13 @@ class QuerySession {
   // The slow-query log, or nullptr when options.slow_query_seconds == 0.
   const obs::SlowQueryLog* slow_query_log() const { return slow_log_.get(); }
 
+  // The batched coordinator's current adaptive cohort minimum (the
+  // serve.batch_min_effective gauge); 0 until the coordinator starts, and
+  // always 0 in isolated mode.
+  int batch_min_effective() const {
+    return batch_min_effective_.load(std::memory_order_relaxed);
+  }
+
  private:
   // A queued query plus the snapshot it pinned at Submit time (an empty
   // handle for plain-handle sessions, which run against *handle_) and the
@@ -250,7 +261,9 @@ class QuerySession {
   std::atomic<int64_t> batched_completed_{0};
   std::atomic<int64_t> batches_{0};
   std::atomic<int64_t> in_flight_{0};
-  int64_t cohort_seq_ = 0;  // coordinator-thread only
+  int64_t cohort_seq_ = 0;          // coordinator-thread only
+  double queue_depth_ema_ = 0.0;    // coordinator-thread only
+  std::atomic<int> batch_min_effective_{0};
   std::unique_ptr<obs::SlowQueryLog> slow_log_;
   bool draining_ = false;        // guarded by mutex_: a Drain is in flight
   bool drained_ = false;         // guarded by mutex_

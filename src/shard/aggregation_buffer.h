@@ -1,0 +1,141 @@
+// Grappa-style message aggregation for cross-shard EdgeMap updates: instead
+// of scattering one random remote write per edge (the striped-lock path's
+// cache behaviour), a producer shard accumulates its updates for each remote
+// shard into a bounded open batch and seals it — whole cache lines at a
+// time — onto a spill list that the *owning* shard later drains and applies
+// sequentially. The pattern is the RDMAAggregator's: per-producer message
+// lists, capacity-triggered flushes, enqueue/flush statistics.
+//
+// Concurrency contract: ONE producer at a time calls Enqueue/Flush (the
+// sharded kernels dispatch one task per source shard, so the (src,dst)
+// buffer has a single producer per phase). Drain may run concurrently with
+// the producer — it only touches sealed batches under the internal lock,
+// never the producer-private open batch — which is what lets a streaming
+// consumer start applying while the producer is still enqueueing.
+#ifndef SRC_SHARD_AGGREGATION_BUFFER_H_
+#define SRC_SHARD_AGGREGATION_BUFFER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/graph/types.h"
+#include "src/util/spinlock.h"
+
+namespace egraph {
+
+// One buffered cross-shard update. Padded to 16 bytes so a 64-byte cache
+// line holds exactly four and a sealed batch is a whole number of lines.
+struct ShardUpdate {
+  VertexId src;
+  VertexId dst;
+  float weight;
+  uint32_t pad = 0;
+};
+static_assert(sizeof(ShardUpdate) == 16, "ShardUpdate must pack 4 per cache line");
+
+inline constexpr int kShardUpdatesPerCacheLine = 64 / static_cast<int>(sizeof(ShardUpdate));
+
+// Default open-batch capacity: 256 updates = 4 KiB = 64 cache lines per
+// flush, small enough to stay L1-resident while the producer fills it.
+inline constexpr int kDefaultAggregationCapacity = 256;
+
+class AggregationBuffer {
+ public:
+  explicit AggregationBuffer(int capacity = kDefaultAggregationCapacity)
+      : capacity_(capacity < kShardUpdatesPerCacheLine ? kShardUpdatesPerCacheLine
+                                                       : capacity) {}
+
+  AggregationBuffer(AggregationBuffer&& other) noexcept
+      : capacity_(other.capacity_),
+        open_(std::move(other.open_)),
+        spill_(std::move(other.spill_)),
+        enqueued_(other.enqueued_.load(std::memory_order_relaxed)),
+        flushed_(other.flushed_.load(std::memory_order_relaxed)),
+        flush_batches_(other.flush_batches_.load(std::memory_order_relaxed)) {}
+
+  int capacity() const { return capacity_; }
+
+  // Producer side. Seals the open batch automatically when it reaches
+  // capacity, so memory stays bounded no matter how many updates flow
+  // through. The open batch allocates lazily: an (s,t) pair that never
+  // carries an update costs sizeof(AggregationBuffer), not a reservation.
+  void Enqueue(VertexId src, VertexId dst, float weight) {
+    if (open_.capacity() == 0) {
+      open_.reserve(static_cast<size_t>(capacity_));
+    }
+    open_.push_back(ShardUpdate{src, dst, weight});
+    enqueued_.fetch_add(1, std::memory_order_relaxed);
+    if (static_cast<int>(open_.size()) >= capacity_) {
+      Seal();
+    }
+  }
+
+  // Producer side: seals a partial open batch (end of a production phase).
+  // Returns the occupancy the batch was sealed at (0 when nothing pending),
+  // which the kernels feed to the buffer-occupancy histogram.
+  size_t Flush() {
+    const size_t occupancy = open_.size();
+    if (occupancy != 0) {
+      Seal();
+    }
+    return occupancy;
+  }
+
+  // Consumer side: applies fn(const ShardUpdate&) to every sealed update in
+  // enqueue order and returns how many were applied. Safe concurrently with
+  // the producer; updates still sitting in the open batch are not visible
+  // until the producer flushes.
+  template <typename Fn>
+  int64_t Drain(Fn&& fn) {
+    std::vector<std::vector<ShardUpdate>> batches;
+    {
+      SpinlockGuard guard(lock_);
+      batches.swap(spill_);
+    }
+    int64_t applied = 0;
+    for (const auto& batch : batches) {
+      for (const ShardUpdate& update : batch) {
+        fn(update);
+      }
+      applied += static_cast<int64_t>(batch.size());
+    }
+    return applied;
+  }
+
+  bool HasSealed() const {
+    SpinlockGuard guard(lock_);
+    return !spill_.empty();
+  }
+
+  // Updates currently in the producer-private open batch (occupancy probe).
+  size_t OpenSize() const { return open_.size(); }
+
+  // --- Grappa-style stats ---------------------------------------------------
+  int64_t enqueued() const { return enqueued_.load(std::memory_order_relaxed); }
+  int64_t flushed() const { return flushed_.load(std::memory_order_relaxed); }
+  int64_t flush_batches() const { return flush_batches_.load(std::memory_order_relaxed); }
+
+ private:
+  void Seal() {
+    std::vector<ShardUpdate> batch;
+    batch.swap(open_);
+    flushed_.fetch_add(static_cast<int64_t>(batch.size()), std::memory_order_relaxed);
+    flush_batches_.fetch_add(1, std::memory_order_relaxed);
+    SpinlockGuard guard(lock_);
+    spill_.push_back(std::move(batch));
+  }
+
+  int capacity_;
+  std::vector<ShardUpdate> open_;               // producer-private
+  std::vector<std::vector<ShardUpdate>> spill_;  // sealed batches, lock-guarded
+  mutable Spinlock lock_;
+  std::atomic<int64_t> enqueued_{0};
+  std::atomic<int64_t> flushed_{0};
+  std::atomic<int64_t> flush_batches_{0};
+};
+
+}  // namespace egraph
+
+#endif  // SRC_SHARD_AGGREGATION_BUFFER_H_

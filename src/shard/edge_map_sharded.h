@@ -1,0 +1,468 @@
+// Sharded EdgeMap backends: two-phase push with Grappa-style message
+// aggregation, and an owner-partitioned pull.
+//
+// Push, phase 1 (scatter): one grain-1 task per source shard iterates that
+// shard's frontier slice. Destinations the shard owns are updated with plain
+// stores — task s is the only writer of shard-s vertex state in this phase —
+// and remote destinations are enqueued into the (s, t) AggregationBuffer,
+// which seals whole-cache-line batches as it fills. Push, phase 2 (apply):
+// one grain-1 task per destination shard drains every inbound buffer and
+// applies the batches as sequential plain stores. The barrier between the
+// phases is the return of the phase-1 ParallelForChunks. Nothing in either
+// phase takes a lock on vertex state: ownership replaces the striped-lock
+// scatter of EdgeMapCsrPush, so EdgeMapOptions::sync is a no-op here
+// (treated as Sync::kLockFree regardless of what the caller sets).
+//
+// The round-dedup bitmap is shared across phases and shards via the atomic
+// Bitmap::TestAndSet — the one cross-shard write that remains, and it is
+// idempotent. Balance::kEdge orders shard tasks by descending edge mass
+// (the grid's column idiom: grain-1 dispatch turns the sorted order into a
+// static greedy assignment); shards cannot be split — ownership is the
+// point — so that is the whole balance story.
+//
+// TSan note: phase-2 plain Update stores may race benignly with nothing —
+// phases are barrier-separated and each dst has one owner — but functors
+// whose Cond reads neighbor state must use the same AtomicLoad discipline
+// the pull kernels already rely on.
+#ifndef SRC_SHARD_EDGE_MAP_SHARDED_H_
+#define SRC_SHARD_EDGE_MAP_SHARDED_H_
+
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/engine/edge_map.h"
+#include "src/engine/frontier.h"
+#include "src/engine/options.h"
+#include "src/layout/csr.h"
+#include "src/obs/metrics.h"
+#include "src/obs/timeline.h"
+#include "src/shard/aggregation_buffer.h"
+#include "src/shard/shard_metrics.h"
+#include "src/shard/sharded_graph.h"
+#include "src/util/bitmap.h"
+#include "src/util/parallel.h"
+
+namespace egraph {
+
+namespace shard_internal {
+
+// The S x S mesh of aggregation buffers for one kernel invocation. Buffer
+// (s, t) has exactly one producer (the phase-1 task for shard s) and one
+// consumer (the phase-2 task for shard t), which is what lets both sides
+// run lock-free outside the brief seal/drain spill swap.
+class BufferGrid {
+ public:
+  explicit BufferGrid(int num_shards, int capacity = kDefaultAggregationCapacity)
+      : num_shards_(num_shards) {
+    buffers_.reserve(static_cast<size_t>(num_shards) * static_cast<size_t>(num_shards));
+    for (int i = 0; i < num_shards * num_shards; ++i) {
+      buffers_.emplace_back(capacity);
+    }
+  }
+
+  AggregationBuffer& At(int s, int t) {
+    return buffers_[static_cast<size_t>(s) * static_cast<size_t>(num_shards_) +
+                    static_cast<size_t>(t)];
+  }
+
+  // End-of-scatter flush for producer shard s: seals every partial batch in
+  // row (s, *) and records occupancy samples off the hot path — the partial
+  // seal's fill level per non-empty buffer, plus one full-capacity sample
+  // for any buffer that sealed at least one full batch (so the histogram
+  // reflects both regimes without a Record per sealed line group).
+  void FlushRow(int s) {
+    obs::Histogram& occupancy = ShardMetrics::Get().buffer_occupancy;
+    for (int t = 0; t < num_shards_; ++t) {
+      if (t == s) {
+        continue;
+      }
+      AggregationBuffer& buffer = At(s, t);
+      const bool sealed_full = buffer.flush_batches() > 0;
+      const size_t partial = buffer.Flush();
+      if (sealed_full) {
+        occupancy.Record(buffer.capacity());
+      }
+      if (partial != 0) {
+        occupancy.Record(static_cast<int64_t>(partial));
+      }
+    }
+  }
+
+  // One bulk counter publish per kernel instead of a fetch_add per edge.
+  void PublishStats() const {
+    int64_t enqueued = 0;
+    int64_t flushed = 0;
+    int64_t batches = 0;
+    for (const AggregationBuffer& buffer : buffers_) {
+      enqueued += buffer.enqueued();
+      flushed += buffer.flushed();
+      batches += buffer.flush_batches();
+    }
+    ShardMetrics& metrics = ShardMetrics::Get();
+    metrics.enqueued.Add(enqueued);
+    metrics.flushed.Add(flushed);
+    metrics.flush_batches.Add(batches);
+  }
+
+  int num_shards() const { return num_shards_; }
+
+ private:
+  int num_shards_;
+  std::vector<AggregationBuffer> buffers_;
+};
+
+// Shard task order under the balance knob: descending edge mass for kEdge
+// (static greedy via grain-1 round-robin preload), natural order otherwise.
+inline int ShardAt(const std::vector<int>& order, Balance balance, int64_t idx) {
+  return balance == Balance::kEdge ? order[static_cast<size_t>(idx)]
+                                   : static_cast<int>(idx);
+}
+
+}  // namespace shard_internal
+
+// --- Sharded adjacency push (aggregated cross-shard flushes) ---------------
+//
+// Drop-in peer of EdgeMapCsrPush over the same out-CSR: same functor
+// contract, same sparse next-frontier result, no locks anywhere on the
+// update path. options.sync is ignored (ownership makes every apply
+// exclusive); options.scratch serves the round bitmap and worker buffers
+// exactly as in the plain kernel.
+template <typename F>
+Frontier EdgeMapShardedPush(const Csr& out, const ShardedGraph& shards, Frontier& frontier,
+                            F& func, const EdgeMapOptions& options) {
+  const VertexId n = out.num_vertices();
+  const int num_shards = shards.num_shards();
+
+  obs::EngineCounters& metrics = obs::EngineCounters::Get();
+  metrics.edgemap_calls.Add(1);
+  ShardMetrics& shard_metrics = ShardMetrics::Get();
+  shard_metrics.edgemap_calls.Add(1);
+  obs::TimelineSpan timeline_span("engine", "edgemap.sharded.push", frontier.Count());
+
+  std::vector<Frontier> slices = frontier.SplitByRanges(shards.boundaries());
+
+  const int workers = ThreadPool::Current().num_threads();
+  Bitmap local_next;
+  std::vector<std::vector<VertexId>> local_buffers;
+  Bitmap* next_ptr;
+  std::vector<std::vector<VertexId>>* buffers_ptr;
+  if (options.scratch != nullptr) {
+    next_ptr = &options.scratch->RoundBitmap(n);
+    buffers_ptr = &options.scratch->WorkerBuffers(workers);
+  } else {
+    local_next.Resize(static_cast<int64_t>(n));
+    local_buffers.resize(static_cast<size_t>(workers));
+    next_ptr = &local_next;
+    buffers_ptr = &local_buffers;
+  }
+  Bitmap& next = *next_ptr;
+  std::vector<std::vector<VertexId>>& buffers = *buffers_ptr;
+
+  shard_internal::BufferGrid grid(num_shards);
+
+  auto run = [&](auto wtag) {
+    constexpr bool kWeighted = decltype(wtag)::value;
+
+    // Phase 1: scatter. Task s owns shard s's destinations; everything else
+    // rides an aggregation buffer.
+    ParallelForChunks(
+        0, num_shards, /*grain=*/1, [&](int64_t lo, int64_t hi, int worker) {
+          auto& buffer = buffers[static_cast<size_t>(worker)];
+          for (int64_t idx = lo; idx < hi; ++idx) {
+            const int s = shard_internal::ShardAt(shards.out_order(), options.balance, idx);
+            Frontier& slice = slices[static_cast<size_t>(s)];
+            if (slice.Empty()) {
+              continue;  // no producer touched row s: nothing to flush either
+            }
+            const uint64_t span_start = obs::TimelineNow();
+            int64_t scanned = 0;
+            int64_t relaxed = 0;
+            int64_t local_updates = 0;
+            int64_t remote_updates = 0;
+            for (const VertexId src : slice.Vertices()) {
+              const auto neighbors = out.Neighbors(src);
+              const auto weights = out.Weights(src);
+              scanned += static_cast<int64_t>(neighbors.size());
+              for (size_t j = 0; j < neighbors.size(); ++j) {
+                const VertexId dst = neighbors[j];
+                if (!func.Cond(dst)) {
+                  continue;
+                }
+                const float w = kWeighted ? weights[j] : 1.0f;
+                const int t = shards.ShardOf(dst);
+                if (t == s) {
+                  ++local_updates;
+                  if (func.Update(src, dst, w)) {
+                    ++relaxed;
+                    if (next.TestAndSet(dst)) {
+                      buffer.push_back(dst);
+                    }
+                  }
+                } else {
+                  ++remote_updates;
+                  grid.At(s, t).Enqueue(src, dst, w);
+                }
+              }
+            }
+            grid.FlushRow(s);
+            metrics.edges_scanned.Add(scanned);
+            metrics.edges_relaxed.Add(relaxed);
+            shard_metrics.local_updates.Add(local_updates);
+            shard_metrics.remote_updates.Add(remote_updates);
+            obs::TimelineEndSpan("engine", "edgemap.chunk", span_start, scanned);
+          }
+        });
+
+    // Phase 2: apply. Task t is the only writer of shard t's state; every
+    // drained batch lands as sequential plain stores on warm owner pages.
+    ParallelForChunks(
+        0, num_shards, /*grain=*/1, [&](int64_t lo, int64_t hi, int worker) {
+          auto& buffer = buffers[static_cast<size_t>(worker)];
+          for (int64_t idx = lo; idx < hi; ++idx) {
+            const int t = shard_internal::ShardAt(shards.in_order(), options.balance, idx);
+            const uint64_t span_start = obs::TimelineNow();
+            int64_t relaxed = 0;
+            int64_t applied = 0;
+            for (int s = 0; s < num_shards; ++s) {
+              if (s == t) {
+                continue;
+              }
+              applied += grid.At(s, t).Drain([&](const ShardUpdate& update) {
+                if (!func.Cond(update.dst)) {
+                  return;
+                }
+                if (func.Update(update.src, update.dst, update.weight)) {
+                  ++relaxed;
+                  if (next.TestAndSet(update.dst)) {
+                    buffer.push_back(update.dst);
+                  }
+                }
+              });
+            }
+            metrics.edges_relaxed.Add(relaxed);
+            obs::TimelineEndSpan("engine", "edgemap.chunk", span_start, applied);
+          }
+        });
+  };
+  if (out.has_weights()) {
+    run(std::true_type{});
+  } else {
+    run(std::false_type{});
+  }
+
+  grid.PublishStats();
+  return Frontier::FromVector(
+      n, edge_map_internal::ConcatBuffers(buffers, /*retain_capacity=*/options.scratch != nullptr));
+}
+
+// --- Sharded adjacency pull (owner-partitioned gather) ---------------------
+//
+// Same gather loop as EdgeMapCsrPull (word-batched frontier probe, Cond
+// early exit) but chunked by shard ownership: task t gathers exactly the
+// destinations shard t owns, so the write pattern matches the sharded push
+// and the balance knob reuses the precomputed in-edge mass order instead of
+// a per-call offsets scan.
+template <typename F>
+Frontier EdgeMapShardedPull(const Csr& in, const ShardedGraph& shards, Frontier& frontier,
+                            F& func, const EdgeMapOptions& options) {
+  const VertexId n = in.num_vertices();
+  frontier.EnsureDense();
+  const int num_shards = shards.num_shards();
+
+  obs::EngineCounters& metrics = obs::EngineCounters::Get();
+  metrics.edgemap_calls.Add(1);
+  ShardMetrics& shard_metrics = ShardMetrics::Get();
+  shard_metrics.edgemap_calls.Add(1);
+  obs::TimelineSpan timeline_span("engine", "edgemap.sharded.pull", frontier.Count());
+
+  Bitmap next(n);  // ownership moves into the result; scratch cannot serve it
+  const int workers = ThreadPool::Current().num_threads();
+  std::vector<int64_t> counts(static_cast<size_t>(workers), 0);
+  const Bitmap& active_bits = frontier.bitmap();
+
+  auto run = [&](auto wtag) {
+    constexpr bool kWeighted = decltype(wtag)::value;
+    ParallelForChunks(
+        0, num_shards, /*grain=*/1, [&](int64_t lo, int64_t hi, int worker) {
+          for (int64_t idx = lo; idx < hi; ++idx) {
+            const int t = shard_internal::ShardAt(shards.in_order(), options.balance, idx);
+            const uint64_t span_start = obs::TimelineNow();
+            int64_t local = 0;
+            int64_t scanned = 0;
+            int64_t relaxed = 0;
+            int64_t cached_word_index = -1;
+            uint64_t cached_word = 0;
+            const int64_t v_lo = static_cast<int64_t>(shards.ShardBegin(t));
+            const int64_t v_hi = static_cast<int64_t>(shards.ShardEnd(t));
+            for (int64_t v = v_lo; v < v_hi; ++v) {
+              const VertexId dst = static_cast<VertexId>(v);
+              if (!func.Cond(dst)) {
+                continue;
+              }
+              const auto neighbors = in.Neighbors(dst);
+              const auto weights = in.Weights(dst);
+              bool updated = false;
+              for (size_t j = 0; j < neighbors.size(); ++j) {
+                const VertexId src = neighbors[j];
+                ++scanned;
+                const int64_t word_index = static_cast<int64_t>(src >> 6);
+                if (word_index != cached_word_index) {
+                  cached_word_index = word_index;
+                  cached_word = active_bits.Word(word_index);
+                }
+                if (((cached_word >> (src & 63)) & 1ULL) == 0) {
+                  continue;
+                }
+                const float w = kWeighted ? weights[j] : 1.0f;
+                if (func.Update(src, dst, w)) {
+                  updated = true;
+                  ++relaxed;
+                }
+                if (!func.Cond(dst)) {
+                  break;  // early exit: dst is done for this round
+                }
+              }
+              if (updated) {
+                next.Set(v);
+                ++local;
+              }
+            }
+            counts[static_cast<size_t>(worker)] += local;
+            shard_metrics.local_updates.Add(relaxed);  // every pull apply is owner-local
+            metrics.edges_scanned.Add(scanned);
+            metrics.edges_relaxed.Add(relaxed);
+            obs::TimelineEndSpan("engine", "edgemap.chunk", span_start, scanned);
+          }
+        });
+  };
+  if (in.has_weights()) {
+    run(std::true_type{});
+  } else {
+    run(std::false_type{});
+  }
+
+  int64_t total = 0;
+  for (const int64_t c : counts) {
+    total += c;
+  }
+  return Frontier::FromBitmap(n, std::move(next), total);
+}
+
+// --- Sharded dynamic push-pull (Beamer/Ligra over shards) ------------------
+template <typename F>
+Frontier EdgeMapShardedPushPull(const Csr& out, const Csr& in, const ShardedGraph& shards,
+                                Frontier& frontier, F& func, const EdgeMapOptions& options,
+                                const PushPullConfig& config, bool* used_pull = nullptr) {
+  const uint64_t work = frontier.WorkEstimate(out);
+  const bool pull = static_cast<double>(work) >
+                    static_cast<double>(out.num_edges()) / config.threshold_den;
+  if (used_pull != nullptr) {
+    *used_pull = pull;
+  }
+  if (pull) {
+    return EdgeMapShardedPull(in, shards, frontier, func, options);
+  }
+  return EdgeMapShardedPush(out, shards, frontier, func, options);
+}
+
+// --- Sharded all-active scans (PageRank / SpMV) ----------------------------
+//
+// The dense-iteration counterpart of EdgeMapShardedPush: every source is
+// active, body(src, dst, weight) must be applied exactly once per edge, and
+// each destination's applies are exclusive (plain adds suffice). Same
+// two-phase shape — owner applies local edges during the scatter, remote
+// edges ride the buffers and land in the owner's phase-2 drain.
+template <typename Body>
+void ShardScanBySource(const Csr& out, const ShardedGraph& shards, Body&& body) {
+  const int num_shards = shards.num_shards();
+  obs::TimelineSpan timeline_span("engine", "scan.sharded.src",
+                                  static_cast<int64_t>(out.num_edges()));
+  obs::Counter& scanned_counter = obs::EngineCounters::Get().edges_scanned;
+  ShardMetrics& shard_metrics = ShardMetrics::Get();
+  shard_metrics.edgemap_calls.Add(1);
+
+  shard_internal::BufferGrid grid(num_shards);
+
+  ParallelForChunks(0, num_shards, /*grain=*/1, [&](int64_t lo, int64_t hi, int /*worker*/) {
+    for (int64_t idx = lo; idx < hi; ++idx) {
+      const int s = shards.out_order()[static_cast<size_t>(idx)];
+      int64_t scanned = 0;
+      int64_t local_updates = 0;
+      int64_t remote_updates = 0;
+      const int64_t v_lo = static_cast<int64_t>(shards.ShardBegin(s));
+      const int64_t v_hi = static_cast<int64_t>(shards.ShardEnd(s));
+      for (int64_t v = v_lo; v < v_hi; ++v) {
+        const VertexId src = static_cast<VertexId>(v);
+        const auto neighbors = out.Neighbors(src);
+        const auto weights = out.Weights(src);
+        scanned += static_cast<int64_t>(neighbors.size());
+        for (size_t j = 0; j < neighbors.size(); ++j) {
+          const VertexId dst = neighbors[j];
+          const float w = weights.empty() ? 1.0f : weights[j];
+          const int t = shards.ShardOf(dst);
+          if (t == s) {
+            ++local_updates;
+            body(src, dst, w);
+          } else {
+            ++remote_updates;
+            grid.At(s, t).Enqueue(src, dst, w);
+          }
+        }
+      }
+      grid.FlushRow(s);
+      scanned_counter.Add(scanned);
+      shard_metrics.local_updates.Add(local_updates);
+      shard_metrics.remote_updates.Add(remote_updates);
+    }
+  });
+
+  ParallelForChunks(0, num_shards, /*grain=*/1, [&](int64_t lo, int64_t hi, int /*worker*/) {
+    for (int64_t idx = lo; idx < hi; ++idx) {
+      const int t = shards.in_order()[static_cast<size_t>(idx)];
+      for (int s = 0; s < num_shards; ++s) {
+        if (s == t) {
+          continue;
+        }
+        grid.At(s, t).Drain([&](const ShardUpdate& update) {
+          body(update.src, update.dst, update.weight);
+        });
+      }
+    }
+  });
+
+  grid.PublishStats();
+}
+
+// Owner-partitioned dense gather: body(dst, in_neighbors, weights) once per
+// destination, iterated in ascending dst within each shard — the identical
+// per-destination order to ScanCsrByDestination, so floating-point gather
+// sums (PageRank, SpMV) are bit-identical to the plain pull backend.
+template <typename Body>
+void ShardScanByDestination(const Csr& in, const ShardedGraph& shards, Body&& body) {
+  const int num_shards = shards.num_shards();
+  obs::TimelineSpan timeline_span("engine", "scan.sharded.dst",
+                                  static_cast<int64_t>(in.num_edges()));
+  obs::Counter& scanned_counter = obs::EngineCounters::Get().edges_scanned;
+  ShardMetrics& shard_metrics = ShardMetrics::Get();
+  shard_metrics.edgemap_calls.Add(1);
+
+  ParallelForChunks(0, num_shards, /*grain=*/1, [&](int64_t lo, int64_t hi, int /*worker*/) {
+    for (int64_t idx = lo; idx < hi; ++idx) {
+      const int t = shards.in_order()[static_cast<size_t>(idx)];
+      int64_t scanned = 0;
+      const int64_t v_lo = static_cast<int64_t>(shards.ShardBegin(t));
+      const int64_t v_hi = static_cast<int64_t>(shards.ShardEnd(t));
+      for (int64_t v = v_lo; v < v_hi; ++v) {
+        const VertexId dst = static_cast<VertexId>(v);
+        scanned += static_cast<int64_t>(in.Neighbors(dst).size());
+        body(dst, in.Neighbors(dst), in.Weights(dst));
+      }
+      scanned_counter.Add(scanned);
+    }
+  });
+}
+
+}  // namespace egraph
+
+#endif  // SRC_SHARD_EDGE_MAP_SHARDED_H_

@@ -1,0 +1,30 @@
+#include "src/shard/shard_metrics.h"
+
+namespace egraph {
+
+ShardMetrics& ShardMetrics::Get() {
+  static ShardMetrics metrics{
+      obs::Registry::Get().GetCounter("shard.edgemap_calls"),
+      obs::Registry::Get().GetCounter("shard.enqueued"),
+      obs::Registry::Get().GetCounter("shard.flushed"),
+      obs::Registry::Get().GetCounter("shard.flush_batches"),
+      obs::Registry::Get().GetCounter("shard.local_updates"),
+      obs::Registry::Get().GetCounter("shard.remote_updates"),
+      obs::Registry::Get().GetHistogram("shard.buffer_occupancy"),
+  };
+  return metrics;
+}
+
+double ShardLocalRatio() {
+  ShardMetrics& metrics = ShardMetrics::Get();
+  const int64_t local = metrics.local_updates.Total();
+  const int64_t remote = metrics.remote_updates.Total();
+  const int64_t total = local + remote;
+  return total == 0 ? 1.0 : static_cast<double>(local) / static_cast<double>(total);
+}
+
+std::vector<obs::GaugeSample> ShardGauges() {
+  return {{"shard.local_ratio", ShardLocalRatio()}};
+}
+
+}  // namespace egraph

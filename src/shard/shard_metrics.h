@@ -1,0 +1,39 @@
+// Hot-path observability for the sharded substrate, resolved once per
+// process like obs::EngineCounters. The enqueue/flush counters mirror the
+// RDMAAggregator's stats; local/remote splits feed the shard.local_ratio
+// gauge the Prometheus exposition derives, and the occupancy histogram
+// records how full open batches were when sealed (a low mean means the
+// shard count outruns the traffic and flushes are mostly partial).
+#ifndef SRC_SHARD_SHARD_METRICS_H_
+#define SRC_SHARD_SHARD_METRICS_H_
+
+#include <vector>
+
+#include "src/obs/exposition.h"
+#include "src/obs/metrics.h"
+
+namespace egraph {
+
+struct ShardMetrics {
+  obs::Counter& edgemap_calls;      // sharded EdgeMap / scan invocations
+  obs::Counter& enqueued;           // updates entering aggregation buffers
+  obs::Counter& flushed;            // updates sealed into spill batches
+  obs::Counter& flush_batches;      // sealed batches (whole cache-line groups)
+  obs::Counter& local_updates;      // applied directly by the source's shard
+  obs::Counter& remote_updates;     // routed through a buffer to the owner
+  obs::Histogram& buffer_occupancy;  // open-batch fill at seal time
+
+  static ShardMetrics& Get();
+};
+
+// Fraction of updates applied shard-locally since process start; 1.0 when
+// nothing has run. This is the gauge behind `shard.local_ratio`.
+double ShardLocalRatio();
+
+// Gauges for the stats exposition: shard.local_ratio (counters and the
+// occupancy histogram flow through the registry snapshots on their own).
+std::vector<obs::GaugeSample> ShardGauges();
+
+}  // namespace egraph
+
+#endif  // SRC_SHARD_SHARD_METRICS_H_

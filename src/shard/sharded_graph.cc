@@ -1,0 +1,70 @@
+#include "src/shard/sharded_graph.h"
+
+#include <algorithm>
+
+#include "src/obs/metrics.h"
+#include "src/obs/phase.h"
+#include "src/util/parallel.h"
+#include "src/util/timer.h"
+
+namespace egraph {
+
+int ShardedGraph::AutoShards(int workers) {
+  return std::clamp(2 * workers, 2, 64);
+}
+
+ShardedGraph ShardedGraph::Build(const Csr& out, const Csr* in, int num_shards) {
+  obs::ScopedPhase phase(obs::Phase::kPartition);
+  obs::Registry::Get().GetCounter("shard.builds").Add(1);
+  Timer timer;
+  ShardedGraph sharded;
+  const VertexId n = out.num_vertices();
+  if (num_shards < 1) {
+    num_shards = 1;
+  }
+
+  std::vector<uint64_t> score(static_cast<size_t>(n));
+  ParallelFor(0, static_cast<int64_t>(n), [&](int64_t v) {
+    uint64_t s = 1 + out.Degree(static_cast<VertexId>(v));
+    if (in != nullptr) {
+      s += in->Degree(static_cast<VertexId>(v));
+    }
+    score[static_cast<size_t>(v)] = s;
+  });
+  sharded.boundaries_ = BalancedVertexRanges(score, num_shards);
+
+  sharded.out_mass_.assign(static_cast<size_t>(num_shards), 0);
+  sharded.in_mass_.assign(static_cast<size_t>(num_shards), 0);
+  const auto& out_offsets = out.offsets();
+  for (int s = 0; s < num_shards; ++s) {
+    const size_t lo = static_cast<size_t>(sharded.boundaries_[static_cast<size_t>(s)]);
+    const size_t hi = static_cast<size_t>(sharded.boundaries_[static_cast<size_t>(s) + 1]);
+    sharded.out_mass_[static_cast<size_t>(s)] =
+        static_cast<uint64_t>(out_offsets[hi]) - static_cast<uint64_t>(out_offsets[lo]);
+    if (in != nullptr) {
+      const auto& in_offsets = in->offsets();
+      sharded.in_mass_[static_cast<size_t>(s)] =
+          static_cast<uint64_t>(in_offsets[hi]) - static_cast<uint64_t>(in_offsets[lo]);
+    }
+  }
+
+  auto order_by_mass = [num_shards](const std::vector<uint64_t>& mass) {
+    std::vector<int> order(static_cast<size_t>(num_shards));
+    for (int s = 0; s < num_shards; ++s) {
+      order[static_cast<size_t>(s)] = s;
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&mass](int a, int b) {
+                       return mass[static_cast<size_t>(a)] > mass[static_cast<size_t>(b)];
+                     });
+    return order;
+  };
+  sharded.out_order_ = order_by_mass(sharded.out_mass_);
+  sharded.in_order_ =
+      in != nullptr ? order_by_mass(sharded.in_mass_) : sharded.out_order_;
+
+  sharded.build_seconds_ = timer.Seconds();
+  return sharded;
+}
+
+}  // namespace egraph

@@ -1,0 +1,79 @@
+// ShardedGraph: the ownership map of the sharded execution substrate.
+// The frozen CSR's vertex space is split into S contiguous shards using the
+// same balanced-range machinery the NUMA cost model uses (BuildRangePartition
+// in src/layout/range_partition.h — refactored out of src/numa/ so that cost
+// model became one consumer among several, and this substrate another).
+// Each shard is owned by one worker-group task per EdgeMap phase: a shard's
+// vertex state is written only by its owner, so every apply is a plain
+// store — cross-shard traffic flows through AggregationBuffers instead of
+// striped locks.
+//
+// The shards index into the handle's existing global CSRs (sliced by vertex
+// range) rather than materializing per-shard copies: the global out-CSR cut
+// by source range drives the push scatter, the global in-CSR cut by
+// destination range drives the owner-local gather, and both keep their edge
+// weights — per-shard CSR copies would not (the dst-colocated rebuild drops
+// weights, which is fine for the cost model but not for SSSP).
+#ifndef SRC_SHARD_SHARDED_GRAPH_H_
+#define SRC_SHARD_SHARDED_GRAPH_H_
+
+#include <vector>
+
+#include "src/graph/types.h"
+#include "src/layout/csr.h"
+#include "src/layout/range_partition.h"
+
+namespace egraph {
+
+class ShardedGraph {
+ public:
+  ShardedGraph() = default;
+
+  // Partitions [0, out.num_vertices()) into `num_shards` contiguous shards
+  // balanced by 1 + out_degree (+ in_degree when `in` is supplied): the
+  // score is each vertex's cost in the phases that iterate it. `in` may be
+  // null when only push will run.
+  static ShardedGraph Build(const Csr& out, const Csr* in, int num_shards);
+
+  // Default shard count for a worker pool: two shards per worker gives the
+  // grain-1 shard dispatch room to steal around stragglers without
+  // shattering the buffers into thousands of (s,t) pairs.
+  static int AutoShards(int workers);
+
+  int num_shards() const { return static_cast<int>(boundaries_.size()) - 1; }
+  VertexId num_vertices() const { return boundaries_.empty() ? 0 : boundaries_.back(); }
+  const std::vector<VertexId>& boundaries() const { return boundaries_; }
+
+  // Shard owning vertex v — the same binary search the NUMA partition's
+  // NodeOf now uses (RangeOwner replaced its per-edge linear scan).
+  int ShardOf(VertexId v) const { return RangeOwner(boundaries_, v); }
+
+  VertexId ShardBegin(int s) const { return boundaries_[static_cast<size_t>(s)]; }
+  VertexId ShardEnd(int s) const { return boundaries_[static_cast<size_t>(s) + 1]; }
+
+  // Out-edge mass of the shard's sources / in-edge mass of its destinations:
+  // the phase-1 scatter and owner-gather costs used to order shard tasks.
+  uint64_t ShardOutEdges(int s) const { return out_mass_[static_cast<size_t>(s)]; }
+  uint64_t ShardInEdges(int s) const { return in_mass_[static_cast<size_t>(s)]; }
+
+  // Shard indices in descending out-/in-edge mass: dispatched grain-1, the
+  // pool's round-robin preload turns this into a static greedy assignment
+  // (heaviest shards spread across workers first; stealing mops up the tail).
+  const std::vector<int>& out_order() const { return out_order_; }
+  const std::vector<int>& in_order() const { return in_order_; }
+
+  // Wall time of the partitioning step (pre-processing accounting).
+  double build_seconds() const { return build_seconds_; }
+
+ private:
+  std::vector<VertexId> boundaries_;  // num_shards + 1
+  std::vector<uint64_t> out_mass_;
+  std::vector<uint64_t> in_mass_;
+  std::vector<int> out_order_;
+  std::vector<int> in_order_;
+  double build_seconds_ = 0.0;
+};
+
+}  // namespace egraph
+
+#endif  // SRC_SHARD_SHARDED_GRAPH_H_

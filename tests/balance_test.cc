@@ -18,6 +18,7 @@
 #include "src/engine/execution_context.h"
 #include "src/engine/graph_handle.h"
 #include "src/gen/rmat.h"
+#include "src/shard/edge_map_sharded.h"
 #include "src/util/atomics.h"
 
 namespace egraph {
@@ -76,6 +77,13 @@ Frontier Step(GraphHandle& handle, Layout layout, Direction direction, Frontier&
       return EdgeMapEdgeArray(handle.edges(), frontier, func, options);
     case Layout::kGrid:
       return EdgeMapGrid(handle.grid(), frontier, func, options);
+    case Layout::kSharded:
+      // For sharded, the balance knob only reorders shard tasks (descending
+      // edge mass vs natural order) — ownership forbids splitting a shard.
+      if (direction == Direction::kPull) {
+        return EdgeMapShardedPull(handle.in_csr(), handle.sharded(), frontier, func, options);
+      }
+      return EdgeMapShardedPush(handle.out_csr(), handle.sharded(), frontier, func, options);
   }
   return Frontier::None(handle.num_vertices());
 }
@@ -94,8 +102,9 @@ void ExpectBalanceEquivalence(const EdgeList& graph, const BalanceCell& cell,
   PrepareConfig prepare;
   prepare.layout = cell.layout;
   prepare.need_out = true;
-  prepare.need_in =
-      cell.layout == Layout::kAdjacency || cell.layout == Layout::kCompressed;
+  prepare.need_in = cell.layout == Layout::kAdjacency ||
+                    cell.layout == Layout::kCompressed ||
+                    cell.layout == Layout::kSharded;
   handle.Prepare(prepare);
 
   const VertexId n = handle.num_vertices();
@@ -143,6 +152,9 @@ std::vector<BalanceCell> AllCells(bool include_lockfree_grid) {
     if (include_lockfree_grid) {
       cells.push_back({Layout::kGrid, direction, Sync::kLockFree});
     }
+    // Sync is a no-op for the sharded backends (ownership replaces locks);
+    // one lock-free cell per direction covers them.
+    cells.push_back({Layout::kSharded, direction, Sync::kLockFree});
   }
   return cells;
 }

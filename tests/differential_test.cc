@@ -1,9 +1,9 @@
 // Differential sweep across the full EdgeMap configuration matrix:
-//   layout {adjacency, compressed, edge-array, grid}
+//   layout {adjacency, compressed, edge-array, grid, sharded}
 //     x direction {push, pull, push-pull}
 //     x sync {atomics, locks}
 //     x balance {vertex, edge}
-// = 48 cells, each run for BFS, WCC, SSSP and Pagerank on four seeded graph
+// = 60 cells, each run for BFS, WCC, SSSP and Pagerank on four seeded graph
 // families (power-law R-MAT, high-diameter road lattice, uniform
 // Erdős–Rényi, and a mega-hub star that forces the edge-balanced
 // partitioner to split one adjacency list across chunks) and checked
@@ -14,7 +14,8 @@
 //   - direction is ignored by edge-array and grid EdgeMaps (always a full
 //     edge scan in the stored order),
 //   - sync is ignored by adjacency/compressed pull (one writer per
-//     destination).
+//     destination) and by the sharded backends entirely (shard ownership
+//     makes every apply exclusive).
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -187,7 +188,8 @@ TEST_P(DifferentialTest, WccMatchesReference) {
     // 8); edge-array and grid relax both endpoints of each stored edge and
     // need no symmetrization.
     const bool adjacency_like = config.layout == Layout::kAdjacency ||
-                                config.layout == Layout::kCompressed;
+                                config.layout == Layout::kCompressed ||
+                                config.layout == Layout::kSharded;
     GraphHandle handle(adjacency_like ? g.edges.MakeUndirected() : g.edges);
     config.symmetric_input = adjacency_like;
     const WccResult result = RunWcc(handle, config);
@@ -233,7 +235,8 @@ TEST_P(DifferentialTest, PagerankMatchesReference) {
 INSTANTIATE_TEST_SUITE_P(
     FullMatrix, DifferentialTest,
     ::testing::Combine(::testing::Values(Layout::kAdjacency, Layout::kCompressed,
-                                         Layout::kEdgeArray, Layout::kGrid),
+                                         Layout::kEdgeArray, Layout::kGrid,
+                                         Layout::kSharded),
                        ::testing::Values(Direction::kPush, Direction::kPull,
                                          Direction::kPushPull),
                        ::testing::Values(Sync::kAtomics, Sync::kLocks),

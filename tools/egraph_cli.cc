@@ -10,15 +10,16 @@
 //             [--updates=FILE] [--update-batch=N]
 //             [--stats-out=FILE] [--stats-interval-ms=N] [--slow-query-ms=N]
 //             [--layout=...] [--direction=...] [--sync=...] [--balance=...]
+//             [--shards=S]
 //             FILE
 //   run       --algo=bfs|wcc|sssp|pagerank|spmv|kcore|triangles
-//             [--layout=adjacency|compressed|edge-array|grid]
+//             [--layout=adjacency|compressed|edge-array|grid|sharded]
 //             [--direction=push|pull|push-pull] [--sync=atomics|locks|lock-free]
-//             [--balance=vertex|edge]
+//             [--balance=vertex|edge] [--shards=S]
 //             [--method=radix|count|dynamic] [--source=V] [--iterations=N]
 //             [--loader=sequential|pipelined] [--medium=memory|ssd|hdd]
 //             [--chunk-mb=N]
-//             [--advisor] [--numa-nodes=K] [--memory-budget-mb=N]
+//             [--advisor] [--numa-nodes=K] [--memory-budget-mb=N] [--workers=W]
 //             [--metrics] [--metrics-json=FILE]
 //             [--timeline=FILE]
 //             FILE
@@ -49,7 +50,14 @@
 // retains every query whose submit-to-completion latency reaches N ms and
 // prints its full phase breakdown (admission / queue wait / cohort formation
 // / execute) after the run.
-// `run --advisor` lets the paper's section-9 roadmap pick the configuration.
+// `--layout=sharded` runs the sharded execution substrate: the CSR vertex
+// space is split into --shards contiguous shards (0 = two per worker), each
+// EdgeMap round applies shard-local updates directly and routes cross-shard
+// updates through per-(src,dst)-shard aggregation buffers flushed in
+// cache-line batches — no striped locks on the push path. Shard traffic
+// shows up in the shard.* counters and the shard.local_ratio gauge.
+// `run --advisor` lets the paper's section-9 roadmap pick the configuration
+// (--workers tells it the worker count; defaults to the pool size).
 // Every run prints the end-to-end breakdown (load / preprocess / algorithm).
 // `--metrics` appends the observability tables (phase breakdown, engine
 // counters, histograms); `--metrics-json=FILE` writes the full JSON process
@@ -84,8 +92,10 @@
 #include "src/snapshot/snapshot_store.h"
 #include "src/obs/phase.h"
 #include "src/obs/timeline.h"
+#include "src/shard/shard_metrics.h"
 #include "src/util/env.h"
 #include "src/util/flags.h"
+#include "src/util/parallel.h"
 #include "src/util/table.h"
 #include "src/util/timer.h"
 
@@ -111,6 +121,9 @@ Layout ParseLayout(const std::string& name) {
   }
   if (name == "grid") {
     return Layout::kGrid;
+  }
+  if (name == "sharded") {
+    return Layout::kSharded;
   }
   throw std::runtime_error("unknown layout: " + name);
 }
@@ -300,6 +313,7 @@ int CmdRun(const Flags& flags) {
   config.sync = ParseSync(flags.GetString("sync", "atomics"));
   config.balance = ParseBalance(flags.GetString("balance", "edge"));
   config.method = ParseMethod(flags.GetString("method", "radix"));
+  config.shards = static_cast<int>(flags.GetInt("shards", 0));
 
   // --loader routes binary input through the overlapped load→build pipeline
   // (src/io/loader.h): the CSRs are built while the file streams from the
@@ -369,6 +383,8 @@ int CmdRun(const Flags& flags) {
     machine.numa_nodes = static_cast<int>(flags.GetInt("numa-nodes", 1));
     machine.memory_budget_bytes =
         static_cast<uint64_t>(flags.GetInt("memory-budget-mb", 0)) << 20;
+    machine.workers = static_cast<int>(
+        flags.GetInt("workers", ThreadPool::Current().num_threads()));
     const Recommendation rec = Advise(traits, stats, machine);
     config.layout = rec.layout;
     config.direction = rec.direction;
@@ -385,7 +401,8 @@ int CmdRun(const Flags& flags) {
   char buffer[128];
 
   if (algo == "wcc" && (config.layout == Layout::kAdjacency ||
-                        config.layout == Layout::kCompressed)) {
+                        config.layout == Layout::kCompressed ||
+                        config.layout == Layout::kSharded)) {
     graph = graph.MakeUndirected();
     config.symmetric_input = true;
   }
@@ -510,7 +527,13 @@ std::unique_ptr<obs::StatsSampler> StartStatsSampler(
   obs::StatsSampler::Options options;
   options.path = stats_out;
   options.interval_ms = static_cast<int>(flags.GetInt("stats-interval-ms", 1000));
-  options.gauges = [&session, store] { return serve::ServeGauges(session, store); };
+  options.gauges = [&session, store] {
+    std::vector<obs::GaugeSample> gauges = serve::ServeGauges(session, store);
+    for (obs::GaugeSample& sample : ShardGauges()) {
+      gauges.push_back(std::move(sample));
+    }
+    return gauges;
+  };
   return std::make_unique<obs::StatsSampler>(std::move(options));
 }
 
@@ -667,6 +690,7 @@ int CmdServe(const Flags& flags) {
   config.sync = ParseSync(flags.GetString("sync", "atomics"));
   config.balance = ParseBalance(flags.GetString("balance", "edge"));
   config.method = ParseMethod(flags.GetString("method", "radix"));
+  config.shards = static_cast<int>(flags.GetInt("shards", 0));
 
   const std::vector<serve::ServeQuery> queries =
       serve::ReadQueryFile(queries_path, config);
